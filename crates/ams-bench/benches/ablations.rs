@@ -1,0 +1,22 @@
+//! Ablation benches for the design choices DESIGN.md calls out: sign
+//! hash family (independence level) and median-of-means grouping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ams_datagen::DatasetId;
+use ams_experiments::ablation;
+
+fn bench_hash_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("hash_families_zipf10_s64", |b| {
+        b.iter(|| ablation::hash_families(DatasetId::Mf3, 64, 9, 1));
+    });
+    group.bench_function("grouping_zipf10_s64", |b| {
+        b.iter(|| ablation::grouping(DatasetId::Mf3, 64, 9, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_ablation);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! One bench target per table/figure of the paper.
+//!
+//! Each bench regenerates its table/figure at a reduced sweep (so `cargo
+//! bench` completes in minutes); the `ams-experiments` binary runs the
+//! full-size versions. The measured unit is "regenerate the whole
+//! artifact once", making regressions in any constituent algorithm
+//! visible per figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ams_datagen::DatasetId;
+use ams_experiments::figures::{run_dataset_sweep, SweepConfig};
+use ams_experiments::{robustness, section44, table1};
+
+/// Reduced sweep: up to s = 2⁶, one trial per point (as the paper).
+fn bench_config() -> SweepConfig {
+    SweepConfig {
+        max_log2_s: 6,
+        seed: 0xBE_AC,
+        trials: 1,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(|| table1::run(0)));
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    let figures: [(&str, u32, DatasetId); 13] = [
+        ("fig02_zipf10", 2, DatasetId::Zipf10),
+        ("fig03_zipf15", 3, DatasetId::Zipf15),
+        ("fig04_uniform", 4, DatasetId::Uniform),
+        ("fig05_mf2", 5, DatasetId::Mf2),
+        ("fig06_mf3", 6, DatasetId::Mf3),
+        ("fig07_selfsimilar", 7, DatasetId::SelfSimilar),
+        ("fig08_poisson", 8, DatasetId::Poisson),
+        ("fig09_wuther", 9, DatasetId::Wuther),
+        ("fig10_genesis", 10, DatasetId::Genesis),
+        ("fig11_brown2", 11, DatasetId::Brown2),
+        ("fig12_xout1", 12, DatasetId::Xout1),
+        ("fig13_yout1", 13, DatasetId::Yout1),
+        ("fig14_path", 14, DatasetId::Path),
+    ];
+    let cfg = bench_config();
+    for (name, figure, dataset) in figures {
+        group.bench_function(name, |b| {
+            b.iter(|| run_dataset_sweep(figure, dataset, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig15_robustness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("fig15_robustness", |b| {
+        b.iter(|| robustness::run(DatasetId::Zipf15, 100, 0xF15));
+    });
+    group.finish();
+}
+
+fn bench_section44(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section44");
+    group.sample_size(10);
+    group.bench_function("section44_comparison", |b| b.iter(section44::run));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_figures,
+    bench_fig15_robustness,
+    bench_section44
+);
+criterion_main!(benches);

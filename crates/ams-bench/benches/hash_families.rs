@@ -1,0 +1,61 @@
+//! Hash substrate costs: sign-hash evaluation across families, and the
+//! internal-table hasher choice (Fx-style vs SipHash) that underpins
+//! sample-count's O(1)-amortized claim.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ams_hash::sign::{BchSignHash, PolySign, SignHash, TabulationSign, TwoWiseSign};
+use ams_hash::FxHashMap;
+
+const KEYS: u64 = 10_000;
+
+fn bench_sign_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sign_eval");
+    group.throughput(Throughput::Elements(KEYS));
+    let poly = PolySign::from_seed(1);
+    let two = TwoWiseSign::from_seed(2);
+    let bch = BchSignHash::from_seed(3);
+    let tab = TabulationSign::from_seed(4);
+    group.bench_function("poly4", |b| {
+        b.iter(|| (0..KEYS).map(|v| poly.sign(v)).sum::<i64>());
+    });
+    group.bench_function("poly2", |b| {
+        b.iter(|| (0..KEYS).map(|v| two.sign(v)).sum::<i64>());
+    });
+    group.bench_function("bch4", |b| {
+        b.iter(|| (0..KEYS).map(|v| bch.sign(v)).sum::<i64>());
+    });
+    group.bench_function("tabulation3", |b| {
+        b.iter(|| (0..KEYS).map(|v| tab.sign(v)).sum::<i64>());
+    });
+    group.finish();
+}
+
+fn bench_table_hashers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_hashers");
+    group.throughput(Throughput::Elements(KEYS));
+    group.bench_function("fx_map_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for v in 0..KEYS {
+                *m.entry(v % 512).or_insert(0) += 1;
+            }
+            m.len()
+        });
+    });
+    group.bench_function("siphash_map_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u64, u64> = HashMap::new();
+            for v in 0..KEYS {
+                *m.entry(v % 512).or_insert(0) += 1;
+            }
+            m.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sign_eval, bench_table_hashers);
+criterion_main!(benches);

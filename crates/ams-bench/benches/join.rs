@@ -1,0 +1,98 @@
+//! Join-signature costs: k-TW maintenance and estimation vs the sampling
+//! baseline, plus the three-way extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ams_bench::Workload;
+use ams_core::{JoinSignatureFamily, SampleJoinSignature, ThreeWayFamily, ThreeWayRole};
+use ams_datagen::DatasetId;
+
+const UPDATES: usize = 10_000;
+
+fn bench_signature_updates(c: &mut Criterion) {
+    let workload = Workload::from_dataset(DatasetId::Zipf10, Some(UPDATES));
+    let mut group = c.benchmark_group("join_signature_updates");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(UPDATES as u64));
+    for k in [16usize, 256] {
+        let family = JoinSignatureFamily::new(k, 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("ktw", k), &k, |b, _| {
+            b.iter(|| {
+                let mut sig = family.signature();
+                for &v in &workload.values {
+                    sig.insert(v);
+                }
+                sig
+            });
+        });
+    }
+    group.bench_function("sampling_p0.01", |b| {
+        b.iter(|| {
+            let mut sig = SampleJoinSignature::new(0.01, 7);
+            for &v in &workload.values {
+                sig.insert(v);
+            }
+            sig
+        });
+    });
+    group.finish();
+}
+
+fn bench_join_estimation(c: &mut Criterion) {
+    let left = Workload::from_dataset(DatasetId::Mf2, None);
+    let right = Workload::from_dataset(DatasetId::Mf3, None);
+    let mut group = c.benchmark_group("join_estimation");
+    group.sample_size(10);
+    for k in [64usize, 1_024] {
+        let family = JoinSignatureFamily::new(k, 3).unwrap();
+        let mut sig_l = family.signature();
+        let mut sig_r = family.signature();
+        for (v, f) in left.histogram.iter() {
+            sig_l.update(v, f as i64);
+        }
+        for (v, f) in right.histogram.iter() {
+            sig_r.update(v, f as i64);
+        }
+        group.bench_with_input(BenchmarkId::new("ktw_estimate", k), &k, |b, _| {
+            b.iter(|| sig_l.estimate_join(&sig_r).unwrap());
+        });
+    }
+    let mut sam_l = SampleJoinSignature::new(0.05, 11);
+    let mut sam_r = SampleJoinSignature::new(0.05, 13);
+    for &v in &left.values {
+        sam_l.insert(v);
+    }
+    for &v in &right.values {
+        sam_r.insert(v);
+    }
+    group.bench_function("sampling_estimate", |b| {
+        b.iter(|| sam_l.estimate_join(&sam_r));
+    });
+    group.finish();
+}
+
+fn bench_three_way(c: &mut Criterion) {
+    let workload = Workload::from_dataset(DatasetId::Mf3, Some(UPDATES));
+    let mut group = c.benchmark_group("three_way");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(UPDATES as u64));
+    let family = ThreeWayFamily::new(64, 5).unwrap();
+    group.bench_function("center_updates_k64", |b| {
+        b.iter(|| {
+            let mut sig = family.signature(ThreeWayRole::Center);
+            for &v in &workload.values {
+                sig.insert(v);
+            }
+            sig
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signature_updates,
+    bench_join_estimation,
+    bench_three_way
+);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Update and query cost: the time side of Theorems 2.1 and 2.2.
+//!
+//! The paper claims sample-count processes updates in O(1) amortized
+//! time *independent of s*, while tug-of-war pays O(s) per update; and
+//! queries cost O(s) / O(s) / O(s2). These benches sweep s so the
+//! scaling shapes are visible in the report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ams_bench::Workload;
+use ams_core::{
+    NaiveSampling, SampleCount, SampleCountFastQuery, SelfJoinEstimator, SketchParams,
+    TugOfWarSketch,
+};
+use ams_datagen::DatasetId;
+
+const UPDATE_BATCH: usize = 10_000;
+
+fn bench_updates(c: &mut Criterion) {
+    let workload = Workload::from_dataset(DatasetId::Zipf10, Some(UPDATE_BATCH));
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(UPDATE_BATCH as u64));
+    for s in [16usize, 256, 4_096] {
+        let params = SketchParams::single_group(s).unwrap();
+        group.bench_with_input(BenchmarkId::new("tug-of-war", s), &s, |b, _| {
+            b.iter(|| {
+                let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, 1);
+                for &v in &workload.values {
+                    tw.insert(v);
+                }
+                tw
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sample-count", s), &s, |b, _| {
+            b.iter(|| {
+                let mut sc = SampleCount::new(params, 1);
+                for &v in &workload.values {
+                    sc.insert(v);
+                }
+                sc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sample-count-fastq", s), &s, |b, _| {
+            b.iter(|| {
+                let mut sc = SampleCountFastQuery::new(params, 1);
+                for &v in &workload.values {
+                    sc.insert(v);
+                }
+                sc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive-sampling", s), &s, |b, _| {
+            b.iter(|| {
+                let mut ns = NaiveSampling::new(s, 1);
+                for &v in &workload.values {
+                    ns.insert(v);
+                }
+                ns
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deletes(c: &mut Criterion) {
+    let workload = Workload::from_dataset(DatasetId::Zipf10, Some(UPDATE_BATCH));
+    let mut group = c.benchmark_group("deletes");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((UPDATE_BATCH / 2) as u64));
+    let params = SketchParams::single_group(256).unwrap();
+    group.bench_function("tug-of-war", |b| {
+        b.iter_batched(
+            || {
+                let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, 1);
+                for &v in &workload.values {
+                    tw.insert(v);
+                }
+                tw
+            },
+            |mut tw| {
+                for &v in workload.values.iter().rev().take(UPDATE_BATCH / 2) {
+                    tw.delete(v);
+                }
+                tw
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("sample-count", |b| {
+        b.iter_batched(
+            || {
+                let mut sc = SampleCount::new(params, 1);
+                for &v in &workload.values {
+                    sc.insert(v);
+                }
+                sc
+            },
+            |mut sc| {
+                for &v in workload.values.iter().rev().take(UPDATE_BATCH / 2) {
+                    sc.delete(v);
+                }
+                sc
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let workload = Workload::from_dataset(DatasetId::Zipf10, Some(50_000));
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+    for s in [64usize, 1_024] {
+        let params = SketchParams::new(s / 4, 4).unwrap();
+        let tw = {
+            let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, 2);
+            for (v, f) in workload.histogram.iter() {
+                tw.update(v, f as i64);
+            }
+            tw
+        };
+        let sc = {
+            let mut sc = SampleCount::new(params, 2);
+            for &v in &workload.values {
+                sc.insert(v);
+            }
+            sc
+        };
+        let fq = {
+            let mut fq = SampleCountFastQuery::new(params, 2);
+            for &v in &workload.values {
+                fq.insert(v);
+            }
+            fq
+        };
+        group.bench_with_input(BenchmarkId::new("tug-of-war", s), &s, |b, _| {
+            b.iter(|| tw.estimate());
+        });
+        group.bench_with_input(BenchmarkId::new("sample-count", s), &s, |b, _| {
+            b.iter(|| sc.estimate());
+        });
+        group.bench_with_input(BenchmarkId::new("sample-count-fastq", s), &s, |b, _| {
+            b.iter(|| fq.estimate());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_deletes, bench_queries);
+criterion_main!(benches);

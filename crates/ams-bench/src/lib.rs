@@ -1,0 +1,42 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches regenerate the paper's figures at reduced sweeps (so a
+//! `cargo bench` run finishes in minutes) and measure the costs the
+//! paper states asymptotically: O(1) amortized sample-count updates vs
+//! O(s) tug-of-war updates, query latencies, and the hash-family and
+//! aggregation ablations.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use ams_stream::Multiset;
+
+/// A materialized workload shared across benches: the value stream and
+/// its histogram/ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The data set's value stream.
+    pub values: Vec<u64>,
+    /// Its exact histogram.
+    pub histogram: Multiset,
+    /// Exact self-join size.
+    pub exact_sj: f64,
+}
+
+impl Workload {
+    /// Materializes a Table 1 data set (or a truncated prefix for cheap
+    /// benches).
+    pub fn from_dataset(dataset: ams_datagen::DatasetId, limit: Option<usize>) -> Self {
+        let mut values = dataset.generate(dataset.default_seed());
+        if let Some(limit) = limit {
+            values.truncate(limit);
+        }
+        let histogram = Multiset::from_values(values.iter().copied());
+        let exact_sj = histogram.self_join_size() as f64;
+        Self {
+            values,
+            histogram,
+            exact_sj,
+        }
+    }
+}

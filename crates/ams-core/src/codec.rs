@@ -1,0 +1,164 @@
+//! Compact binary encoding for tug-of-war sketches and k-TW signatures.
+//!
+//! The serde representation serializes the hash functions along with the
+//! counters — robust, but several times the paper's "k memory words per
+//! relation". This codec exploits that every hash function is *derived*
+//! from the master seed: the wire form is just a small header (magic,
+//! version, shape, seed) plus the raw counters, i.e. essentially the
+//! signature's information content. Typical use: persist a signature per
+//! relation in the catalog, or ship partition signatures to a
+//! coordinator for merging.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! [0..4)   magic  b"AMS1"
+//! [4..8)   u32    s1
+//! [8..12)  u32    s2
+//! [12..20) u64    seed
+//! [20..)   i64 × (s1·s2)  counters, group-major
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use ams_hash::sign::SignFamily;
+
+use crate::error::SketchError;
+use crate::params::SketchParams;
+use crate::tugofwar::TugOfWarSketch;
+
+/// Format magic: "AMS" + version 1.
+const MAGIC: &[u8; 4] = b"AMS1";
+
+/// Encodes a sketch into the compact wire form.
+pub fn encode<H: SignFamily>(sketch: &TugOfWarSketch<H>) -> Bytes {
+    let counters = sketch.counters();
+    let mut buf = BytesMut::with_capacity(20 + 8 * counters.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(sketch.params().s1() as u32);
+    buf.put_u32_le(sketch.params().s2() as u32);
+    buf.put_u64_le(sketch.seed());
+    for &z in counters {
+        buf.put_i64_le(z);
+    }
+    buf.freeze()
+}
+
+/// Decodes a sketch from the compact wire form, re-deriving the hash
+/// functions from the embedded seed.
+///
+/// # Errors
+/// [`SketchError::Codec`] on bad magic, malformed shape, or truncated
+/// payload.
+pub fn decode<H: SignFamily>(mut data: &[u8]) -> Result<TugOfWarSketch<H>, SketchError> {
+    if data.len() < 20 {
+        return Err(SketchError::Codec {
+            reason: "payload shorter than header",
+        });
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SketchError::Codec {
+            reason: "bad magic (not an AMS1 sketch)",
+        });
+    }
+    let s1 = data.get_u32_le() as usize;
+    let s2 = data.get_u32_le() as usize;
+    let seed = data.get_u64_le();
+    let params = SketchParams::new(s1, s2).map_err(|_| SketchError::Codec {
+        reason: "invalid sketch shape in header",
+    })?;
+    let expected = params.total() * 8;
+    if data.remaining() != expected {
+        return Err(SketchError::Codec {
+            reason: "counter payload length mismatch",
+        });
+    }
+    let mut sketch = TugOfWarSketch::<H>::new(params, seed);
+    let counters: Vec<i64> = (0..params.total()).map(|_| data.get_i64_le()).collect();
+    sketch.restore_counters(counters)?;
+    Ok(sketch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_hash::sign::PolySign;
+    use ams_stream::SelfJoinEstimator;
+
+    fn sample_sketch() -> TugOfWarSketch<PolySign> {
+        let mut tw: TugOfWarSketch =
+            TugOfWarSketch::new(SketchParams::new(8, 3).unwrap(), 0xC0DEC);
+        tw.extend_values([1u64, 5, 5, 9, 1, 2]);
+        tw
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let tw = sample_sketch();
+        let wire = encode(&tw);
+        assert_eq!(wire.len(), 20 + 8 * 24);
+        let back: TugOfWarSketch<PolySign> = decode(&wire).unwrap();
+        assert_eq!(back.counters(), tw.counters());
+        assert_eq!(back.estimate(), tw.estimate());
+        // The restored sketch keeps tracking identically (hashes were
+        // re-derived from the seed).
+        let mut a = tw.clone();
+        let mut b = back.clone();
+        a.insert(77);
+        b.insert(77);
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn wire_form_is_compact() {
+        let tw = sample_sketch();
+        let wire = encode(&tw);
+        let json = serde_json::to_string(&tw).unwrap();
+        assert!(
+            wire.len() * 3 < json.len(),
+            "wire {} vs json {}",
+            wire.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let wire = encode(&sample_sketch());
+        for cut in [0, 3, 19, wire.len() - 1] {
+            let err = decode::<PolySign>(&wire[..cut]).unwrap_err();
+            assert!(matches!(err, SketchError::Codec { .. }), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let wire = encode(&sample_sketch());
+        let mut bad = wire.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            decode::<PolySign>(&bad),
+            Err(SketchError::Codec {
+                reason: "bad magic (not an AMS1 sketch)"
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_shape_rejected() {
+        let wire = encode(&sample_sketch());
+        let mut bad = wire.to_vec();
+        bad[4..8].fill(0); // s1 = 0
+        assert!(decode::<PolySign>(&bad).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let wire = encode(&sample_sketch());
+        let mut bad = wire.to_vec();
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(decode::<PolySign>(&bad).is_err());
+    }
+}

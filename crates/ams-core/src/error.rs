@@ -1,0 +1,53 @@
+//! Error types for sketch construction and signature combination.
+
+/// Errors produced by this crate's fallible operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchError {
+    /// Sketch parameters were out of range.
+    InvalidParams {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// Two sketches/signatures could not be combined because they were
+    /// built from different hash functions or shapes.
+    Incompatible {
+        /// What differed.
+        reason: &'static str,
+    },
+    /// A serialized sketch could not be decoded.
+    Codec {
+        /// What was malformed.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for SketchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SketchError::InvalidParams { reason } => {
+                write!(f, "invalid sketch parameters: {reason}")
+            }
+            SketchError::Incompatible { reason } => {
+                write!(f, "incompatible sketches: {reason}")
+            }
+            SketchError::Codec { reason } => {
+                write!(f, "sketch decoding failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SketchError::InvalidParams { reason: "s1 zero" };
+        assert!(e.to_string().contains("s1 zero"));
+        let e = SketchError::Incompatible { reason: "seed" };
+        assert!(e.to_string().contains("seed"));
+    }
+}

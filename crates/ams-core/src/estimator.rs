@@ -1,0 +1,131 @@
+//! Median-of-means aggregation.
+//!
+//! Both AMS approaches turn atomic estimators (each unbiased but
+//! high-variance) into a reliable answer the same way: average `s1`
+//! atomic estimators within each of `s2` groups (driving variance down by
+//! `s1`), then take the *median* of the group averages (driving the
+//! failure probability down exponentially in `s2`, by Chernoff). Figure 15
+//! of the paper is an empirical argument for why both stages matter: the
+//! atomic tug-of-war estimators are spread almost uniformly over a wide
+//! range, not clustered at the truth.
+
+/// The median of a slice (averaging the two central order statistics for
+/// even lengths). Returns `None` for an empty slice. `O(n)` via
+/// `select_nth_unstable`.
+pub fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mid = values.len() / 2;
+    let (_, &mut upper_mid, _) =
+        values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("no NaN estimates"));
+    if values.len() % 2 == 1 {
+        Some(upper_mid)
+    } else {
+        // Lower-middle = maximum of the left partition.
+        let lower_mid = values[..mid]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some((lower_mid + upper_mid) / 2.0)
+    }
+}
+
+/// Median-of-means over atomic estimates laid out group-major:
+/// `estimates[j*s1 + i]` is estimator `i` of group `j`. Groups are
+/// averaged, and the median of the group means is returned.
+///
+/// # Panics
+/// Panics if `estimates.len() != s1 * s2` or either parameter is zero.
+pub fn median_of_means(estimates: &[f64], s1: usize, s2: usize) -> f64 {
+    assert!(s1 > 0 && s2 > 0, "group shape must be positive");
+    assert_eq!(estimates.len(), s1 * s2, "estimate count must be s1*s2");
+    let mut group_means: Vec<f64> = estimates
+        .chunks_exact(s1)
+        .map(|group| group.iter().sum::<f64>() / s1 as f64)
+        .collect();
+    median(&mut group_means).expect("s2 > 0")
+}
+
+/// Median-of-means where some atomic estimators may be missing (the
+/// sample-count situation: points not currently in the sample are
+/// ignored). `estimates[j*s1 + i]` of `None` is skipped; a group with no
+/// present estimators contributes no group mean. Returns `None` when
+/// every group is empty.
+pub fn median_of_present_means(estimates: &[Option<f64>], s1: usize, s2: usize) -> Option<f64> {
+    assert!(s1 > 0 && s2 > 0, "group shape must be positive");
+    assert_eq!(estimates.len(), s1 * s2, "estimate count must be s1*s2");
+    let mut group_means: Vec<f64> = Vec::with_capacity(s2);
+    for group in estimates.chunks_exact(s1) {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for e in group.iter().flatten() {
+            sum += e;
+            count += 1;
+        }
+        if count > 0 {
+            group_means.push(sum / count as f64);
+        }
+    }
+    median(&mut group_means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), Some(2.5));
+        assert_eq!(median(&mut [7.0]), Some(7.0));
+        assert_eq!(median(&mut []), None);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut xs = [1.0, 2.0, 3.0, 4.0, 1e12];
+        assert_eq!(median(&mut xs), Some(3.0));
+    }
+
+    #[test]
+    fn median_of_means_single_group_is_mean() {
+        let est = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median_of_means(&est, 4, 1), 2.5);
+    }
+
+    #[test]
+    fn median_of_means_group_major_layout() {
+        // Groups: [10, 20] → 15, [1, 1] → 1, [100, 200] → 150.
+        let est = [10.0, 20.0, 1.0, 1.0, 100.0, 200.0];
+        assert_eq!(median_of_means(&est, 2, 3), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate count must be s1*s2")]
+    fn shape_mismatch_panics() {
+        let _ = median_of_means(&[1.0, 2.0], 3, 1);
+    }
+
+    #[test]
+    fn present_means_skips_missing() {
+        // Group 0: [Some(10), None] → 10; group 1: [None, None] → skipped;
+        // group 2: [Some(2), Some(4)] → 3. Median of {10, 3} = 6.5.
+        let est = [Some(10.0), None, None, None, Some(2.0), Some(4.0)];
+        assert_eq!(median_of_present_means(&est, 2, 3), Some(6.5));
+    }
+
+    #[test]
+    fn present_means_all_missing_is_none() {
+        let est = [None, None];
+        assert_eq!(median_of_present_means(&est, 1, 2), None);
+    }
+
+    #[test]
+    fn median_of_means_matches_present_variant_when_full() {
+        let est = [5.0, 7.0, 1.0, 3.0];
+        let full = median_of_means(&est, 2, 2);
+        let opt: Vec<Option<f64>> = est.iter().map(|&e| Some(e)).collect();
+        assert_eq!(median_of_present_means(&opt, 2, 2), Some(full));
+    }
+}

@@ -1,0 +1,292 @@
+//! The paper's lower-bound constructions, materialized as data
+//! generators so the experiments can *demonstrate* the negative results
+//! (Lemma 2.3 and Theorem 4.3) rather than only cite them.
+
+use ams_hash::rng::SplitMix64;
+
+use crate::error::SketchError;
+
+/// Lemma 2.3, relation R1: `n` tuples with all-distinct values.
+/// `SJ(R1) = n`.
+pub fn lemma23_distinct(n: u64) -> Vec<u64> {
+    (0..n).collect()
+}
+
+/// Lemma 2.3, relation R2: `n/2` values each occurring exactly twice
+/// (`n` rounded down to even). `SJ(R2) = 2n`: any sample of `o(√n)`
+/// elements almost surely sees only distinct values, making R2
+/// indistinguishable from R1 for naive-sampling — a guaranteed factor-2
+/// error.
+pub fn lemma23_pairs(n: u64) -> Vec<u64> {
+    (0..n).map(|i| i / 2).collect()
+}
+
+/// The Theorem 4.3 construction: two relation distributions D1 and D2
+/// over a type universe such that every pair joins to either `B` or `2B`,
+/// yet distinguishing the cases requires `Ω(m²/B)`-bit signatures
+/// (`m = n − √B`).
+///
+/// Layout of attribute values: value `0` is the padding type (√B tuples
+/// in every relation, guaranteeing all join sizes are ≥ B); values
+/// `1..=t` are the payload types, `t = 10·m²/B`.
+#[derive(Debug, Clone, Copy)]
+pub struct Theorem43Construction {
+    n: u64,
+    b: u64,
+    sqrt_b: u64,
+    m: u64,
+    /// Payload types per D2 set: `q = m²/B` (the set size).
+    set_size: u64,
+    /// Type universe size `t = 10q`.
+    t: u64,
+}
+
+impl Theorem43Construction {
+    /// Creates the construction for relation size `n` and sanity bound
+    /// `B`.
+    ///
+    /// # Errors
+    /// [`SketchError::InvalidParams`] unless `n ≤ B ≤ n²/2` (the
+    /// theorem's range) and `(n−√B)² ≥ 2B` (so D2 sets hold at least two
+    /// types, keeping the demonstration non-degenerate).
+    pub fn new(n: u64, b: u64) -> Result<Self, SketchError> {
+        if b < n || b > n * n / 2 {
+            return Err(SketchError::InvalidParams {
+                reason: "sanity bound must satisfy n <= B <= n^2/2",
+            });
+        }
+        let sqrt_b = (b as f64).sqrt().floor() as u64;
+        let m = n - sqrt_b;
+        let set_size = m * m / b;
+        if set_size < 2 {
+            return Err(SketchError::InvalidParams {
+                reason: "degenerate construction: need (n - sqrt(B))^2 >= 2B",
+            });
+        }
+        Ok(Self {
+            n,
+            b,
+            sqrt_b,
+            m,
+            set_size,
+            t: 10 * set_size,
+        })
+    }
+
+    /// The relation size n.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The sanity bound B.
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+
+    /// `m = n − √B`, the payload tuples per relation.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// The payload type universe size `t = 10·m²/B`.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// D2 set size `q = m²/B` — also the theorem's signature-size lower
+    /// bound in bits (up to constants).
+    pub fn set_size(&self) -> u64 {
+        self.set_size
+    }
+
+    /// A D1 relation: `m` tuples of payload type `type_id` plus `√B`
+    /// padding tuples of type 0.
+    ///
+    /// # Panics
+    /// Panics if `type_id` is outside `1..=t`.
+    pub fn d1_relation(&self, type_id: u64) -> Vec<u64> {
+        assert!(
+            (1..=self.t).contains(&type_id),
+            "type {type_id} outside 1..={}",
+            self.t
+        );
+        let mut rel = Vec::with_capacity((self.m + self.sqrt_b) as usize);
+        rel.extend(std::iter::repeat_n(type_id, self.m as usize));
+        rel.extend(std::iter::repeat_n(0u64, self.sqrt_b as usize));
+        rel
+    }
+
+    /// Draws one random D2 type set (a `q`-subset of `1..=t`).
+    pub fn random_set(&self, rng: &mut SplitMix64) -> Vec<u64> {
+        // Floyd's algorithm for a uniform q-subset of {1..t}.
+        let q = self.set_size;
+        let t = self.t;
+        let mut chosen: Vec<u64> = Vec::with_capacity(q as usize);
+        for j in (t - q + 1)..=t {
+            let r = 1 + rng.next_below(j);
+            if chosen.contains(&r) {
+                chosen.push(j);
+            } else {
+                chosen.push(r);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Builds a family of `count` D2 sets with pairwise intersections at
+    /// most `t/20` (the property the probabilistic argument guarantees),
+    /// by rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if the rejection loop fails 1000× in a row, which for the
+    /// theorem's parameters has vanishing probability.
+    pub fn set_family(&self, count: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = SplitMix64::new(seed);
+        let cap = (self.t / 20).max(1);
+        let mut family: Vec<Vec<u64>> = Vec::with_capacity(count);
+        let mut rejections = 0;
+        while family.len() < count {
+            let candidate = self.random_set(&mut rng);
+            let ok = family.iter().all(|s| {
+                let inter = intersection_size(s, &candidate);
+                inter <= cap
+            });
+            if ok {
+                family.push(candidate);
+                rejections = 0;
+            } else {
+                rejections += 1;
+                assert!(rejections < 1_000, "set family construction stalled");
+            }
+        }
+        family
+    }
+
+    /// A D2 relation for type set `set`: `B/m` tuples of each type in the
+    /// set plus `√B` padding tuples of type 0.
+    pub fn d2_relation(&self, set: &[u64]) -> Vec<u64> {
+        let per_type = (self.b / self.m).max(1);
+        let mut rel = Vec::with_capacity((per_type * set.len() as u64 + self.sqrt_b) as usize);
+        for &ty in set {
+            debug_assert!((1..=self.t).contains(&ty));
+            rel.extend(std::iter::repeat_n(ty, per_type as usize));
+        }
+        rel.extend(std::iter::repeat_n(0u64, self.sqrt_b as usize));
+        rel
+    }
+
+    /// The nominal join size of `d1_relation(i) ⋈ d2_relation(set)`:
+    /// `√B² (+ m·(B/m) when i ∈ set)` — i.e. ≈ B or ≈ 2B. (Exact values
+    /// differ slightly from B by integer rounding; experiments compare
+    /// against exact joins computed from the materialized relations.)
+    pub fn nominal_join(&self, type_id: u64, set: &[u64]) -> u64 {
+        let base = self.sqrt_b * self.sqrt_b;
+        if set.contains(&type_id) {
+            base + self.m * (self.b / self.m).max(1)
+        } else {
+            base
+        }
+    }
+}
+
+fn intersection_size(a: &[u64], b: &[u64]) -> u64 {
+    // Both sorted.
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_stream::Multiset;
+
+    #[test]
+    fn lemma23_relations_have_stated_self_joins() {
+        let r1 = Multiset::from_values(lemma23_distinct(1_000));
+        assert_eq!(r1.self_join_size(), 1_000);
+        let r2 = Multiset::from_values(lemma23_pairs(1_000));
+        assert_eq!(r2.self_join_size(), 2_000);
+        assert_eq!(r2.distinct(), 500);
+    }
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(Theorem43Construction::new(1_000, 500).is_err()); // B < n
+        assert!(Theorem43Construction::new(1_000, 600_000).is_err()); // B > n²/2
+        assert!(Theorem43Construction::new(1_000, 2_000).is_ok());
+    }
+
+    #[test]
+    fn relation_sizes_are_approximately_n() {
+        let c = Theorem43Construction::new(1_000, 2_000).unwrap();
+        let d1 = c.d1_relation(1);
+        // |d1| = m + √B = (n − √B) + √B = n.
+        assert_eq!(d1.len() as u64, c.n());
+        let mut rng = SplitMix64::new(7);
+        let set = c.random_set(&mut rng);
+        let d2 = c.d2_relation(&set);
+        // |d2| = q·(B/m) + √B ≈ n (integer rounding slack).
+        let expected = c.set_size() * (c.b() / c.m()).max(1) + (d1.len() as u64 - c.m());
+        assert_eq!(d2.len() as u64, expected);
+        let slack = (d2.len() as f64 - c.n() as f64).abs() / c.n() as f64;
+        assert!(slack < 0.15, "relation size {} vs n {}", d2.len(), c.n());
+    }
+
+    #[test]
+    fn joins_are_b_or_2b() {
+        let c = Theorem43Construction::new(1_000, 2_000).unwrap();
+        let mut rng = SplitMix64::new(3);
+        let set = c.random_set(&mut rng);
+        let in_type = set[0];
+        let out_type = (1..=c.t())
+            .find(|ty| !set.contains(ty))
+            .expect("universe is 10x the set size");
+        let d2 = Multiset::from_values(c.d2_relation(&set));
+        let join_in = Multiset::from_values(c.d1_relation(in_type)).join_size(&d2) as u64;
+        let join_out = Multiset::from_values(c.d1_relation(out_type)).join_size(&d2) as u64;
+        assert_eq!(join_in, c.nominal_join(in_type, &set));
+        assert_eq!(join_out, c.nominal_join(out_type, &set));
+        // Disjoint case ≈ B, overlapping ≈ 2B.
+        let ratio = join_in as f64 / join_out as f64;
+        assert!((1.7..2.4).contains(&ratio), "ratio = {ratio}");
+        assert!(join_out as f64 >= 0.8 * c.b() as f64);
+    }
+
+    #[test]
+    fn set_family_respects_intersection_cap() {
+        let c = Theorem43Construction::new(2_000, 8_000).unwrap();
+        let family = c.set_family(12, 99);
+        assert_eq!(family.len(), 12);
+        let cap = (c.t() / 20).max(1);
+        for (i, a) in family.iter().enumerate() {
+            assert_eq!(a.len() as u64, c.set_size());
+            for b in family.iter().skip(i + 1) {
+                assert!(intersection_size(a, b) <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn random_sets_are_uniform_subsets() {
+        let c = Theorem43Construction::new(1_000, 2_000).unwrap();
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..50 {
+            let s = c.random_set(&mut rng);
+            assert_eq!(s.len() as u64, c.set_size());
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+            assert!(s.iter().all(|&ty| (1..=c.t()).contains(&ty)));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Sketch sizing: the (s1, s2) accuracy/confidence parameters.
+//!
+//! Both sample-count and tug-of-war take two parameters (§2): `s1`
+//! atomic estimators are averaged within each of `s2` groups, and the
+//! estimate is the median of the group averages. `s1` controls accuracy
+//! (relative error scales as `1/√s1`), `s2` controls confidence (failure
+//! probability `2^(−s2/2)`), and the total space is `s = s1·s2` memory
+//! words.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SketchError;
+
+/// Accuracy/confidence parameters for a median-of-means sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SketchParams {
+    s1: usize,
+    s2: usize,
+}
+
+impl SketchParams {
+    /// Creates parameters with `s1` estimators per group and `s2` groups.
+    ///
+    /// # Errors
+    /// [`SketchError::InvalidParams`] if either parameter is zero or the
+    /// product overflows `u32::MAX` (an absurd sketch size that would
+    /// only arise from a bug).
+    pub fn new(s1: usize, s2: usize) -> Result<Self, SketchError> {
+        if s1 == 0 || s2 == 0 {
+            return Err(SketchError::InvalidParams {
+                reason: "s1 and s2 must be positive",
+            });
+        }
+        match s1.checked_mul(s2) {
+            Some(total) if total <= u32::MAX as usize => Ok(Self { s1, s2 }),
+            _ => Err(SketchError::InvalidParams {
+                reason: "s1 * s2 exceeds the supported sketch size",
+            }),
+        }
+    }
+
+    /// A single group of `s` estimators (plain averaging, no median) —
+    /// the configuration the paper's figures sweep, where the x-axis is
+    /// the total number of sample points / sketch counters.
+    pub fn single_group(s: usize) -> Result<Self, SketchError> {
+        Self::new(s, 1)
+    }
+
+    /// Derives parameters from an accuracy/confidence target using the
+    /// paper's tug-of-war guarantee (Theorem 2.2):
+    /// `Prob(relative error ≤ 4/√s1) ≥ 1 − 2^(−s2/2)`.
+    ///
+    /// # Errors
+    /// [`SketchError::InvalidParams`] unless `0 < epsilon` and
+    /// `0 < delta < 1`.
+    pub fn for_guarantee(epsilon: f64, delta: f64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(SketchError::InvalidParams {
+                reason: "epsilon must be positive",
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidParams {
+                reason: "delta must be in (0, 1)",
+            });
+        }
+        // 4/√s1 ≤ ε  ⇒  s1 ≥ (4/ε)²;  2^(−s2/2) ≤ δ  ⇒  s2 ≥ 2·log2(1/δ).
+        let s1 = ((4.0 / epsilon).powi(2)).ceil() as usize;
+        let s2 = (2.0 * (1.0 / delta).log2()).ceil().max(1.0) as usize;
+        Self::new(s1.max(1), s2)
+    }
+
+    /// Estimators per group.
+    #[inline]
+    pub fn s1(&self) -> usize {
+        self.s1
+    }
+
+    /// Number of groups (medianed).
+    #[inline]
+    pub fn s2(&self) -> usize {
+        self.s2
+    }
+
+    /// Total number of atomic estimators `s = s1·s2`.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.s1 * self.s2
+    }
+
+    /// The group index of atomic estimator `i ∈ [0, total)`.
+    #[inline]
+    pub fn group_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.total());
+        i / self.s1
+    }
+
+    /// The guaranteed relative error `4/√s1` of Theorem 2.2 (tug-of-war;
+    /// sample-count's bound carries an extra `t^(1/4)` factor).
+    pub fn error_bound(&self) -> f64 {
+        4.0 / (self.s1 as f64).sqrt()
+    }
+
+    /// The guaranteed failure probability `2^(−s2/2)`.
+    pub fn failure_probability(&self) -> f64 {
+        2f64.powf(-(self.s2 as f64) / 2.0)
+    }
+}
+
+impl Default for SketchParams {
+    /// A mid-sized default: s1 = 64, s2 = 5 (≈ 320 words, error bound
+    /// 50 %, failure probability ≈ 18 % — in practice far better; see the
+    /// experiments).
+    fn default() -> Self {
+        Self { s1: 64, s2: 5 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_accepted() {
+        let p = SketchParams::new(16, 4).unwrap();
+        assert_eq!(p.s1(), 16);
+        assert_eq!(p.s2(), 4);
+        assert_eq!(p.total(), 64);
+    }
+
+    #[test]
+    fn zero_params_rejected() {
+        assert!(SketchParams::new(0, 4).is_err());
+        assert!(SketchParams::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn group_assignment_is_contiguous() {
+        let p = SketchParams::new(3, 4).unwrap();
+        let groups: Vec<usize> = (0..12).map(|i| p.group_of(i)).collect();
+        assert_eq!(groups, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn guarantee_derivation() {
+        let p = SketchParams::for_guarantee(0.5, 0.25).unwrap();
+        // s1 ≥ 64, s2 ≥ 4.
+        assert!(p.s1() >= 64);
+        assert!(p.s2() >= 4);
+        assert!(p.error_bound() <= 0.5 + 1e-12);
+        assert!(p.failure_probability() <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn bad_guarantee_inputs_rejected() {
+        assert!(SketchParams::for_guarantee(0.0, 0.1).is_err());
+        assert!(SketchParams::for_guarantee(0.1, 0.0).is_err());
+        assert!(SketchParams::for_guarantee(0.1, 1.0).is_err());
+        assert!(SketchParams::for_guarantee(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn single_group_has_one_group() {
+        let p = SketchParams::single_group(128).unwrap();
+        assert_eq!(p.s1(), 128);
+        assert_eq!(p.s2(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = SketchParams::new(8, 3).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<SketchParams>(&json).unwrap(), p);
+    }
+}

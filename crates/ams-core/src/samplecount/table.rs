@@ -1,0 +1,616 @@
+//! The shared sampling engine behind both sample-count variants.
+//!
+//! This is the data-structure core of the paper's Figure 1: `s` independent
+//! size-1 reservoirs over the insert stream, with
+//!
+//! * **reservoir skipping** — each reservoir pre-computes the next position
+//!   that will replace its point (`P(next > x) = m/x`), so all `s`
+//!   reservoirs together cost O(1) amortized per insert;
+//! * **deferred r-counters** — per sampled value `v`, one running count
+//!   `N_v` plus a per-point entry snapshot `EntryNv[i]`, so an insert of a
+//!   value sampled `k` times costs O(1) instead of O(k);
+//! * **recency lists** — per value, a doubly-linked list of sample points
+//!   ordered most-recent-entry first, so a `delete(v)` (which must reverse
+//!   the *most recent* undeleted insert of `v`) can evict exactly the
+//!   affected points from the head, and reservoir replacement can unlink a
+//!   point from anywhere.
+//!
+//! The engine reports what happened through an [`AggHook`], which lets the
+//! fast-query variant ([`crate::samplecount::SampleCountFastQuery`])
+//! maintain its per-group aggregates without duplicating any of this
+//! logic; the base variant plugs in the no-op hook.
+
+use ams_hash::rng::SplitMix64;
+use ams_hash::FxHashMap;
+use ams_stream::Value;
+
+use crate::params::SketchParams;
+
+/// Sentinel for "no neighbour" in the intrusive linked lists.
+const NIL: u32 = u32::MAX;
+
+/// Observer for sample-membership changes; the mechanism by which the
+/// fast-query variant maintains group aggregates incrementally.
+///
+/// Call-order contract per operation (all indices are sample ids, with
+/// `group = id / s1`):
+/// * `insert(v)`: `tracked_insert(v)` first if `v` was already tracked
+///   (every current point with value `v` gains `r += 1`); then for each
+///   reservoir firing at this position: `leave(...)` for the evicted
+///   point (with its final `r`, including this insert when applicable),
+///   `drop_value(u)` if the eviction ended value `u`'s tracking, then
+///   `enter(...)` for the new point (entering with `r = 1`).
+/// * `delete(v)`: `leave(...)` for each point evicted from the head of
+///   `v`'s recency list (each with `r = 1`); then either `drop_value(v)`
+///   (tracking ended) or `tracked_delete(v)` (every remaining point with
+///   value `v` loses `r -= 1`).
+pub(crate) trait AggHook {
+    /// Every in-sample point with value `v` gains one occurrence.
+    fn tracked_insert(&mut self, v: Value);
+    /// A point entered group `group` with value `v` (initial `r = 1`).
+    fn enter(&mut self, group: usize, v: Value);
+    /// A point left group `group`; its value was `v`, its final count `r`.
+    fn leave(&mut self, group: usize, v: Value, r: u64);
+    /// Tracking for `v` ended (no points with value `v` remain).
+    fn drop_value(&mut self, v: Value);
+    /// Every in-sample point with value `v` loses one occurrence.
+    fn tracked_delete(&mut self, v: Value);
+}
+
+/// The no-op hook used by the base (fast-update) variant.
+pub(crate) struct NoAgg;
+
+impl AggHook for NoAgg {
+    #[inline]
+    fn tracked_insert(&mut self, _v: Value) {}
+    #[inline]
+    fn enter(&mut self, _group: usize, _v: Value) {}
+    #[inline]
+    fn leave(&mut self, _group: usize, _v: Value, _r: u64) {}
+    #[inline]
+    fn drop_value(&mut self, _v: Value) {}
+    #[inline]
+    fn tracked_delete(&mut self, _v: Value) {}
+}
+
+/// The s-reservoir sampling engine (Figure 1 state).
+#[derive(Debug, Clone)]
+pub(crate) struct SampleTable {
+    params: SketchParams,
+    rng: SplitMix64,
+    /// Count of insert operations processed; positions are 1-based.
+    inserts_seen: u64,
+    /// Current multiset size n (inserts − deletes).
+    n: u64,
+    /// Next selected position per point (`Pos[i]` of Fig. 1).
+    pos: Vec<u64>,
+    /// Sampled value per point (`Val[i]`), meaningful while `in_sample`.
+    val: Vec<Value>,
+    /// `EntryNv[i]`: the value of `N_v` just before point i entered.
+    entry: Vec<u64>,
+    /// Whether point i currently holds a live sample.
+    in_sample: Vec<bool>,
+    /// Recency-list links (`S_v` as next/prev arrays).
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// Head (most recent entrant) of each value's recency list.
+    head: FxHashMap<Value, u32>,
+    /// Running occurrence counts `N_v`, kept only for sampled values.
+    nv: FxHashMap<Value, u64>,
+    /// Future position → sample points waiting on it (`P_m` of Fig. 1).
+    pending: FxHashMap<u64, Vec<u32>>,
+}
+
+impl SampleTable {
+    pub(crate) fn new(params: SketchParams, seed: u64) -> Self {
+        let s = params.total();
+        let mut pending = FxHashMap::default();
+        // Every size-1 reservoir accepts the first insert: all points wait
+        // on position 1, then skip independently.
+        pending.insert(1u64, (0..s as u32).collect::<Vec<_>>());
+        Self {
+            params,
+            rng: SplitMix64::new(seed),
+            inserts_seen: 0,
+            n: 0,
+            pos: vec![1; s],
+            val: vec![0; s],
+            entry: vec![0; s],
+            in_sample: vec![false; s],
+            next: vec![NIL; s],
+            prev: vec![NIL; s],
+            head: FxHashMap::default(),
+            nv: FxHashMap::default(),
+            pending: FxHashMap::default(),
+        }
+        .with_initial_pending(pending)
+    }
+
+    fn with_initial_pending(mut self, pending: FxHashMap<u64, Vec<u32>>) -> Self {
+        self.pending = pending;
+        self
+    }
+
+    pub(crate) fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Current multiset size n.
+    pub(crate) fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of insert operations processed.
+    pub(crate) fn inserts_seen(&self) -> u64 {
+        self.inserts_seen
+    }
+
+    /// Number of points currently holding a live sample.
+    pub(crate) fn live_points(&self) -> usize {
+        self.in_sample.iter().filter(|&&b| b).count()
+    }
+
+    /// The r-counter of point `i` (occurrences of its value at positions
+    /// ≥ its sampled position): `N_v − EntryNv[i]`. `None` if not in
+    /// sample.
+    pub(crate) fn r_of(&self, i: usize) -> Option<u64> {
+        if !self.in_sample[i] {
+            return None;
+        }
+        let nv = *self.nv.get(&self.val[i]).expect("in-sample value tracked");
+        debug_assert!(nv > self.entry[i], "r-counter must be >= 1");
+        Some(nv - self.entry[i])
+    }
+
+    /// The sampled value of point `i`, if live.
+    #[cfg(test)]
+    pub(crate) fn value_of(&self, i: usize) -> Option<Value> {
+        self.in_sample[i].then(|| self.val[i])
+    }
+
+    /// Words of storage in use: the five per-point arrays plus the three
+    /// Θ(s)-bounded lookup tables.
+    pub(crate) fn memory_words(&self) -> usize {
+        let s = self.params.total();
+        5 * s // pos, val, entry, next, prev (in_sample is bit-packed noise)
+            + 3 * self.nv.len()      // nv + head entries (key + count / key + id)
+            + self.pending.len()
+            + self.pending.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Draws the next accepting position after `m`:
+    /// `P(next > x) = m/x` for `x ≥ m` (size-1 reservoir skipping).
+    fn skip_from(&mut self, m: u64) -> u64 {
+        let u = self.rng.next_f64();
+        let denom = 1.0 - u; // uniform in (0, 1]
+        let next = (m as f64 / denom).ceil() as u64;
+        next.max(m + 1)
+    }
+
+    /// Unlinks point `i` from its value's recency list. Returns `true` if
+    /// the list became empty (tracking for the value should end).
+    fn unlink(&mut self, i: u32) -> bool {
+        let v = self.val[i as usize];
+        let (p, nx) = (self.prev[i as usize], self.next[i as usize]);
+        if p != NIL {
+            self.next[p as usize] = nx;
+        }
+        if nx != NIL {
+            self.prev[nx as usize] = p;
+        }
+        let mut emptied = false;
+        if p == NIL {
+            // i was the head.
+            if nx == NIL {
+                self.head.remove(&v);
+                emptied = true;
+            } else {
+                self.head.insert(v, nx);
+            }
+        }
+        self.prev[i as usize] = NIL;
+        self.next[i as usize] = NIL;
+        self.in_sample[i as usize] = false;
+        emptied
+    }
+
+    /// Links point `i` at the head of `v`'s recency list.
+    fn link_front(&mut self, i: u32, v: Value) {
+        let old = self.head.insert(v, i);
+        self.prev[i as usize] = NIL;
+        self.next[i as usize] = old.unwrap_or(NIL);
+        if let Some(old) = old {
+            self.prev[old as usize] = i;
+        }
+        self.in_sample[i as usize] = true;
+    }
+
+    /// Processes `insert(v)` (Fig. 1 steps 7–19).
+    pub(crate) fn insert<A: AggHook>(&mut self, v: Value, agg: &mut A) {
+        self.inserts_seen += 1;
+        self.n += 1;
+        let m = self.inserts_seen;
+
+        // Count this occurrence if v is being tracked (step 19).
+        if let Some(count) = self.nv.get_mut(&v) {
+            *count += 1;
+            agg.tracked_insert(v);
+        }
+
+        // Reservoir replacements scheduled for this position (steps 10–17).
+        if let Some(waiters) = self.pending.remove(&m) {
+            for i in waiters {
+                // Discard the point's previous sample, if any (steps 13–15).
+                if self.in_sample[i as usize] {
+                    let old_v = self.val[i as usize];
+                    let old_nv = *self.nv.get(&old_v).expect("tracked");
+                    let r = old_nv - self.entry[i as usize];
+                    let emptied = self.unlink(i);
+                    agg.leave(self.params.group_of(i as usize), old_v, r);
+                    if emptied {
+                        self.nv.remove(&old_v);
+                        agg.drop_value(old_v);
+                    }
+                }
+                // Adopt the current insert as the new sample (step 17).
+                // If v is untracked (first sampled occurrence, or tracking
+                // just ended via the discard above), begin at 1 = this
+                // occurrence; EntryNv excludes it so r starts at 1.
+                let count = *self.nv.entry(v).or_insert(1);
+                self.entry[i as usize] = count - 1;
+                self.val[i as usize] = v;
+                self.link_front(i, v);
+                agg.enter(self.params.group_of(i as usize), v);
+                // Pre-draw the next replacement position (steps 11–12).
+                let next_pos = self.skip_from(m);
+                self.pos[i as usize] = next_pos;
+                self.pending.entry(next_pos).or_default().push(i);
+            }
+        }
+    }
+
+    /// Processes `delete(v)` (Fig. 1 steps 20–26): reverses the most
+    /// recent undeleted `insert(v)`.
+    pub(crate) fn delete<A: AggHook>(&mut self, v: Value, agg: &mut A) {
+        debug_assert!(self.n > 0, "delete from an empty multiset");
+        self.n = self.n.saturating_sub(1);
+
+        let Some(&count) = self.nv.get(&v) else {
+            return; // v not sampled: nothing else to maintain.
+        };
+        // Points whose sampled insert is the one being reversed entered
+        // with EntryNv = count − 1; they sit at the head of the recency
+        // list (later entrants have strictly larger EntryNv).
+        let target = count - 1;
+        while let Some(&h) = self.head.get(&v) {
+            if self.entry[h as usize] != target {
+                break;
+            }
+            let emptied = self.unlink(h);
+            // Their r is exactly 1: only the reversed occurrence.
+            agg.leave(self.params.group_of(h as usize), v, 1);
+            if emptied {
+                break;
+            }
+        }
+        if self.head.contains_key(&v) {
+            let c = self.nv.get_mut(&v).expect("still tracked");
+            *c = target;
+            debug_assert!(*c > 0, "live points imply positive N_v");
+            agg.tracked_delete(v);
+        } else {
+            self.nv.remove(&v);
+            agg.drop_value(v);
+        }
+    }
+
+    /// Iterates `(point id, value, r)` for every live sample point.
+    pub(crate) fn live_samples(&self) -> impl Iterator<Item = (usize, Value, u64)> + '_ {
+        (0..self.params.total()).filter_map(move |i| {
+            self.r_of(i).map(|r| (i, self.val[i], r))
+        })
+    }
+
+    /// Exhaustive internal-consistency check, used by tests after every
+    /// operation on randomized streams.
+    #[cfg(test)]
+    pub(crate) fn validate(&self) {
+        use std::collections::HashSet;
+        let s = self.params.total();
+        // 1. nv keys are exactly the values of live points; every live
+        //    point's r >= 1.
+        let mut live_values: HashSet<Value> = HashSet::new();
+        for i in 0..s {
+            if self.in_sample[i] {
+                live_values.insert(self.val[i]);
+                let nv = *self.nv.get(&self.val[i]).expect("live value tracked");
+                assert!(nv > self.entry[i], "point {i}: r must be >= 1");
+            }
+        }
+        let tracked: HashSet<Value> = self.nv.keys().copied().collect();
+        assert_eq!(live_values, tracked, "tracked set == live value set");
+        // 2. Recency lists partition the live points; EntryNv is
+        //    non-increasing from head to tail.
+        let mut seen: HashSet<u32> = HashSet::new();
+        for (&v, &h) in &self.head {
+            let mut cur = h;
+            let mut last_entry = u64::MAX;
+            assert_eq!(self.prev[cur as usize], NIL, "head has no prev");
+            while cur != NIL {
+                assert!(self.in_sample[cur as usize], "listed point live");
+                assert_eq!(self.val[cur as usize], v, "list is per-value");
+                assert!(seen.insert(cur), "point in one list only");
+                assert!(
+                    self.entry[cur as usize] <= last_entry,
+                    "recency order by EntryNv"
+                );
+                last_entry = self.entry[cur as usize];
+                let nx = self.next[cur as usize];
+                if nx != NIL {
+                    assert_eq!(self.prev[nx as usize], cur, "prev/next mirror");
+                }
+                cur = nx;
+            }
+        }
+        assert_eq!(seen.len(), self.live_points(), "lists cover live points");
+        // 3. Every point has exactly one pending future position, strictly
+        //    ahead of the stream (or the initial position 1).
+        let mut pending_points: HashSet<u32> = HashSet::new();
+        for (&pos, ids) in &self.pending {
+            assert!(
+                pos > self.inserts_seen,
+                "pending position {pos} already passed ({} inserts seen)",
+                self.inserts_seen
+            );
+            for &i in ids {
+                assert!(pending_points.insert(i), "point pending once");
+                assert_eq!(self.pos[i as usize], pos, "pos[] mirrors pending");
+            }
+        }
+        assert_eq!(pending_points.len(), s, "every point has a future position");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_hash::FxHashMap;
+
+    fn table(s1: usize, s2: usize, seed: u64) -> SampleTable {
+        SampleTable::new(SketchParams::new(s1, s2).unwrap(), seed)
+    }
+
+    #[test]
+    fn first_insert_fills_every_reservoir() {
+        let mut t = table(4, 2, 1);
+        t.insert(99, &mut NoAgg);
+        assert_eq!(t.live_points(), 8);
+        for i in 0..8 {
+            assert_eq!(t.value_of(i), Some(99));
+            assert_eq!(t.r_of(i), Some(1));
+        }
+        t.validate();
+    }
+
+    #[test]
+    fn r_counters_count_occurrences_after_position() {
+        let mut t = table(2, 1, 3);
+        t.insert(5, &mut NoAgg); // both points sample position 1 (value 5)
+        t.insert(5, &mut NoAgg);
+        t.insert(5, &mut NoAgg);
+        t.validate();
+        // Any point still holding position 1 must have r = 3; a point that
+        // moved to a later position has r < 3 but >= 1.
+        for (_, v, r) in t.live_samples() {
+            assert_eq!(v, 5);
+            assert!((1..=3).contains(&r));
+        }
+        assert_eq!(t.n(), 3);
+    }
+
+    #[test]
+    fn sampled_positions_are_uniform() {
+        // One reservoir, stream of n distinct values 1..=n: the surviving
+        // value identifies the sampled position. Over many seeds the
+        // distribution must be uniform.
+        let n = 8u64;
+        let trials = 16_000;
+        let mut counts = vec![0u32; n as usize];
+        for seed in 0..trials {
+            let mut t = table(1, 1, seed);
+            for v in 1..=n {
+                t.insert(v, &mut NoAgg);
+            }
+            let v = t.value_of(0).expect("one live point");
+            counts[(v - 1) as usize] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "position {i}: {c} vs {expect} ({counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_reverses_most_recent_insert() {
+        let mut t = table(4, 1, 7);
+        t.insert(1, &mut NoAgg); // all points at position 1, value 1
+        t.insert(1, &mut NoAgg);
+        t.validate();
+        let before: Vec<_> = t.live_samples().collect();
+        t.delete(1, &mut NoAgg);
+        t.validate();
+        // Reversing the second insert: any point sampling position 2 is
+        // evicted; points on position 1 lose one from r.
+        for (i, v, r) in t.live_samples() {
+            assert_eq!(v, 1);
+            assert_eq!(r, 1, "point {i} should have r=1 after reversal");
+        }
+        assert!(t.live_points() <= before.len());
+        assert_eq!(t.n(), 1);
+    }
+
+    #[test]
+    fn delete_of_unsampled_value_only_adjusts_n() {
+        let mut t = table(2, 1, 9);
+        t.insert(1, &mut NoAgg);
+        // Value 2 was never sampled (not inserted at a reservoir position
+        // for these points... insert it then delete a different value).
+        t.insert(1, &mut NoAgg);
+        let live_before = t.live_points();
+        // Craft: delete value 42 that is absent from the sample. The
+        // multiset doesn't contain it either; the table trusts the caller
+        // per the stream contract, so only n changes.
+        t.insert(42, &mut NoAgg);
+        t.delete(42, &mut NoAgg);
+        t.validate();
+        assert_eq!(t.n(), 2);
+        let _ = live_before;
+    }
+
+    #[test]
+    fn eviction_ends_tracking_when_last_point_leaves() {
+        let mut t = table(1, 1, 11);
+        // Single reservoir: insert a run long enough that the point is
+        // guaranteed to have been replaced at least once (positions 1..64).
+        for v in 1..=64u64 {
+            t.insert(v, &mut NoAgg);
+            t.validate();
+        }
+        // Exactly one value tracked (the current sample's value).
+        assert_eq!(t.live_points(), 1);
+        assert_eq!(t.nv.len(), 1);
+    }
+
+    #[test]
+    fn agg_hook_receives_consistent_events() {
+        // A recording hook that mirrors the table state; cross-check at
+        // the end.
+        #[derive(Default)]
+        struct Mirror {
+            counts: FxHashMap<Value, i64>, // live points per value
+            total_r: i64,
+        }
+        impl AggHook for Mirror {
+            fn tracked_insert(&mut self, v: Value) {
+                self.total_r += self.counts.get(&v).copied().unwrap_or(0);
+            }
+            fn enter(&mut self, _g: usize, v: Value) {
+                *self.counts.entry(v).or_insert(0) += 1;
+                self.total_r += 1;
+            }
+            fn leave(&mut self, _g: usize, v: Value, r: u64) {
+                *self.counts.get_mut(&v).expect("tracked") -= 1;
+                self.total_r -= r as i64;
+            }
+            fn drop_value(&mut self, v: Value) {
+                let c = self.counts.remove(&v).unwrap_or(0);
+                assert_eq!(c, 0, "drop only after all points left");
+            }
+            fn tracked_delete(&mut self, v: Value) {
+                self.total_r -= self.counts.get(&v).copied().unwrap_or(0);
+            }
+        }
+
+        let mut t = table(8, 2, 13);
+        let mut mirror = Mirror::default();
+        let mut rng = SplitMix64::new(5);
+        let mut live_stream: Vec<Value> = Vec::new();
+        for step in 0..2_000 {
+            if !live_stream.is_empty() && rng.next_f64() < 0.18 {
+                let idx = rng.next_below(live_stream.len() as u64) as usize;
+                let v = live_stream[idx];
+                // Delete semantics reverse the most recent insert of v, so
+                // remove that occurrence from our shadow stream.
+                let last = live_stream.iter().rposition(|&x| x == v).expect("present");
+                live_stream.remove(last);
+                t.delete(v, &mut mirror);
+            } else {
+                let v = rng.next_below(50);
+                live_stream.push(v);
+                t.insert(v, &mut mirror);
+            }
+            if step % 97 == 0 {
+                t.validate();
+            }
+        }
+        t.validate();
+        // Mirror agrees with the table.
+        let table_r: i64 = t.live_samples().map(|(_, _, r)| r as i64).sum();
+        assert_eq!(mirror.total_r, table_r);
+        let live_by_value: FxHashMap<Value, i64> = {
+            let mut m = FxHashMap::default();
+            for (_, v, _) in t.live_samples() {
+                *m.entry(v).or_insert(0) += 1;
+            }
+            m
+        };
+        let mirror_nonzero: FxHashMap<Value, i64> = mirror
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        assert_eq!(mirror_nonzero, live_by_value);
+    }
+
+    #[test]
+    fn stress_long_churn_stream_keeps_all_invariants() {
+        // A longer adversarial mix: heavy duplicates, bursts of deletes
+        // of the hottest value, and full validation sweeps.
+        let mut t = table(16, 4, 0xBEEF);
+        let mut rng = SplitMix64::new(0x5EED);
+        let mut live: Vec<Value> = Vec::new();
+        for step in 0..10_000 {
+            let burst = step % 1_000 == 999;
+            if burst {
+                // Delete a run of the most recent value while staying
+                // within the well-formedness contract.
+                for _ in 0..8 {
+                    if let Some(&v) = live.last() {
+                        let idx = live.iter().rposition(|&x| x == v).expect("present");
+                        live.remove(idx);
+                        t.delete(v, &mut NoAgg);
+                    }
+                }
+            } else if !live.is_empty() && rng.next_f64() < 0.15 {
+                let idx = rng.next_below(live.len() as u64) as usize;
+                let v = live[idx];
+                let last = live.iter().rposition(|&x| x == v).expect("present");
+                live.remove(last);
+                t.delete(v, &mut NoAgg);
+            } else {
+                // Skewed values: frequent collisions.
+                let v = if rng.next_f64() < 0.5 {
+                    rng.next_below(4)
+                } else {
+                    rng.next_below(5_000)
+                };
+                live.push(v);
+                t.insert(v, &mut NoAgg);
+            }
+            if step % 500 == 0 {
+                t.validate();
+            }
+        }
+        t.validate();
+        assert_eq!(t.n() as usize, live.len());
+    }
+
+    #[test]
+    fn memory_stays_linear_in_s() {
+        let mut t = table(32, 4, 17);
+        let s = 128;
+        for v in 0..50_000u64 {
+            t.insert(v % 1_000, &mut NoAgg);
+        }
+        // Generous constant: 5 arrays + tables must stay O(s).
+        assert!(
+            t.memory_words() < 16 * s,
+            "memory {} words for s = {s}",
+            t.memory_words()
+        );
+    }
+}

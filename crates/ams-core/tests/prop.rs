@@ -1,0 +1,156 @@
+//! Property-based tests for the sketching algorithms.
+
+use ams_core::{
+    JoinSignatureFamily, NaiveSampling, SampleCount, SampleCountFastQuery, SelfJoinEstimator,
+    SketchParams, TugOfWarSketch,
+};
+use ams_stream::{Multiset, Op};
+use proptest::prelude::*;
+
+/// Well-formed op sequences (every delete matches a live insert).
+fn wellformed_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u64..30, any::<bool>()), 1..max_len).prop_map(|raw| {
+        let mut live = std::collections::HashMap::<u64, u64>::new();
+        let mut ops = Vec::with_capacity(raw.len());
+        for (v, want_delete) in raw {
+            let count = live.entry(v).or_insert(0);
+            if want_delete && *count > 0 {
+                *count -= 1;
+                ops.push(Op::Delete(v));
+            } else {
+                *count += 1;
+                ops.push(Op::Insert(v));
+            }
+        }
+        ops
+    })
+}
+
+proptest! {
+    /// Tug-of-war is a linear sketch: processing Â equals processing the
+    /// canonical insert-only sequence A, counter for counter.
+    #[test]
+    fn tugofwar_canonicalization_invariance(ops in wellformed_ops(200), seed in any::<u64>()) {
+        let params = SketchParams::new(8, 2).unwrap();
+        let mut mixed: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+        mixed.extend_ops(ops.iter().copied());
+        let canon = ams_stream::canonicalize(&ops).expect("wellformed");
+        let mut clean: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+        clean.extend_values(canon);
+        prop_assert_eq!(mixed.counters(), clean.counters());
+    }
+
+    /// A tug-of-war estimate is always non-negative, and exactly zero for
+    /// a fully-cancelled stream.
+    #[test]
+    fn tugofwar_estimate_nonnegative(ops in wellformed_ops(150), seed in any::<u64>()) {
+        let mut tw: TugOfWarSketch =
+            TugOfWarSketch::new(SketchParams::new(4, 3).unwrap(), seed);
+        tw.extend_ops(ops.iter().copied());
+        prop_assert!(tw.estimate() >= 0.0);
+    }
+
+    /// Merging partitioned streams equals sketching the concatenation.
+    #[test]
+    fn tugofwar_merge_partition_invariance(
+        values in proptest::collection::vec(0u64..100, 1..300),
+        split in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        let split = split.min(values.len());
+        let params = SketchParams::new(4, 2).unwrap();
+        let mut left: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+        left.extend_values(values[..split].iter().copied());
+        let mut right: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+        right.extend_values(values[split..].iter().copied());
+        let mut whole: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+        whole.extend_values(values.iter().copied());
+        left.merge_from(&right).unwrap();
+        prop_assert_eq!(left.counters(), whole.counters());
+    }
+
+    /// Sample-count never reports a negative length, keeps n in sync with
+    /// the exact multiset, and its estimate is finite.
+    #[test]
+    fn samplecount_tracks_n_and_stays_finite(ops in wellformed_ops(300), seed in any::<u64>()) {
+        let mut sc = SampleCount::new(SketchParams::new(8, 2).unwrap(), seed);
+        let mut truth = Multiset::new();
+        for &op in &ops {
+            sc.apply(op);
+            truth.apply(op);
+        }
+        prop_assert_eq!(sc.len(), truth.len());
+        prop_assert!(sc.estimate().is_finite());
+    }
+
+    /// The two sample-count variants agree estimate-for-estimate on any
+    /// stream when built from the same seed.
+    #[test]
+    fn samplecount_variants_agree(ops in wellformed_ops(250), seed in any::<u64>()) {
+        let params = SketchParams::new(8, 3).unwrap();
+        let mut base = SampleCount::new(params, seed);
+        let mut fast = SampleCountFastQuery::new(params, seed);
+        for &op in &ops {
+            base.apply(op);
+            fast.apply(op);
+        }
+        let (a, b) = (base.estimate(), fast.estimate());
+        let scale = a.abs().max(b.abs()).max(1.0);
+        prop_assert!((a - b).abs() / scale < 1e-9, "base {} vs fast {}", a, b);
+        prop_assert_eq!(base.live_points(), fast.live_points());
+    }
+
+    /// Naive sampling is exact whenever the stream fits in the reservoir.
+    #[test]
+    fn naivesampling_exact_within_capacity(
+        values in proptest::collection::vec(0u64..50, 2..64),
+        seed in any::<u64>(),
+    ) {
+        let mut ns = NaiveSampling::new(64, seed);
+        ns.extend_values(values.iter().copied());
+        let exact = Multiset::from_values(values.iter().copied()).self_join_size() as f64;
+        prop_assert!((ns.estimate() - exact).abs() < 1e-6);
+    }
+
+    /// Join signatures from one family estimate a relation's join with
+    /// itself identically to its self-join estimate.
+    #[test]
+    fn join_signature_self_consistency(
+        values in proptest::collection::vec(0u64..40, 1..200),
+        seed in any::<u64>(),
+        k in 1usize..32,
+    ) {
+        let fam = JoinSignatureFamily::new(k, seed).unwrap();
+        let mut sig = fam.signature();
+        for &v in &values {
+            sig.insert(v);
+        }
+        let self_est = sig.self_join_estimate();
+        let join_est = sig.estimate_join(&sig.clone()).unwrap();
+        prop_assert_eq!(self_est, join_est);
+        prop_assert!(self_est >= 0.0);
+    }
+
+    /// Signature linearity: inserting then deleting any suffix restores
+    /// the counters.
+    #[test]
+    fn join_signature_delete_rollback(
+        base in proptest::collection::vec(0u64..40, 0..100),
+        extra in proptest::collection::vec(0u64..40, 0..50),
+        seed in any::<u64>(),
+    ) {
+        let fam = JoinSignatureFamily::new(8, seed).unwrap();
+        let mut sig = fam.signature();
+        for &v in &base {
+            sig.insert(v);
+        }
+        let snapshot = sig.counters().to_vec();
+        for &v in &extra {
+            sig.insert(v);
+        }
+        for &v in extra.iter().rev() {
+            sig.delete(v);
+        }
+        prop_assert_eq!(sig.counters(), &snapshot[..]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Sampling from arbitrary discrete distributions via an inverse-CDF
+//! table.
+//!
+//! Several Table 1 generators (Zipfian, Zipf–Mandelbrot, Poisson) are
+//! defined by explicit weight vectors; this module turns any weight vector
+//! into a sampler with O(log t) draws (binary search over the cumulative
+//! table). For the domain sizes of the paper (t ≤ ~46 000) table
+//! construction is microseconds.
+
+use ams_hash::rng::Xoshiro256StarStar;
+
+/// A discrete distribution over values `0..t`, sampled by inverse CDF.
+#[derive(Debug, Clone)]
+pub struct DiscreteDistribution {
+    /// Cumulative probabilities; `cum[i]` = P(X ≤ i). The final entry is
+    /// forced to exactly 1.0.
+    cum: Vec<f64>,
+}
+
+impl DiscreteDistribution {
+    /// Builds from non-negative weights (not necessarily normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN weight, or
+    /// sums to zero.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weight vector must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cum.push(acc);
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cum.last_mut().expect("non-empty") = 1.0;
+        Self { cum }
+    }
+
+    /// Number of support points `t`.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// `true` when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// The probability mass of value `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cum[0]
+        } else {
+            self.cum[i] - self.cum[i - 1]
+        }
+    }
+
+    /// Draws one value in `[0, t)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        let u = rng.next_f64();
+        // First index whose cumulative mass exceeds u.
+        self.cum.partition_point(|&c| c <= u) as u64
+    }
+
+    /// Draws `n` values.
+    pub fn sample_n(&self, rng: &mut Xoshiro256StarStar, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The exact expected self-join size of `n` i.i.d. draws:
+    /// `E[SJ] = n + n(n−1)·Σ p_i²` (each ordered pair of distinct draws
+    /// collides with probability `Σ p_i²`, plus the n diagonal terms).
+    pub fn expected_self_join(&self, n: u64) -> f64 {
+        let p2: f64 = (0..self.len()).map(|i| self.pmf(i).powi(2)).sum();
+        n as f64 + (n as f64) * (n as f64 - 1.0) * p2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(7)
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let d = DiscreteDistribution::from_weights(&[1.0; 8]);
+        let mut r = rng();
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[d.sample(&mut r) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_matches_weights() {
+        let d = DiscreteDistribution::from_weights(&[1.0, 3.0, 6.0]);
+        assert!((d.pmf(0) - 0.1).abs() < 1e-12);
+        assert!((d.pmf(1) - 0.3).abs() < 1e-12);
+        assert!((d.pmf(2) - 0.6).abs() < 1e-12);
+        let total: f64 = (0..3).map(|i| d.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_distribution_always_returns_its_point() {
+        let d = DiscreteDistribution::from_weights(&[0.0, 1.0, 0.0]);
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let d = DiscreteDistribution::from_weights(&[0.5, 0.25, 0.125, 0.125]);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) < 4);
+        }
+    }
+
+    #[test]
+    fn expected_self_join_closed_forms() {
+        // Point mass: all n draws equal → SJ = n² exactly.
+        let point = DiscreteDistribution::from_weights(&[1.0]);
+        assert!((point.expected_self_join(100) - 10_000.0).abs() < 1e-9);
+        // Uniform over t: n + n(n−1)/t.
+        let unif = DiscreteDistribution::from_weights(&[1.0; 10]);
+        let expected = 100.0 + 100.0 * 99.0 / 10.0;
+        assert!((unif.expected_self_join(100) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_rejected() {
+        let _ = DiscreteDistribution::from_weights(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn zero_weights_rejected() {
+        let _ = DiscreteDistribution::from_weights(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn negative_weight_rejected() {
+        let _ = DiscreteDistribution::from_weights(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = DiscreteDistribution::from_weights(&[1.0, 2.0, 3.0]);
+        let a = d.sample_n(&mut Xoshiro256StarStar::new(3), 100);
+        let b = d.sample_n(&mut Xoshiro256StarStar::new(3), 100);
+        assert_eq!(a, b);
+    }
+}

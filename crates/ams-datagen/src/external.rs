@@ -1,0 +1,159 @@
+//! Adapters for user-supplied real data sets.
+//!
+//! The paper's text and spatial inputs are not redistributable, so the
+//! registry substitutes calibrated models ([`crate::text`],
+//! [`crate::spatial`]). Users who *do* hold the original files (or any
+//! other workload) can run every experiment on them through these
+//! adapters:
+//!
+//! * [`tokens_from_text`] — a text file becomes a word-id stream:
+//!   whitespace-separated tokens are case-folded, stripped of
+//!   punctuation, and interned in first-appearance order (exactly the
+//!   "word stream" shape of wuther/genesis/brown2).
+//! * [`values_from_numbers`] — a file of integers (one per line or
+//!   whitespace-separated) becomes a value stream (the xout1/yout1
+//!   shape: quantized coordinates).
+//!
+//! Both are pure functions over `&str` plus thin `_file` wrappers, so
+//! tests cover them without touching the filesystem.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use ams_hash::FxHashMap;
+
+/// Interns whitespace-separated tokens into ids in first-appearance
+/// order, after case-folding and trimming non-alphanumeric edges.
+/// Empty-after-trim tokens are skipped.
+pub fn tokens_from_text(text: &str) -> Vec<u64> {
+    let mut ids: FxHashMap<String, u64> = FxHashMap::default();
+    let mut stream = Vec::new();
+    for raw in text.split_whitespace() {
+        let token: String = raw
+            .trim_matches(|c: char| !c.is_alphanumeric())
+            .to_lowercase();
+        if token.is_empty() {
+            continue;
+        }
+        let next_id = ids.len() as u64;
+        let id = *ids.entry(token).or_insert(next_id);
+        stream.push(id);
+    }
+    stream
+}
+
+/// Reads a text file and tokenizes it with [`tokens_from_text`].
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn tokens_from_text_file(path: &Path) -> io::Result<Vec<u64>> {
+    Ok(tokens_from_text(&fs::read_to_string(path)?))
+}
+
+/// Parse failure for numeric streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNumbersError {
+    /// The token that failed to parse.
+    pub token: String,
+    /// Its 0-based index in the stream.
+    pub index: usize,
+}
+
+impl std::fmt::Display for ParseNumbersError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "token {} ({:?}) is not a u64", self.index, self.token)
+    }
+}
+
+impl std::error::Error for ParseNumbersError {}
+
+/// Parses whitespace/newline-separated unsigned integers into a value
+/// stream.
+///
+/// # Errors
+/// [`ParseNumbersError`] identifying the first malformed token.
+pub fn values_from_numbers(text: &str) -> Result<Vec<u64>, ParseNumbersError> {
+    text.split_whitespace()
+        .enumerate()
+        .map(|(index, token)| {
+            token.parse::<u64>().map_err(|_| ParseNumbersError {
+                token: token.to_string(),
+                index,
+            })
+        })
+        .collect()
+}
+
+/// Reads a file of integers with [`values_from_numbers`].
+///
+/// # Errors
+/// I/O errors, or a parse error mapped onto `io::ErrorKind::InvalidData`.
+pub fn values_from_numbers_file(path: &Path) -> io::Result<Vec<u64>> {
+    let text = fs::read_to_string(path)?;
+    values_from_numbers(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_stream::Multiset;
+
+    #[test]
+    fn tokenization_interns_in_first_appearance_order() {
+        let stream = tokens_from_text("the cat and the hat AND The... cat!");
+        // the=0 cat=1 and=2 hat=3
+        assert_eq!(stream, vec![0, 1, 2, 0, 3, 2, 0, 1]);
+    }
+
+    #[test]
+    fn punctuation_and_case_folded() {
+        let stream = tokens_from_text("Heathcliff, Heathcliff; \"heathcliff\"");
+        assert_eq!(stream, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_and_symbol_tokens_skipped() {
+        let stream = tokens_from_text("--- a ... b ***");
+        assert_eq!(stream, vec![0, 1]);
+    }
+
+    #[test]
+    fn word_stream_statistics_flow_into_multiset() {
+        let text = "to be or not to be that is the question";
+        let ms = Multiset::from_values(tokens_from_text(text));
+        assert_eq!(ms.len(), 10);
+        assert_eq!(ms.distinct(), 8); // to, be ×2 each
+        assert_eq!(ms.self_join_size(), 2 * 4 + 6);
+    }
+
+    #[test]
+    fn numbers_parse_and_report_bad_tokens() {
+        assert_eq!(values_from_numbers("1 2\n3\t4").unwrap(), vec![1, 2, 3, 4]);
+        let err = values_from_numbers("1 2 x 4").unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.token, "x");
+        assert_eq!(values_from_numbers("").unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn file_wrappers_roundtrip() {
+        let dir = std::env::temp_dir().join("ams-datagen-external-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("words.txt");
+        std::fs::write(&text_path, "alpha beta alpha").unwrap();
+        assert_eq!(tokens_from_text_file(&text_path).unwrap(), vec![0, 1, 0]);
+        let num_path = dir.join("nums.txt");
+        std::fs::write(&num_path, "10 20 30").unwrap();
+        assert_eq!(
+            values_from_numbers_file(&num_path).unwrap(),
+            vec![10, 20, 30]
+        );
+        let bad_path = dir.join("bad.txt");
+        std::fs::write(&bad_path, "10 oops").unwrap();
+        assert_eq!(
+            values_from_numbers_file(&bad_path).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

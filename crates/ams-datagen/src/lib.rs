@@ -1,0 +1,51 @@
+//! Deterministic workload generators for the thirteen data sets of the
+//! paper's Table 1.
+//!
+//! The experimental study (§3) evaluates the three self-join trackers on
+//! seven synthetic distributions, five real-world data sets, and one
+//! pathological construction. This crate regenerates all of them:
+//!
+//! | data set     | generator                           | module |
+//! |--------------|-------------------------------------|--------|
+//! | zipf1.0      | Zipf(1.0), domain 10 000            | [`zipf`] |
+//! | zipf1.5      | Zipf(1.5), domain 2 200             | [`zipf`] |
+//! | uniform      | uniform over 32 768                 | [`uniform`] |
+//! | mf2          | multifractal(20 000, 0.2, 12)       | [`multifractal`] |
+//! | mf3          | multifractal(20 000, 0.3, 12)       | [`multifractal`] |
+//! | selfsimilar  | 80/20 self-similar, 200 values      | [`selfsimilar`] |
+//! | poisson      | Poisson(λ = 20)                     | [`poisson`] |
+//! | wuther       | Zipf–Mandelbrot text model          | [`text`] |
+//! | genesis      | Zipf–Mandelbrot text model          | [`text`] |
+//! | brown2       | Zipf–Mandelbrot text model          | [`text`] |
+//! | xout1        | clustered spatial point set (x)     | [`spatial`] |
+//! | yout1        | clustered spatial point set (y)     | [`spatial`] |
+//! | path         | 40 000 singletons + one value ×800  | [`pathological`] |
+//!
+//! The real-world sets (text excerpts and the spatial coordinates, which
+//! the authors obtained from Ken Church and Christos Faloutsos) are not
+//! redistributable, so they are **substituted** by calibrated synthetic
+//! models reproducing Table 1's length, domain size and self-join size —
+//! see DESIGN.md §4 for the substitution argument. All generators are
+//! seeded and bit-for-bit reproducible.
+//!
+//! The [`datasets`] module is the entry point: a registry of
+//! [`datasets::DatasetId`]s carrying both the paper-reported
+//! characteristics and the calibrated generators.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod datasets;
+pub mod dist;
+pub mod external;
+pub mod multifractal;
+pub mod pathological;
+pub mod poisson;
+pub mod selfsimilar;
+pub mod spatial;
+pub mod text;
+pub mod uniform;
+pub mod zipf;
+
+pub use datasets::{DatasetId, DatasetSpec, DataKind};
+pub use dist::DiscreteDistribution;

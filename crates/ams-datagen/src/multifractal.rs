@@ -1,0 +1,149 @@
+//! Binomial multifractal value streams.
+//!
+//! Table 1's mf2 and mf3 sets are multifractal(20000, 0.2, 12) and
+//! multifractal(20000, 0.3, 12): `n` draws from the binomial multifractal
+//! (70/30-style cascade) over a domain of `2^k` values. The cascade splits
+//! the domain in half `k` times; at every level the "biased" half receives
+//! probability `bias` and the other half `1 − bias`, so the value with
+//! binary expansion `b_1 … b_k` has probability
+//! `bias^(#ones) · (1 − bias)^(#zeros)`.
+//!
+//! Sampling walks the k levels drawing one biased bit each — O(k) per
+//! draw, no table — which also makes the exact collision probability
+//! available in closed form: `Σ_v p_v² = (bias² + (1−bias)²)^k`.
+
+use ams_hash::rng::Xoshiro256StarStar;
+
+/// A binomial multifractal distribution over `2^levels` values.
+#[derive(Debug, Clone, Copy)]
+pub struct MultifractalGenerator {
+    levels: u32,
+    bias: f64,
+}
+
+impl MultifractalGenerator {
+    /// Creates a cascade with `levels` binary splits and per-level
+    /// probability `bias` for the one-bit half.
+    ///
+    /// # Panics
+    /// Panics unless `0 < bias < 1` and `1 ≤ levels ≤ 32`.
+    pub fn new(levels: u32, bias: f64) -> Self {
+        assert!((1..=32).contains(&levels), "levels must be in 1..=32");
+        assert!(
+            bias > 0.0 && bias < 1.0,
+            "bias must be strictly inside (0, 1)"
+        );
+        Self { levels, bias }
+    }
+
+    /// Domain size `2^levels`.
+    pub fn domain(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// The probability of a single value with `ones` one-bits.
+    pub fn pmf_by_ones(&self, ones: u32) -> f64 {
+        self.bias.powi(ones as i32) * (1.0 - self.bias).powi((self.levels - ones) as i32)
+    }
+
+    /// Exact collision probability `Σ_v p_v² = (bias² + (1−bias)²)^k`.
+    pub fn collision_probability(&self) -> f64 {
+        (self.bias * self.bias + (1.0 - self.bias) * (1.0 - self.bias)).powi(self.levels as i32)
+    }
+
+    /// Expected self-join size of `n` draws.
+    pub fn expected_self_join(&self, n: u64) -> f64 {
+        n as f64 + n as f64 * (n as f64 - 1.0) * self.collision_probability()
+    }
+
+    /// Generates `n` values.
+    pub fn generate(&self, seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut v = 0u64;
+                for _ in 0..self.levels {
+                    v <<= 1;
+                    if rng.next_f64() < self.bias {
+                        v |= 1;
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_stream::Multiset;
+
+    #[test]
+    fn domain_and_pmf_shape() {
+        let g = MultifractalGenerator::new(12, 0.2);
+        assert_eq!(g.domain(), 4_096);
+        // All-zeros value is the most probable for bias < 0.5.
+        assert!(g.pmf_by_ones(0) > g.pmf_by_ones(1));
+        assert!(g.pmf_by_ones(1) > g.pmf_by_ones(6));
+        // Total mass: Σ_j C(k,j) bias^j (1-bias)^(k-j) = 1.
+        let total: f64 = (0..=12)
+            .map(|j| binomial(12, j) * g.pmf_by_ones(j))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    fn binomial(n: u32, k: u32) -> f64 {
+        (1..=k).fold(1.0, |acc, i| acc * (n - k + i) as f64 / i as f64)
+    }
+
+    #[test]
+    fn collision_probability_closed_form() {
+        let g = MultifractalGenerator::new(12, 0.2);
+        let expected = (0.2f64 * 0.2 + 0.8 * 0.8).powi(12);
+        assert!((g.collision_probability() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mf2_parameters_hit_paper_scale() {
+        // multifractal(20000, 0.2, 12): paper SJ = 3.98e6.
+        let g = MultifractalGenerator::new(12, 0.2);
+        let e = g.expected_self_join(20_000);
+        assert!((3.0e6..5.0e6).contains(&e), "E[SJ] = {e}");
+    }
+
+    #[test]
+    fn mf3_parameters_hit_paper_scale() {
+        // multifractal(20000, 0.3, 12): paper SJ = 6.19e5.
+        let g = MultifractalGenerator::new(12, 0.3);
+        let e = g.expected_self_join(20_000);
+        assert!((4.5e5..8.0e5).contains(&e), "E[SJ] = {e}");
+    }
+
+    #[test]
+    fn observed_sj_tracks_expectation() {
+        let g = MultifractalGenerator::new(12, 0.2);
+        let ms = Multiset::from_values(g.generate(17, 20_000));
+        let ratio = ms.self_join_size() as f64 / g.expected_self_join(20_000);
+        assert!((0.6..1.6).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn most_frequent_value_is_all_zeros_for_low_bias() {
+        let g = MultifractalGenerator::new(10, 0.2);
+        let ms = Multiset::from_values(g.generate(4, 50_000));
+        assert_eq!(ms.mode().unwrap().0, 0);
+    }
+
+    #[test]
+    fn values_within_domain() {
+        let g = MultifractalGenerator::new(12, 0.3);
+        assert!(g.generate(3, 10_000).iter().all(|&v| v < 4_096));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn degenerate_bias_rejected() {
+        let _ = MultifractalGenerator::new(8, 1.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The "path" data set: the paper's pathological separator between
+//! sample-count and tug-of-war (§3.2, Figure 14).
+//!
+//! 40 000 values occur exactly once and one value occurs 800 times
+//! (n = 40 800, t = 40 001, SJ = 40 000·1² + 800² = 680 000 exactly).
+//! Nearly all of the self-join size sits in one value that a positional
+//! sample of realistic size almost never hits — the Θ(√t) lower-bound
+//! regime for sample-count — while tug-of-war's hash-based estimator
+//! converges immediately.
+
+/// Builder for the pathological data set.
+#[derive(Debug, Clone, Copy)]
+pub struct PathologicalGenerator {
+    singletons: u64,
+    heavy_count: u64,
+}
+
+impl PathologicalGenerator {
+    /// The exact Table 1 configuration: 40 000 singletons, one value ×800.
+    pub fn table1() -> Self {
+        Self::new(40_000, 800)
+    }
+
+    /// A custom configuration with `singletons` once-occurring values and
+    /// one value occurring `heavy_count` times.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(singletons: u64, heavy_count: u64) -> Self {
+        assert!(singletons > 0 && heavy_count > 0, "counts must be positive");
+        Self {
+            singletons,
+            heavy_count,
+        }
+    }
+
+    /// Stream length `n`.
+    pub fn len(&self) -> u64 {
+        self.singletons + self.heavy_count
+    }
+
+    /// `true` when the stream would be empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Domain size `t`.
+    pub fn domain(&self) -> u64 {
+        self.singletons + 1
+    }
+
+    /// Exact self-join size: `singletons + heavy_count²`.
+    pub fn exact_self_join(&self) -> u128 {
+        self.singletons as u128 + (self.heavy_count as u128).pow(2)
+    }
+
+    /// Generates the stream. The heavy value (id 0) is spread evenly
+    /// through the stream of singletons (ids 1..=singletons), so any
+    /// prefix looks like the whole: positional samplers gain nothing from
+    /// ordering. Deterministic; no seed needed.
+    pub fn generate(&self) -> Vec<u64> {
+        let n = self.len() as usize;
+        let mut out = Vec::with_capacity(n);
+        let period = (self.len() / self.heavy_count).max(1);
+        let mut next_singleton = 1u64;
+        let mut emitted_heavy = 0u64;
+        for i in 0..self.len() {
+            if i % period == 0 && emitted_heavy < self.heavy_count {
+                out.push(0);
+                emitted_heavy += 1;
+            } else if next_singleton <= self.singletons {
+                out.push(next_singleton);
+                next_singleton += 1;
+            } else {
+                out.push(0);
+                emitted_heavy += 1;
+            }
+        }
+        debug_assert_eq!(emitted_heavy, self.heavy_count);
+        debug_assert_eq!(next_singleton, self.singletons + 1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_stream::Multiset;
+
+    #[test]
+    fn table1_exact_characteristics() {
+        let g = PathologicalGenerator::table1();
+        assert_eq!(g.len(), 40_800);
+        assert_eq!(g.domain(), 40_001);
+        assert_eq!(g.exact_self_join(), 680_000);
+        let values = g.generate();
+        assert_eq!(values.len(), 40_800);
+        let ms = Multiset::from_values(values);
+        assert_eq!(ms.distinct(), 40_001);
+        assert_eq!(ms.self_join_size(), 680_000);
+        assert_eq!(ms.frequency(0), 800);
+    }
+
+    #[test]
+    fn heavy_value_spread_through_stream() {
+        let g = PathologicalGenerator::table1();
+        let values = g.generate();
+        // Every quarter of the stream must contain ~200 heavy occurrences.
+        let quarter = values.len() / 4;
+        for chunk in values.chunks(quarter) {
+            let heavy = chunk.iter().filter(|&&v| v == 0).count();
+            assert!(
+                (150..=280).contains(&heavy),
+                "heavy per quarter = {heavy}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_configuration() {
+        let g = PathologicalGenerator::new(10, 5);
+        let ms = Multiset::from_values(g.generate());
+        assert_eq!(ms.len(), 15);
+        assert_eq!(ms.frequency(0), 5);
+        assert_eq!(ms.self_join_size(), 10 + 25);
+    }
+
+    #[test]
+    fn singletons_each_appear_once() {
+        let g = PathologicalGenerator::new(100, 7);
+        let ms = Multiset::from_values(g.generate());
+        for v in 1..=100 {
+            assert_eq!(ms.frequency(v), 1, "value {v}");
+        }
+    }
+}

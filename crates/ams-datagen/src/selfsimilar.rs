@@ -1,0 +1,114 @@
+//! Self-similar (80/20-rule) value streams.
+//!
+//! Table 1's "selfsimilar" set draws 120 000 values over a tiny domain
+//! (t = 200) with extreme concentration (SJ = 3.41e9 ≈ (n/2)²). We use the
+//! classic power transform for self-similar skew (Gray et al.,
+//! "Quickly generating billion-record synthetic databases"): with skew
+//! parameter `h`, the value is `⌊t · u^(log h / log(1−h))⌋` for uniform
+//! `u`, which sends an `h`-fraction of the mass to the first `(1−h)·t`…
+//! recursively at every scale. For `h = 0.2` the first value alone absorbs
+//! ≈ 48 % of the stream, matching the paper's self-join scale.
+
+use ams_hash::rng::Xoshiro256StarStar;
+
+/// A self-similar distribution over values `0..domain`.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfSimilarGenerator {
+    domain: u64,
+    /// Skew: fraction `1−h` of mass concentrates on an `h`-fraction of
+    /// values at every scale; smaller `h` = heavier skew.
+    h: f64,
+}
+
+impl SelfSimilarGenerator {
+    /// Creates a generator over `0..domain` with skew `h`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < h < 0.5` and `domain > 0`.
+    pub fn new(domain: u64, h: f64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(h > 0.0 && h < 0.5, "h must be in (0, 0.5)");
+        Self { domain, h }
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// The power-transform exponent `log h / log(1−h)` (> 1 for h < 1/2).
+    pub fn exponent(&self) -> f64 {
+        self.h.ln() / (1.0 - self.h).ln()
+    }
+
+    /// The probability that a draw equals value 0 (the heaviest value):
+    /// `P(⌊t·u^e⌋ = 0) = (1/t)^(1/e)`.
+    pub fn top_value_probability(&self) -> f64 {
+        (1.0 / self.domain as f64).powf(1.0 / self.exponent())
+    }
+
+    /// Generates `n` values.
+    pub fn generate(&self, seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let e = self.exponent();
+        let t = self.domain as f64;
+        (0..n)
+            .map(|_| {
+                let u = rng.next_f64();
+                // u^e ∈ [0,1); scale and floor. Clamp defensively against
+                // floating-point edge cases at u → 1.
+                ((t * u.powf(e)) as u64).min(self.domain - 1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_stream::Multiset;
+
+    #[test]
+    fn value_zero_dominates() {
+        let g = SelfSimilarGenerator::new(200, 0.2);
+        let n = 100_000;
+        let ms = Multiset::from_values(g.generate(1, n));
+        let f0 = ms.frequency(0) as f64 / n as f64;
+        let predicted = g.top_value_probability();
+        assert!(
+            (f0 - predicted).abs() < 0.02,
+            "observed {f0}, predicted {predicted}"
+        );
+        // ≈ 48 % for t=200, h=0.2.
+        assert!((0.42..0.55).contains(&f0), "f0 = {f0}");
+    }
+
+    #[test]
+    fn paper_scale_self_join() {
+        // n = 120 000, t = 200 → SJ ≈ 3.4e9 (Table 1: 3.41e9).
+        let g = SelfSimilarGenerator::new(200, 0.2);
+        let ms = Multiset::from_values(g.generate(2, 120_000));
+        let sj = ms.self_join_size() as f64;
+        assert!((2.5e9..4.5e9).contains(&sj), "SJ = {sj:e}");
+    }
+
+    #[test]
+    fn values_within_domain() {
+        let g = SelfSimilarGenerator::new(200, 0.2);
+        assert!(g.generate(5, 20_000).iter().all(|&v| v < 200));
+    }
+
+    #[test]
+    fn frequencies_decay_with_rank() {
+        let g = SelfSimilarGenerator::new(256, 0.25);
+        let ms = Multiset::from_values(g.generate(9, 200_000));
+        assert!(ms.frequency(0) > ms.frequency(4));
+        assert!(ms.frequency(4) > ms.frequency(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "h must be in (0, 0.5)")]
+    fn out_of_range_h_rejected() {
+        let _ = SelfSimilarGenerator::new(10, 0.9);
+    }
+}

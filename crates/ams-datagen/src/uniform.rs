@@ -1,0 +1,79 @@
+//! Uniform value streams over a power-of-two domain.
+//!
+//! Table 1's "uniform" set (n = 1 000 000 over t = 32 768) is the
+//! *no-skew* extreme: the paper highlights it as the most dramatic case
+//! where sample-count beats tug-of-war (Figure 4), because a few random
+//! positional counts represent a flat distribution very well.
+
+use ams_hash::rng::Xoshiro256StarStar;
+
+/// A uniform distribution over values `0..domain`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformGenerator {
+    domain: u64,
+}
+
+impl UniformGenerator {
+    /// Creates a generator over `0..domain`.
+    ///
+    /// # Panics
+    /// Panics if `domain` is 0.
+    pub fn new(domain: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        Self { domain }
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Expected self-join size of `n` draws: `n + n(n−1)/t`.
+    pub fn expected_self_join(&self, n: u64) -> f64 {
+        n as f64 + n as f64 * (n as f64 - 1.0) / self.domain as f64
+    }
+
+    /// Generates `n` values.
+    pub fn generate(&self, seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n).map(|_| rng.next_below(self.domain)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_stream::Multiset;
+
+    #[test]
+    fn values_within_domain() {
+        let g = UniformGenerator::new(100);
+        assert!(g.generate(1, 10_000).iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    fn frequencies_are_flat() {
+        let g = UniformGenerator::new(64);
+        let ms = Multiset::from_values(g.generate(2, 64_000));
+        for v in 0..64 {
+            let f = ms.frequency(v) as f64;
+            assert!((f - 1_000.0).abs() < 200.0, "f({v}) = {f}");
+        }
+    }
+
+    #[test]
+    fn sj_matches_expectation() {
+        let g = UniformGenerator::new(1_024);
+        let n = 100_000;
+        let ms = Multiset::from_values(g.generate(5, n));
+        let ratio = ms.self_join_size() as f64 / g.expected_self_join(n as u64);
+        assert!((0.95..1.05).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = UniformGenerator::new(1 << 15);
+        assert_eq!(g.generate(9, 1_000), g.generate(9, 1_000));
+        assert_ne!(g.generate(9, 1_000), g.generate(10, 1_000));
+    }
+}

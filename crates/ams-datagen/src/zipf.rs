@@ -1,0 +1,121 @@
+//! Zipfian value streams: `P(value r) ∝ 1/r^z` over a finite domain.
+//!
+//! Table 1's two most-studied synthetic sets are zipf1.0 (z = 1.0, the
+//! classic "word frequency" shape) and zipf1.5 (z = 1.5, heavier skew).
+//! The paper's observation that higher skew *helps* sample-count and
+//! naive-sampling but not tug-of-war (Figures 2 vs 3) is the first
+//! qualitative target of the reproduction.
+
+use ams_hash::rng::Xoshiro256StarStar;
+
+use crate::dist::DiscreteDistribution;
+
+/// A Zipf(z) distribution over values `0..domain`.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    dist: DiscreteDistribution,
+    domain: u64,
+    exponent: f64,
+}
+
+impl ZipfGenerator {
+    /// Creates a generator with `P(r) ∝ (r+1)^−z` for ranks `r` in
+    /// `[0, domain)`.
+    ///
+    /// # Panics
+    /// Panics if `domain` is 0 or `z` is not finite.
+    pub fn new(domain: u64, z: f64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(z.is_finite(), "exponent must be finite");
+        let weights: Vec<f64> = (1..=domain).map(|r| (r as f64).powf(-z)).collect();
+        Self {
+            dist: DiscreteDistribution::from_weights(&weights),
+            domain,
+            exponent: z,
+        }
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// The skew exponent z.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Expected self-join size of `n` draws.
+    pub fn expected_self_join(&self, n: u64) -> f64 {
+        self.dist.expected_self_join(n)
+    }
+
+    /// Generates `n` values (ranks; rank 0 is the most popular value).
+    pub fn generate(&self, seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        self.dist.sample_n(&mut rng, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_stream::Multiset;
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let g = ZipfGenerator::new(1_000, 1.0);
+        let values = g.generate(1, 50_000);
+        let ms = Multiset::from_values(values);
+        let (top, _) = ms.mode().unwrap();
+        assert_eq!(top, 0);
+        // Frequencies should decrease roughly with rank.
+        assert!(ms.frequency(0) > ms.frequency(10));
+        assert!(ms.frequency(10) > ms.frequency(500));
+    }
+
+    #[test]
+    fn zipf1_frequency_ratio_matches_law() {
+        // f(1)/f(10) ≈ 10 for z = 1.
+        let g = ZipfGenerator::new(10_000, 1.0);
+        let ms = Multiset::from_values(g.generate(3, 500_000));
+        let ratio = ms.frequency(0) as f64 / ms.frequency(9) as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn heavier_exponent_concentrates_mass() {
+        let n = 100_000;
+        let g10 = ZipfGenerator::new(2_000, 1.0);
+        let g15 = ZipfGenerator::new(2_000, 1.5);
+        let top10 = Multiset::from_values(g10.generate(5, n)).mode().unwrap().1;
+        let top15 = Multiset::from_values(g15.generate(5, n)).mode().unwrap().1;
+        assert!(
+            top15 > 2 * top10,
+            "z=1.5 mode {top15} not ≫ z=1.0 mode {top10}"
+        );
+    }
+
+    #[test]
+    fn observed_sj_tracks_expectation() {
+        let g = ZipfGenerator::new(5_000, 1.0);
+        let n = 200_000;
+        let ms = Multiset::from_values(g.generate(11, n));
+        let expect = g.expected_self_join(n as u64);
+        let observed = ms.self_join_size() as f64;
+        let ratio = observed / expect;
+        assert!((0.8..1.25).contains(&ratio), "observed/expected = {ratio}");
+    }
+
+    #[test]
+    fn values_within_domain() {
+        let g = ZipfGenerator::new(64, 1.2);
+        assert!(g.generate(9, 10_000).iter().all(|&v| v < 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn zero_domain_rejected() {
+        let _ = ZipfGenerator::new(0, 1.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Reproduction harness for the paper's complete evaluation.
+//!
+//! Every table and figure of Alon–Gibbons–Matias–Szegedy (PODS'99 /
+//! JCSS'02) has a runner here; the `ams-experiments` binary drives them
+//! and writes CSV + markdown artifacts. See DESIGN.md §3 for the full
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 (data-set characteristics) |
+//! | [`figures`] | Figures 2–14 (normalized estimate vs sample size, three algorithms) |
+//! | [`metric`] | the §3.1 "within 15 % from here on" convergence metric |
+//! | [`robustness`] | Figure 15 (sorted atomic tug-of-war estimators) |
+//! | [`section44`] | §4.4's analytical comparison (break-even sanity bounds) |
+//! | [`lowerbound`] | Lemma 2.3 and Theorem 4.3 demonstrations |
+//! | [`join_exp`] | §5 future work: empirical k-TW vs sampling join signatures |
+//! | [`ablation`] | design ablations (hash family independence, grouping) |
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod ablation;
+pub mod algorithms;
+pub mod figures;
+pub mod join_exp;
+pub mod lowerbound;
+pub mod metric;
+pub mod report;
+pub mod robustness;
+pub mod section44;
+pub mod table1;
+
+pub use figures::{run_figure, FigurePoint, FigureResult, SweepConfig};
+pub use report::Table;

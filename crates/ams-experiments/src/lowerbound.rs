@@ -1,0 +1,212 @@
+//! Empirical demonstrations of the paper's negative results.
+//!
+//! * **Lemma 2.3** — naive-sampling needs Ω(√n) samples: on R2 (n/2
+//!   value-pairs) any o(√n) sample almost surely sees only distinct
+//!   values and reports ≈ n where the truth is 2n.
+//! * **Theorem 4.3** — no small signature distinguishes join size B from
+//!   2B on the D1/D2 distributions: sampling signatures below the n²/B
+//!   threshold classify at chance level, and only grow reliable as their
+//!   size approaches it.
+
+use ams_core::lowerbound::{lemma23_distinct, lemma23_pairs, Theorem43Construction};
+use ams_core::{NaiveSampling, SampleJoinSignature, SelfJoinEstimator};
+use ams_hash::SplitMix64;
+use ams_stream::Multiset;
+
+use crate::report::{fmt_ratio, Table};
+
+/// One sample size of the Lemma 2.3 demonstration.
+#[derive(Debug, Clone, Copy)]
+pub struct Lemma23Row {
+    /// Reservoir capacity.
+    pub sample_size: usize,
+    /// Mean normalized estimate on R1 (truth n; ratio ≈ 1 always).
+    pub r1_ratio: f64,
+    /// Mean normalized estimate on R2 (truth 2n; ratio ≈ 0.5 until the
+    /// sample size reaches Θ(√n)).
+    pub r2_ratio: f64,
+}
+
+/// Runs the Lemma 2.3 demonstration for relation size `n`.
+pub fn lemma23(n: u64, trials: u32, seed: u64) -> Vec<Lemma23Row> {
+    let r1 = lemma23_distinct(n);
+    let r2 = lemma23_pairs(n);
+    let exact1 = n as f64;
+    let exact2 = 2.0 * n as f64;
+    let sqrt_n = (n as f64).sqrt() as usize;
+    let sizes = [
+        4,
+        16,
+        sqrt_n / 4,
+        sqrt_n,
+        4 * sqrt_n,
+        16 * sqrt_n,
+    ];
+    sizes
+        .iter()
+        .filter(|&&s| s >= 2 && (s as u64) < n)
+        .map(|&s| {
+            let mean = |values: &[u64], exact: f64, salt: u64| {
+                let mut acc = 0.0;
+                for trial in 0..trials {
+                    let mut ns = NaiveSampling::new(s, seed ^ salt ^ (trial as u64) << 8);
+                    ns.extend_values(values.iter().copied());
+                    acc += ns.estimate() / exact;
+                }
+                acc / trials as f64
+            };
+            Lemma23Row {
+                sample_size: s,
+                r1_ratio: mean(&r1, exact1, 0x1111),
+                r2_ratio: mean(&r2, exact2, 0x2222),
+            }
+        })
+        .collect()
+}
+
+/// Renders the Lemma 2.3 table.
+pub fn lemma23_table(n: u64, rows: &[Lemma23Row]) -> Table {
+    let mut t = Table::new(
+        format!("Lemma 2.3: naive-sampling on R1 (all distinct) vs R2 (pairs), n = {n}"),
+        &["sample size", "R1 est/exact", "R2 est/exact"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.sample_size.to_string(),
+            fmt_ratio(r.r1_ratio),
+            fmt_ratio(r.r2_ratio),
+        ]);
+    }
+    t
+}
+
+/// One signature size of the Theorem 4.3 demonstration.
+#[derive(Debug, Clone, Copy)]
+pub struct Thm43Row {
+    /// Expected sampled tuples per relation (the signature size).
+    pub signature_words: f64,
+    /// Fraction of (D1, D2) pairs whose join size (B vs 2B) the sampling
+    /// signature classified correctly. 0.5 = chance.
+    pub accuracy: f64,
+}
+
+/// Runs the Theorem 4.3 demonstration: classify join sizes (B vs 2B)
+/// from sampling signatures of increasing size.
+///
+/// # Panics
+/// Panics if the construction parameters are invalid
+/// (see [`Theorem43Construction::new`]).
+pub fn thm43(n: u64, b: u64, pairs: usize, seed: u64) -> (Theorem43Construction, Vec<Thm43Row>) {
+    let construction = Theorem43Construction::new(n, b).expect("valid (n, B)");
+    let mut rng = SplitMix64::new(seed);
+    let family = construction.set_family(pairs, rng.child_seed());
+
+    // Per D2 set: one in-set D1 type (join 2B) and one out-of-set type
+    // (join B); materialize all relations once.
+    let mut cases: Vec<(Vec<u64>, Vec<u64>, bool)> = Vec::new(); // (d1, d2, is_2b)
+    for set in &family {
+        let d2 = construction.d2_relation(set);
+        let in_type = set[0];
+        let out_type = (1..=construction.t())
+            .find(|ty| !set.contains(ty))
+            .expect("sparse sets");
+        cases.push((construction.d1_relation(in_type), d2.clone(), true));
+        cases.push((construction.d1_relation(out_type), d2, false));
+    }
+
+    // Sweep sampling rates so that expected signature sizes bracket the
+    // n²/B threshold.
+    let threshold_words = (n as f64) * (n as f64) / b as f64;
+    let rates = [0.02, 0.1, 0.5, 1.0, 2.0, 8.0]
+        .map(|mult| ((threshold_words * mult) / n as f64).clamp(1e-6, 1.0));
+
+    let rows = rates
+        .iter()
+        .map(|&p| {
+            let mut correct = 0usize;
+            for (case_idx, (d1, d2, is_2b)) in cases.iter().enumerate() {
+                // XOR with distinct constants (not |1 / |2, which can
+                // collide) so the two relations' coin streams never align.
+                let case_seed = seed ^ ((case_idx as u64) << 16);
+                let mut s1 = SampleJoinSignature::new(p, case_seed ^ 0x5151_5151);
+                let mut s2 = SampleJoinSignature::new(p, case_seed ^ 0xA2A2_A2A2);
+                for &v in d1 {
+                    s1.insert(v);
+                }
+                for &v in d2 {
+                    s2.insert(v);
+                }
+                let exact1 = Multiset::from_values(d1.iter().copied());
+                let exact2 = Multiset::from_values(d2.iter().copied());
+                let truth = exact1.join_size(&exact2) as f64;
+                let est = s1.estimate_join(&s2);
+                // Classify against the midpoint 1.5B.
+                let predicted_2b = est > 1.5 * b as f64;
+                if predicted_2b == *is_2b {
+                    correct += 1;
+                }
+                debug_assert!(if *is_2b { truth >= b as f64 } else { truth <= 1.5 * b as f64 });
+            }
+            Thm43Row {
+                signature_words: p * n as f64,
+                accuracy: correct as f64 / cases.len() as f64,
+            }
+        })
+        .collect();
+    (construction, rows)
+}
+
+/// Renders the Theorem 4.3 table.
+pub fn thm43_table(c: &Theorem43Construction, rows: &[Thm43Row]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Theorem 4.3: classifying join size B={} vs 2B from sampling signatures (n={}, n^2/B={:.0} words)",
+            c.b(),
+            c.n(),
+            (c.n() as f64).powi(2) / c.b() as f64
+        ),
+        &["signature words (expected)", "accuracy"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:.0}", r.signature_words),
+            fmt_ratio(r.accuracy),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma23_shows_factor_two_failure_below_sqrt_n() {
+        let rows = lemma23(10_000, 30, 99);
+        // Smallest samples: R1 correct, R2 stuck near 0.5 (= estimating n
+        // where truth is 2n).
+        let first = rows.first().unwrap();
+        assert!((first.r1_ratio - 1.0).abs() < 0.1, "R1 ratio {}", first.r1_ratio);
+        assert!(first.r2_ratio < 0.65, "R2 ratio {} should be ~0.5", first.r2_ratio);
+        // Largest samples (≫ √n): R2 recovers.
+        let last = rows.last().unwrap();
+        assert!((last.r2_ratio - 1.0).abs() < 0.25, "R2 ratio {}", last.r2_ratio);
+    }
+
+    #[test]
+    fn thm43_accuracy_grows_with_signature_size() {
+        let (c, rows) = thm43(2_000, 8_000, 6, 7);
+        assert!(c.set_size() >= 2);
+        let small = rows.first().unwrap();
+        let large = rows.last().unwrap();
+        assert!(
+            small.accuracy < large.accuracy + 1e-9,
+            "accuracy did not grow: {} -> {}",
+            small.accuracy,
+            large.accuracy
+        );
+        // At 8x the threshold the classification should be essentially
+        // perfect.
+        assert!(large.accuracy > 0.9, "large-signature accuracy {}", large.accuracy);
+    }
+}

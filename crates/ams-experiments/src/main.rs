@@ -1,0 +1,270 @@
+//! `ams-experiments`: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! ams-experiments all                 # everything below (figures take minutes)
+//! ams-experiments table1             # Table 1
+//! ams-experiments fig <2..=15>       # one figure
+//! ams-experiments figures            # figures 2-14 + summary
+//! ams-experiments sec44              # §4.4 analytical comparison
+//! ams-experiments lemma23            # naive-sampling lower-bound demo
+//! ams-experiments thm43              # signature lower-bound demo
+//! ams-experiments join               # §5 future-work join study
+//! ams-experiments ablation           # hash-family & grouping ablations
+//! ams-experiments external <file>    # run the figure sweep on your own data
+//!                                    # (text file of words, or of integers)
+//!
+//! options: --out <dir>   CSV output directory (default: results)
+//!          --quick       reduced sweeps (max s = 2^10, fewer trials)
+//!          --trials <n>  runs per figure point (default 1, as the paper)
+//!          --seed <n>    base seed
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ams_datagen::DatasetId;
+use ams_experiments::figures::{run_figure, summary_table, SweepConfig};
+use ams_experiments::{ablation, join_exp, lowerbound, robustness, section44, table1};
+
+struct Options {
+    out: PathBuf,
+    quick: bool,
+    trials: u32,
+    seed: u64,
+    command: String,
+    arg: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = PathBuf::from("results");
+    let mut quick = false;
+    let mut trials = 1u32;
+    let mut seed = 0xA35_2002u64;
+    let mut command = None;
+    let mut arg = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a directory")?),
+            "--quick" => quick = true,
+            "--trials" => {
+                trials = args
+                    .next()
+                    .ok_or("--trials needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --trials: {e}"))?;
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            other if command.is_none() => command = Some(other.to_string()),
+            other if arg.is_none() => arg = Some(other.to_string()),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    Ok(Options {
+        out,
+        quick,
+        trials,
+        seed,
+        command: command.unwrap_or_else(|| "all".to_string()),
+        arg,
+    })
+}
+
+fn sweep_config(opts: &Options) -> SweepConfig {
+    SweepConfig {
+        max_log2_s: if opts.quick { 10 } else { 14 },
+        seed: opts.seed,
+        trials: opts.trials,
+    }
+}
+
+fn emit(table: &ams_experiments::Table, opts: &Options, name: &str) {
+    println!("{}", table.render());
+    if let Err(e) = table.write_csv(&opts.out, name) {
+        eprintln!("warning: could not write {name}.csv: {e}");
+    }
+}
+
+fn run_table1(opts: &Options) {
+    let rows = table1::run(0);
+    emit(&table1::table(&rows), opts, "table1");
+}
+
+fn run_one_figure(figure: u32, opts: &Options) {
+    if figure == 15 {
+        let count = if opts.quick { 200 } else { 1_000 };
+        let result = robustness::run(DatasetId::Zipf15, count, opts.seed);
+        emit(&result.table(40), opts, "fig15");
+        println!(
+            "median atomic estimator / exact = {:.3}; fraction within 15% = {:.3}\n",
+            result.median() / result.exact_sj,
+            result.fraction_within(0.15)
+        );
+        return;
+    }
+    let cfg = sweep_config(opts);
+    let result = run_figure(figure, &cfg);
+    emit(&result.table(), opts, &format!("fig{figure:02}"));
+    println!(
+        "convergence (within 15%): tug-of-war {:?}, sample-count {:?}, naive-sampling {:?}\n",
+        result.converge_tw, result.converge_sc, result.converge_ns
+    );
+}
+
+fn run_figures(opts: &Options) {
+    let cfg = sweep_config(opts);
+    let mut results = Vec::new();
+    for figure in 2..=14 {
+        let result = run_figure(figure, &cfg);
+        emit(&result.table(), opts, &format!("fig{figure:02}"));
+        results.push(result);
+    }
+    emit(&summary_table(&results), opts, "summary");
+    // The §3.1 headline: tug-of-war's convergence sizes and the average
+    // advantage over the other algorithms.
+    let ratios: Vec<f64> = results
+        .iter()
+        .filter_map(|r| match (r.converge_tw, r.converge_sc) {
+            (Some(tw), Some(sc)) => Some(sc as f64 / tw as f64),
+            _ => None,
+        })
+        .collect();
+    if !ratios.is_empty() {
+        let geo = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+        println!(
+            "sample-count/tug-of-war convergence-size ratio (geometric mean): {:.2}",
+            geo.exp()
+        );
+    }
+}
+
+fn run_sec44(opts: &Options) {
+    let rows = section44::run();
+    emit(&section44::table(&rows), opts, "section44");
+}
+
+fn run_lemma23(opts: &Options) {
+    let n = if opts.quick { 10_000 } else { 100_000 };
+    let trials = if opts.quick { 20 } else { 50 };
+    let rows = lowerbound::lemma23(n, trials, opts.seed);
+    emit(&lowerbound::lemma23_table(n, &rows), opts, "lemma23");
+}
+
+fn run_thm43(opts: &Options) {
+    let (n, b, pairs) = if opts.quick {
+        (2_000u64, 8_000u64, 6)
+    } else {
+        (5_000, 50_000, 10)
+    };
+    let (construction, rows) = lowerbound::thm43(n, b, pairs, opts.seed);
+    emit(
+        &lowerbound::thm43_table(&construction, &rows),
+        opts,
+        "thm43",
+    );
+}
+
+fn run_join(opts: &Options) {
+    let ks: &[usize] = if opts.quick {
+        &[16, 64, 256]
+    } else {
+        &[4, 16, 64, 256, 1_024]
+    };
+    let trials = if opts.quick { 3 } else { 7 };
+    let rows = join_exp::run(&join_exp::DEFAULT_CASES, ks, trials, opts.seed);
+    emit(&join_exp::table(&rows), opts, "join");
+}
+
+fn run_external(path: &str, opts: &Options) -> Result<(), String> {
+    // Numbers if every token parses as u64, words otherwise.
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let values = match ams_datagen::external::values_from_numbers(&text) {
+        Ok(v) if !v.is_empty() => v,
+        _ => ams_datagen::external::tokens_from_text(&text),
+    };
+    if values.is_empty() {
+        return Err(format!("{path} holds no tokens"));
+    }
+    let cfg = sweep_config(opts);
+    let (table, convergences) =
+        ams_experiments::figures::external_sweep(path, &values, &cfg);
+    emit(&table, opts, "external");
+    println!(
+        "convergence (within 15%): tug-of-war {:?}, sample-count {:?}, naive-sampling {:?}",
+        convergences[0], convergences[1], convergences[2]
+    );
+    Ok(())
+}
+
+fn run_ablation(opts: &Options) {
+    let trials = if opts.quick { 15 } else { 51 };
+    let dataset = DatasetId::Zipf10;
+    let rows = ablation::hash_families(dataset, 64, trials, opts.seed);
+    emit(&ablation::hash_table(dataset, 64, &rows), opts, "ablation_hash");
+    let rows = ablation::grouping(dataset, 64, trials, opts.seed);
+    emit(
+        &ablation::grouping_table(dataset, 64, &rows),
+        opts,
+        "ablation_grouping",
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match opts.command.as_str() {
+        "table1" => run_table1(&opts),
+        "fig" => {
+            let figure: u32 = match opts.arg.as_deref().map(str::parse) {
+                Some(Ok(f)) if (2..=15).contains(&f) => f,
+                _ => {
+                    eprintln!("error: fig needs a figure number 2..=15");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_one_figure(figure, &opts);
+        }
+        "figures" => run_figures(&opts),
+        "sec44" => run_sec44(&opts),
+        "lemma23" => run_lemma23(&opts),
+        "thm43" => run_thm43(&opts),
+        "join" => run_join(&opts),
+        "ablation" => run_ablation(&opts),
+        "external" => {
+            let Some(path) = opts.arg.as_deref() else {
+                eprintln!("error: external needs a file path");
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = run_external(path, &opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "all" => {
+            run_table1(&opts);
+            run_figures(&opts);
+            run_one_figure(15, &opts);
+            run_sec44(&opts);
+            run_lemma23(&opts);
+            run_thm43(&opts);
+            run_join(&opts);
+            run_ablation(&opts);
+        }
+        other => {
+            eprintln!("error: unknown command {other}; see crate docs");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,83 @@
+//! The §3.1 convergence metric: "the minimum sample size each algorithm
+//! needed to be within 15 % relative error for this and all larger
+//! sample sizes".
+
+/// The relative-error threshold of the paper's metric.
+pub const THRESHOLD: f64 = 0.15;
+
+/// Given `(sample_size, normalized_estimate)` points sorted by ascending
+/// sample size, returns the smallest sample size from which every point
+/// (including itself) has `|ratio − 1| ≤ threshold`. `None` if even the
+/// largest sample size misses the threshold.
+pub fn convergence_size(points: &[(usize, f64)], threshold: f64) -> Option<usize> {
+    debug_assert!(points.windows(2).all(|w| w[0].0 < w[1].0), "sorted input");
+    let mut answer = None;
+    for &(s, ratio) in points {
+        if (ratio - 1.0).abs() <= threshold {
+            if answer.is_none() {
+                answer = Some(s);
+            }
+        } else {
+            answer = None; // violated again: must re-converge later
+        }
+    }
+    answer
+}
+
+/// [`convergence_size`] at the paper's 15 % threshold.
+pub fn convergence_size_15(points: &[(usize, f64)]) -> Option<usize> {
+    convergence_size(points, THRESHOLD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_first_size_that_stays_within() {
+        let pts = [
+            (1, 3.0),
+            (2, 0.5),
+            (4, 1.1),   // within
+            (8, 1.05),  // within
+            (16, 0.99), // within
+        ];
+        assert_eq!(convergence_size_15(&pts), Some(4));
+    }
+
+    #[test]
+    fn temporary_convergence_does_not_count() {
+        let pts = [
+            (1, 1.01), // within, but...
+            (2, 1.9),  // ...violated later
+            (4, 1.02),
+            (8, 1.0),
+        ];
+        assert_eq!(convergence_size_15(&pts), Some(4));
+    }
+
+    #[test]
+    fn never_converges() {
+        let pts = [(1, 2.0), (2, 0.1), (4, 1.5)];
+        assert_eq!(convergence_size_15(&pts), None);
+    }
+
+    #[test]
+    fn single_point() {
+        assert_eq!(convergence_size_15(&[(64, 1.0)]), Some(64));
+        assert_eq!(convergence_size_15(&[(64, 2.0)]), None);
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let pts = [(1, 1.3), (2, 1.2)];
+        assert_eq!(convergence_size(&pts, 0.5), Some(1));
+        assert_eq!(convergence_size(&pts, 0.25), Some(2));
+        assert_eq!(convergence_size(&pts, 0.1), None);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(convergence_size_15(&[]), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 15: robustness of the atomic tug-of-war estimators.
+//!
+//! 10³ independent atomic estimators `X_ij = Z²` on the zipf1.5 data set,
+//! sorted ascending and plotted against rank. The paper's observation —
+//! which this module's test pins down — is the *lack of clustering*: the
+//! atomic estimators spread almost evenly across a wide range (median
+//! slightly below the true value, overestimates reaching further than
+//! underestimates), which is exactly why averaging and medians are
+//! essential.
+
+use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
+use ams_datagen::DatasetId;
+use ams_stream::Multiset;
+
+use crate::report::{fmt_sci, Table};
+
+/// The sorted atomic estimators and the exact value they estimate.
+#[derive(Debug, Clone)]
+pub struct RobustnessResult {
+    /// Atomic estimates `X_ij`, ascending.
+    pub sorted_estimates: Vec<f64>,
+    /// The exact self-join size.
+    pub exact_sj: f64,
+}
+
+impl RobustnessResult {
+    /// The median atomic estimator.
+    pub fn median(&self) -> f64 {
+        let xs = &self.sorted_estimates;
+        let mid = xs.len() / 2;
+        if xs.len() % 2 == 1 {
+            xs[mid]
+        } else {
+            (xs[mid - 1] + xs[mid]) / 2.0
+        }
+    }
+
+    /// Fraction of estimators within `threshold` relative error — the
+    /// "clustering" the paper observes to be absent (small at any tight
+    /// threshold).
+    pub fn fraction_within(&self, threshold: f64) -> f64 {
+        let within = self
+            .sorted_estimates
+            .iter()
+            .filter(|&&x| (x - self.exact_sj).abs() / self.exact_sj <= threshold)
+            .count();
+        within as f64 / self.sorted_estimates.len() as f64
+    }
+
+    /// Renders `(rank, estimate)` rows, decimated to at most `max_rows`.
+    pub fn table(&self, max_rows: usize) -> Table {
+        let mut t = Table::new(
+            format!("Figure 15: sorted atomic estimators (exact SJ = {})", fmt_sci(self.exact_sj)),
+            &["rank", "X_ij", "X_ij / exact"],
+        );
+        let step = (self.sorted_estimates.len() / max_rows.max(1)).max(1);
+        for (rank, &x) in self.sorted_estimates.iter().enumerate().step_by(step) {
+            t.push_row(vec![
+                rank.to_string(),
+                fmt_sci(x),
+                format!("{:.3}", x / self.exact_sj),
+            ]);
+        }
+        t
+    }
+}
+
+/// Computes `count` independent atomic estimators on a data set
+/// (paper: 1000 on zipf1.5).
+pub fn run(dataset: DatasetId, count: usize, seed: u64) -> RobustnessResult {
+    let values = dataset.generate(dataset.default_seed());
+    let histogram = Multiset::from_values(values.iter().copied());
+    let exact = histogram.self_join_size() as f64;
+    let params = SketchParams::single_group(1).expect("one estimator");
+    let mut estimates: Vec<f64> = (0..count)
+        .map(|i| {
+            let mut tw: TugOfWarSketch =
+                TugOfWarSketch::new(params, seed.wrapping_add(i as u64));
+            for (v, f) in histogram.iter() {
+                tw.update(v, f as i64);
+            }
+            tw.estimate()
+        })
+        .collect();
+    estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    RobustnessResult {
+        sorted_estimates: estimates,
+        exact_sj: exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_estimators_spread_widely_but_center_correctly() {
+        let result = run(DatasetId::Zipf15, 400, 42);
+        assert_eq!(result.sorted_estimates.len(), 400);
+        // Unbiased in aggregate: the mean is near the exact value.
+        let mean: f64 =
+            result.sorted_estimates.iter().sum::<f64>() / result.sorted_estimates.len() as f64;
+        let rel = (mean - result.exact_sj).abs() / result.exact_sj;
+        assert!(rel < 0.25, "mean {mean} vs exact {} ", result.exact_sj);
+        // The paper's headline: no clustering around the true value —
+        // at 15% only a minority of atomic estimators land inside.
+        let frac = result.fraction_within(0.15);
+        assert!(frac < 0.5, "unexpected clustering: {frac}");
+        // And the spread is wide: top decile ≥ 2x the bottom decile.
+        let lo = result.sorted_estimates[40];
+        let hi = result.sorted_estimates[360];
+        assert!(hi > 2.0 * lo.max(1.0), "spread too tight: {lo}..{hi}");
+    }
+
+    #[test]
+    fn table_is_decimated() {
+        let result = run(DatasetId::Path, 100, 7);
+        let t = result.table(10);
+        assert!(t.len() <= 11);
+    }
+}

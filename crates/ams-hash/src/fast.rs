@@ -1,0 +1,140 @@
+//! A fast non-cryptographic hasher for internal integer-keyed tables.
+//!
+//! The sample-count algorithm keeps three Θ(s) lookup tables (`N_v`, the
+//! `S_v` list heads, and the pending-position table `P_m`) that are probed
+//! on *every* stream operation. With the standard library's default
+//! SipHash those probes dominate the O(1)-amortized update cost the paper
+//! claims, so — per the performance guidance for database-grade Rust — we
+//! use an Fx-style multiply-fold hasher. HashDoS resistance is irrelevant
+//! here: table keys are data values already sampled by *our own* random
+//! process, not attacker-chosen key sets.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (same class of odd constant used by FxHash /
+/// the Firefox hasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast `Hasher` that folds input words into a single multiply-rotate
+/// accumulator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold 8 bytes at a time, then the tail padded into one word.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // The tail has at most 7 data bytes, so byte 7 is free to carry
+            // a length marker; without it, "" and "\0" would collide.
+            tail[7] = rem.len() as u8 | 0x80;
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`] — drop-in for integer-keyed tables.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` backed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(12345);
+        b.write_u64(12345);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let h = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_ne!(h(0), h(1));
+        assert_ne!(h(1), h(1 << 32));
+    }
+
+    #[test]
+    fn byte_stream_equivalent_lengths_do_not_collide_trivially() {
+        let h = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefg"));
+        assert_ne!(h(b""), h(b"\0"));
+    }
+
+    #[test]
+    fn map_works_with_u64_keys() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1_000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1_000);
+        for i in 0..1_000u64 {
+            assert_eq!(m[&i], (i * 2) as u32);
+        }
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // HashMap uses the low bits; sequential keys must not all land in
+        // few residues.
+        let mut seen = FxHashSet::default();
+        for i in 0..256u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish() & 0xFF);
+        }
+        assert!(seen.len() > 100, "only {} distinct low bytes", seen.len());
+    }
+}

@@ -1,0 +1,154 @@
+//! Carry-less arithmetic in GF(2⁶⁴).
+//!
+//! Substrate for the BCH-code construction of 4-wise independent ±1
+//! variables ([`crate::bch`]), which needs cubing in a binary field.
+//! Elements are bit vectors packed in a `u64`; multiplication is carry-less
+//! (XOR accumulation) followed by reduction modulo the irreducible
+//! polynomial `x⁶⁴ + x⁴ + x³ + x + 1`.
+
+/// Low bits of the reduction polynomial `x⁶⁴ + x⁴ + x³ + x + 1`
+/// (the `x⁶⁴` term is implicit).
+pub const POLY_LOW: u64 = (1 << 4) | (1 << 3) | (1 << 1) | 1;
+
+/// Carry-less 64×64→128 multiplication (no reduction).
+#[inline]
+pub fn clmul(a: u64, b: u64) -> u128 {
+    // Accumulate b shifted by each set bit of a. Iterating over set bits
+    // keeps the loop proportional to popcount(a) rather than 64.
+    let mut acc = 0u128;
+    let mut a = a;
+    while a != 0 {
+        let bit = a.trailing_zeros();
+        acc ^= (b as u128) << bit;
+        a &= a - 1;
+    }
+    acc
+}
+
+/// Reduces a 128-bit carry-less product modulo `x⁶⁴ + x⁴ + x³ + x + 1`.
+#[inline]
+pub fn reduce(mut x: u128) -> u64 {
+    // Fold the high 64 bits down twice: x^64 ≡ x^4 + x^3 + x + 1, and the
+    // second fold's high part is at most 4 bits so it terminates.
+    for _ in 0..2 {
+        let hi = (x >> 64) as u64;
+        if hi == 0 {
+            break;
+        }
+        x = (x & u64::MAX as u128) ^ clmul(hi, POLY_LOW);
+    }
+    x as u64
+}
+
+/// Multiplication in GF(2⁶⁴).
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    reduce(clmul(a, b))
+}
+
+/// Squaring in GF(2⁶⁴) (linear over GF(2), but computed directly).
+#[inline]
+pub fn square(a: u64) -> u64 {
+    mul(a, a)
+}
+
+/// Cubing in GF(2⁶⁴): `a³ = a²·a`.
+#[inline]
+pub fn cube(a: u64) -> u64 {
+    mul(square(a), a)
+}
+
+/// Exponentiation by squaring in GF(2⁶⁴).
+pub fn pow(mut base: u64, mut exp: u128) -> u64 {
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = square(base);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_small_examples() {
+        // (x + 1)(x + 1) = x^2 + 1 in GF(2)[x] (cross terms cancel).
+        assert_eq!(clmul(0b11, 0b11), 0b101);
+        // x * x^2 = x^3
+        assert_eq!(clmul(0b10, 0b100), 0b1000);
+        assert_eq!(clmul(0, 12345), 0);
+        assert_eq!(clmul(1, 12345), 12345);
+    }
+
+    #[test]
+    fn mul_identity_and_commutativity() {
+        let xs = [1u64, 2, 3, 0xDEAD_BEEF, u64::MAX, 0x8000_0000_0000_0000];
+        for &a in &xs {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            for &b in &xs {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_is_associative_and_distributive() {
+        let xs = [3u64, 0x1234_5678_9ABC_DEF0, 0xFFFF_0000_FFFF_0001];
+        for &a in &xs {
+            for &b in &xs {
+                for &c in &xs {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                    // Addition in GF(2^64) is XOR.
+                    assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_square_is_additive() {
+        // In characteristic 2, (a + b)^2 = a^2 + b^2.
+        let xs = [7u64, 0xABCD_EF01_2345_6789, u64::MAX];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(square(a ^ b), square(a) ^ square(b));
+            }
+        }
+    }
+
+    #[test]
+    fn cube_matches_pow() {
+        for a in [2u64, 5, 0xDEAD_BEEF_CAFE_F00D] {
+            assert_eq!(cube(a), pow(a, 3));
+        }
+    }
+
+    #[test]
+    fn multiplicative_order_divides_group_order() {
+        // |GF(2^64)^*| = 2^64 − 1; a^(2^64−1) must be 1 for any nonzero a.
+        // (This also certifies the reduction polynomial gives a field:
+        // were it reducible, some element would be a zero divisor and the
+        // identity would generally fail.)
+        for a in [2u64, 3, 0x0123_4567_89AB_CDEF, u64::MAX] {
+            assert_eq!(pow(a, u64::MAX as u128), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn no_zero_divisors_sampled() {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = x.rotate_left(17) | 1;
+            if x != 0 {
+                assert_ne!(mul(x, y), 0, "x={x:#x} y={y:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! 2-universal bucket hashing: `h(v) = ((a·v + b) mod p) mod m`.
+//!
+//! The classic Carter–Wegman universal family, used wherever the workspace
+//! needs to partition keys into `m` buckets with a collision guarantee
+//! (`Pr[h(x) = h(y)] ≤ ~1/m` for `x ≠ y`), e.g. sampled histograms and the
+//! experiments' stratified workloads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::field;
+use crate::rng::SplitMix64;
+
+/// A function from the 2-universal family mapping `u64` keys to
+/// `[0, buckets)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketHash {
+    /// Multiplier, uniform in `[1, P)` (nonzero keeps the map injective on
+    /// the field before bucketing).
+    a: u64,
+    /// Offset, uniform in `[0, P)`.
+    b: u64,
+    /// Number of buckets.
+    buckets: u64,
+}
+
+impl BucketHash {
+    /// Draws a function with `buckets` output buckets using `seed`.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is zero.
+    pub fn from_seed(seed: u64, buckets: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        Self::from_rng(&mut rng, buckets)
+    }
+
+    /// Draws a function from an existing generator.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is zero.
+    pub fn from_rng(rng: &mut SplitMix64, buckets: u64) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        Self {
+            a: 1 + rng.next_below(field::P - 1),
+            b: rng.next_below(field::P),
+            buckets,
+        }
+    }
+
+    /// Hashes `v` to a bucket index in `[0, buckets)`.
+    #[inline]
+    pub fn bucket(&self, v: u64) -> u64 {
+        let x = field::reduce64(v);
+        field::add(field::mul(self.a, x), self.b) % self.buckets
+    }
+
+    /// The number of output buckets.
+    pub fn buckets(&self) -> u64 {
+        self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_in_range() {
+        let h = BucketHash::from_seed(1, 7);
+        for v in 0..10_000u64 {
+            assert!(h.bucket(v) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count must be positive")]
+    fn zero_buckets_rejected() {
+        let _ = BucketHash::from_seed(1, 0);
+    }
+
+    #[test]
+    fn collision_probability_near_universal_bound() {
+        let mut rng = SplitMix64::new(404);
+        let m = 32u64;
+        let trials = 30_000;
+        let mut collisions = 0u32;
+        for _ in 0..trials {
+            let h = BucketHash::from_rng(&mut rng, m);
+            let x = rng.next_u64() % field::P;
+            let mut y = rng.next_u64() % field::P;
+            while y == x {
+                y = rng.next_u64() % field::P;
+            }
+            if h.bucket(x) == h.bucket(y) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        // Universal bound is ≤ 2/m for the mod-composed family.
+        assert!(rate < 2.5 / m as f64, "rate = {rate}");
+    }
+
+    #[test]
+    fn distribution_over_buckets_balanced() {
+        let h = BucketHash::from_seed(11, 16);
+        let mut counts = [0u32; 16];
+        let n = 32_000u64;
+        for v in 0..n {
+            counts[h.bucket(v) as usize] += 1;
+        }
+        let expect = n as f64 / 16.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 8.0 * expect.sqrt(),
+                "bucket {i}: {c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the hashing substrate.
+
+use ams_hash::field;
+use ams_hash::gf2;
+use ams_hash::kwise::{FourWisePoly, TwoWisePoly};
+use ams_hash::rng::SplitMix64;
+use ams_hash::sign::{PolySign, SignHash};
+use ams_hash::universal::BucketHash;
+use proptest::prelude::*;
+
+fn field_elem() -> impl Strategy<Value = u64> {
+    (0..field::P).prop_map(|x| x)
+}
+
+proptest! {
+    #[test]
+    fn field_add_commutes(a in field_elem(), b in field_elem()) {
+        prop_assert_eq!(field::add(a, b), field::add(b, a));
+    }
+
+    #[test]
+    fn field_mul_commutes(a in field_elem(), b in field_elem()) {
+        prop_assert_eq!(field::mul(a, b), field::mul(b, a));
+    }
+
+    #[test]
+    fn field_mul_matches_u128_modulo(a in field_elem(), b in field_elem()) {
+        let expected = ((a as u128 * b as u128) % field::P as u128) as u64;
+        prop_assert_eq!(field::mul(a, b), expected);
+    }
+
+    #[test]
+    fn field_distributes(a in field_elem(), b in field_elem(), c in field_elem()) {
+        let lhs = field::mul(a, field::add(b, c));
+        let rhs = field::add(field::mul(a, b), field::mul(a, c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn field_inverse_cancels(a in 1..field::P) {
+        let ai = field::inv(a).unwrap();
+        prop_assert_eq!(field::mul(a, ai), 1);
+    }
+
+    #[test]
+    fn reduce64_idempotent(x in any::<u64>()) {
+        let r = field::reduce64(x);
+        prop_assert!(r < field::P);
+        prop_assert_eq!(field::reduce64(r), r);
+    }
+
+    #[test]
+    fn gf2_mul_commutes_and_distributes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assert_eq!(gf2::mul(a, b), gf2::mul(b, a));
+        prop_assert_eq!(gf2::mul(a, b ^ c), gf2::mul(a, b) ^ gf2::mul(a, c));
+    }
+
+    #[test]
+    fn gf2_frobenius(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(gf2::square(a ^ b), gf2::square(a) ^ gf2::square(b));
+    }
+
+    #[test]
+    fn poly_hash_deterministic(seed in any::<u64>(), key in any::<u64>()) {
+        let h1 = FourWisePoly::from_seed(seed);
+        let h2 = FourWisePoly::from_seed(seed);
+        prop_assert_eq!(h1.hash(key), h2.hash(key));
+        prop_assert!(h1.hash(key) < field::P);
+    }
+
+    #[test]
+    fn two_wise_affine_structure(seed in any::<u64>(), x in field_elem(), y in field_elem()) {
+        // h(x) − h(y) = a·(x − y) for the linear family: difference of
+        // hashes is independent of the offset coefficient.
+        let h = TwoWisePoly::from_seed(seed);
+        let a = h.coeffs()[1];
+        let diff = field::sub(h.hash(x), h.hash(y));
+        prop_assert_eq!(diff, field::mul(a, field::sub(x, y)));
+    }
+
+    #[test]
+    fn sign_hash_in_domain(seed in any::<u64>(), key in any::<u64>()) {
+        let h = PolySign::from_seed(seed);
+        let s = h.sign(key);
+        prop_assert!(s == 1 || s == -1);
+    }
+
+    #[test]
+    fn bucket_hash_in_range(seed in any::<u64>(), key in any::<u64>(), m in 1u64..1_000) {
+        let h = BucketHash::from_seed(seed, m);
+        prop_assert!(h.bucket(key) < m);
+    }
+
+    #[test]
+    fn splitmix_below_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut g = SplitMix64::new(seed);
+        prop_assert!(g.next_below(bound) < bound);
+    }
+}

@@ -1,0 +1,47 @@
+//! Relation-level tracking: the paper's synopses, packaged the way a
+//! database engine would deploy them.
+//!
+//! The paper tracks one attribute of one relation per synopsis, and
+//! notes (§1, footnote 2) that a relation joined on several attributes
+//! needs a separate signature per attribute. This crate supplies that
+//! deployment layer:
+//!
+//! * [`RelationTracker`] — tracks one relation: tuple counts, a k-TW
+//!   join signature *per registered join attribute*, and a tug-of-war
+//!   self-join sketch per attribute (skew statistics). Updates are
+//!   row-shaped (`insert_row`/`delete_row`), so one logical write fans
+//!   out to every attribute synopsis.
+//! * [`TrackerConfig`] — shared configuration (signature size, seeds):
+//!   trackers built from the same config produce *compatible* signatures,
+//!   the precondition for cross-relation join estimation.
+//! * [`Catalog`] — a named collection of trackers with planner-facing
+//!   queries: estimated join size between any two (relation, attribute)
+//!   pairs, self-join/skew per attribute, and Fact 1.1 upper bounds.
+//!
+//! ```
+//! use ams_relation::{Catalog, TrackerConfig};
+//!
+//! let config = TrackerConfig::new(64, 0xCAFE).unwrap();
+//! let mut catalog = Catalog::new(config);
+//! catalog.add_relation("orders", &["customer_id", "product_id"]).unwrap();
+//! catalog.add_relation("returns", &["customer_id"]).unwrap();
+//!
+//! catalog.tracker_mut("orders").unwrap()
+//!     .insert_row(&[("customer_id", 17), ("product_id", 99)]).unwrap();
+//! catalog.tracker_mut("returns").unwrap()
+//!     .insert_row(&[("customer_id", 17)]).unwrap();
+//!
+//! let est = catalog
+//!     .estimate_join(("orders", "customer_id"), ("returns", "customer_id"))
+//!     .unwrap();
+//! assert!(est.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod tracker;
+
+pub use catalog::Catalog;
+pub use tracker::{AttributeStats, RelationTracker, TrackerConfig, TrackerError};

@@ -1,0 +1,101 @@
+//! Property-based tests for the relation/catalog layer.
+
+use ams_relation::{Catalog, RelationTracker, TrackerConfig};
+use proptest::prelude::*;
+
+fn config() -> TrackerConfig {
+    TrackerConfig::new(64, 0xFEED).unwrap()
+}
+
+proptest! {
+    /// Row inserts followed by row deletes in any order restore every
+    /// synopsis exactly (linearity surfaced at the relation level).
+    #[test]
+    fn insert_delete_roundtrip_restores_synopses(
+        rows in proptest::collection::vec((0u64..50, 0u64..50), 1..100),
+    ) {
+        let mut t = RelationTracker::new(config(), &["a", "b"]).unwrap();
+        let baseline_sig = t.signature("a").unwrap().counters().to_vec();
+        for &(a, b) in &rows {
+            t.insert_row(&[("a", a), ("b", b)]).unwrap();
+        }
+        for &(a, b) in rows.iter().rev() {
+            t.delete_row(&[("a", a), ("b", b)]).unwrap();
+        }
+        prop_assert_eq!(t.rows(), 0);
+        prop_assert_eq!(t.signature("a").unwrap().counters(), &baseline_sig[..]);
+        prop_assert_eq!(t.stats("a").unwrap().self_join, 0.0);
+    }
+
+    /// Join estimation is symmetric: est(A ⋈ B) == est(B ⋈ A).
+    #[test]
+    fn join_estimates_are_symmetric(
+        left in proptest::collection::vec(0u64..30, 1..150),
+        right in proptest::collection::vec(0u64..30, 1..150),
+    ) {
+        let cfg = config();
+        let mut a = RelationTracker::new(cfg, &["k"]).unwrap();
+        let mut b = RelationTracker::new(cfg, &["k"]).unwrap();
+        for &v in &left {
+            a.insert_row(&[("k", v)]).unwrap();
+        }
+        for &v in &right {
+            b.insert_row(&[("k", v)]).unwrap();
+        }
+        let ab = a.estimate_join("k", &b, "k").unwrap();
+        let ba = b.estimate_join("k", &a, "k").unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Splitting a load across two trackers and estimating against a
+    /// third is consistent: since signatures are linear, est((A ∪ B) ⋈ C)
+    /// = est(A ⋈ C) + est(B ⋈ C).
+    #[test]
+    fn signature_linearity_at_relation_level(
+        load in proptest::collection::vec(0u64..25, 2..120),
+        probe in proptest::collection::vec(0u64..25, 1..60),
+        split in 1usize..119,
+    ) {
+        let split = split.min(load.len() - 1);
+        let cfg = config();
+        let mut whole = RelationTracker::new(cfg, &["k"]).unwrap();
+        let mut part1 = RelationTracker::new(cfg, &["k"]).unwrap();
+        let mut part2 = RelationTracker::new(cfg, &["k"]).unwrap();
+        let mut probe_rel = RelationTracker::new(cfg, &["k"]).unwrap();
+        for (i, &v) in load.iter().enumerate() {
+            whole.insert_row(&[("k", v)]).unwrap();
+            if i < split {
+                part1.insert_row(&[("k", v)]).unwrap();
+            } else {
+                part2.insert_row(&[("k", v)]).unwrap();
+            }
+        }
+        for &v in &probe {
+            probe_rel.insert_row(&[("k", v)]).unwrap();
+        }
+        let whole_est = whole.estimate_join("k", &probe_rel, "k").unwrap();
+        let sum_est = part1.estimate_join("k", &probe_rel, "k").unwrap()
+            + part2.estimate_join("k", &probe_rel, "k").unwrap();
+        prop_assert!((whole_est - sum_est).abs() < 1e-6 * whole_est.abs().max(1.0));
+    }
+
+    /// Catalog operations never panic on arbitrary (valid) names and the
+    /// rank_joins output is always sorted.
+    #[test]
+    fn catalog_rank_joins_sorted(
+        loads in proptest::collection::vec(proptest::collection::vec(0u64..10, 0..50), 2..4),
+    ) {
+        let mut c = Catalog::new(config());
+        for (i, load) in loads.iter().enumerate() {
+            let name = format!("r{i}");
+            c.add_relation(&name, &["k"]).unwrap();
+            for &v in load {
+                c.tracker_mut(&name).unwrap().insert_row(&[("k", v)]).unwrap();
+            }
+        }
+        let ranked = c.rank_joins();
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].2 <= w[1].2);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Stream builders: interleave deletions into a base value sequence.
+//!
+//! The experiments' data sets are *value sequences*; the tracking scenario
+//! (§2) needs *operation sequences* mixing inserts and deletes. Builders
+//! here transform the former into the latter under the paper's constraint
+//! that deletions stay a bounded fraction of every prefix (Theorem 2.1
+//! requires insertions to outnumber deletions at least 4:1, i.e. a prefix
+//! delete fraction of at most 1/5).
+
+use ams_hash::SplitMix64;
+
+use crate::op::{Op, Value};
+
+/// How deletions are interleaved into the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeletePattern {
+    /// Insertions only (the classical AMS setting).
+    None,
+    /// After each insert, with probability `probability`, delete one
+    /// uniformly random element currently in the multiset ("churn").
+    ///
+    /// `probability` must lie in `[0, 0.25]` so every prefix keeps its
+    /// delete fraction within the paper's 1/5 bound in expectation.
+    RandomChurn {
+        /// Per-insert probability of emitting a delete.
+        probability: f64,
+    },
+    /// Every `every`-th insert is immediately followed by a delete of the
+    /// value just inserted (pure insert-then-undo churn; stresses the
+    /// "reverse the most recent insert" semantics).
+    UndoEvery {
+        /// Period between undo pairs; must be ≥ 5 to respect the 1/5
+        /// prefix bound.
+        every: usize,
+    },
+}
+
+/// Builds operation streams from value sequences.
+///
+/// ```
+/// use ams_stream::{DeletePattern, StreamBuilder};
+///
+/// let builder = StreamBuilder::with_pattern(
+///     DeletePattern::RandomChurn { probability: 0.2 },
+///     42,
+/// );
+/// let ops = builder.build(&[1, 2, 3, 1, 2, 3, 1, 2, 3, 4]);
+/// // Every delete in the built stream targets a live element.
+/// assert!(ams_stream::canonicalize(&ops).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamBuilder {
+    pattern: DeletePattern,
+    seed: u64,
+}
+
+impl Default for StreamBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamBuilder {
+    /// An insertion-only builder.
+    pub fn new() -> Self {
+        Self {
+            pattern: DeletePattern::None,
+            seed: 0,
+        }
+    }
+
+    /// A builder with the given deletion pattern. `seed` drives the random
+    /// choices of `RandomChurn`.
+    ///
+    /// # Panics
+    /// Panics if the pattern's parameters violate the paper's prefix
+    /// delete-fraction bound (probability > 0.25, or `every` < 5).
+    pub fn with_pattern(pattern: DeletePattern, seed: u64) -> Self {
+        match pattern {
+            DeletePattern::RandomChurn { probability } => {
+                assert!(
+                    (0.0..=0.25).contains(&probability),
+                    "churn probability {probability} outside [0, 0.25]"
+                );
+            }
+            DeletePattern::UndoEvery { every } => {
+                assert!(every >= 5, "undo period {every} < 5 breaks the 1/5 bound");
+            }
+            DeletePattern::None => {}
+        }
+        Self { pattern, seed }
+    }
+
+    /// Produces the operation stream for `values`.
+    pub fn build(&self, values: &[Value]) -> Vec<Op> {
+        match self.pattern {
+            DeletePattern::None => values.iter().map(|&v| Op::Insert(v)).collect(),
+            DeletePattern::RandomChurn { probability } => {
+                self.build_churn(values, probability)
+            }
+            DeletePattern::UndoEvery { every } => Self::build_undo(values, every),
+        }
+    }
+
+    fn build_churn(&self, values: &[Value], probability: f64) -> Vec<Op> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut ops = Vec::with_capacity(values.len() + values.len() / 3);
+        // Live elements, sampleable in O(1) via swap_remove.
+        let mut live: Vec<Value> = Vec::with_capacity(values.len());
+        for &v in values {
+            ops.push(Op::Insert(v));
+            live.push(v);
+            if !live.is_empty() && rng.next_f64() < probability {
+                let idx = rng.next_below(live.len() as u64) as usize;
+                let victim = live.swap_remove(idx);
+                ops.push(Op::Delete(victim));
+            }
+        }
+        ops
+    }
+
+    fn build_undo(values: &[Value], every: usize) -> Vec<Op> {
+        let mut ops = Vec::with_capacity(values.len() + values.len() / every);
+        for (i, &v) in values.iter().enumerate() {
+            ops.push(Op::Insert(v));
+            if (i + 1) % every == 0 {
+                ops.push(Op::Delete(v));
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{canonicalize, max_prefix_delete_fraction};
+    use crate::multiset::Multiset;
+
+    fn base_values(n: u64) -> Vec<Value> {
+        (0..n).map(|i| i % 17).collect()
+    }
+
+    #[test]
+    fn none_pattern_emits_pure_inserts() {
+        let ops = StreamBuilder::new().build(&base_values(10));
+        assert_eq!(ops.len(), 10);
+        assert!(ops.iter().all(Op::is_insert));
+    }
+
+    #[test]
+    fn churn_streams_are_well_formed() {
+        let builder =
+            StreamBuilder::with_pattern(DeletePattern::RandomChurn { probability: 0.2 }, 42);
+        let ops = builder.build(&base_values(5_000));
+        // Every delete must be matched (canonicalization succeeds).
+        let canon = canonicalize(&ops).expect("well-formed stream");
+        let n_deletes = ops.iter().filter(|o| !o.is_insert()).count();
+        assert!(n_deletes > 500, "churn produced only {n_deletes} deletes");
+        assert_eq!(canon.len(), 5_000 - n_deletes);
+    }
+
+    #[test]
+    fn churn_respects_prefix_fraction_bound() {
+        let builder =
+            StreamBuilder::with_pattern(DeletePattern::RandomChurn { probability: 0.25 }, 7);
+        let ops = builder.build(&base_values(20_000));
+        // probability 0.25 ⇒ expected fraction 0.2; allow early-prefix noise
+        // by checking only past a warmup of 100 ops.
+        let mut deletes = 0usize;
+        for (k, op) in ops.iter().enumerate() {
+            if !op.is_insert() {
+                deletes += 1;
+            }
+            if k >= 100 {
+                let frac = deletes as f64 / (k + 1) as f64;
+                assert!(frac < 0.3, "fraction {frac} at prefix {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn undo_pattern_cancels_exactly() {
+        let ops = StreamBuilder::with_pattern(DeletePattern::UndoEvery { every: 5 }, 0)
+            .build(&base_values(100));
+        let canon = canonicalize(&ops).unwrap();
+        // 100 inserts, 20 undone.
+        assert_eq!(canon.len(), 80);
+        assert!(max_prefix_delete_fraction(&ops) <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn churn_stream_replays_to_consistent_multiset() {
+        let builder =
+            StreamBuilder::with_pattern(DeletePattern::RandomChurn { probability: 0.1 }, 99);
+        let ops = builder.build(&base_values(2_000));
+        let mut ms = Multiset::new();
+        for &op in &ops {
+            assert!(ms.apply(op), "delete of absent value in built stream");
+        }
+        let canon = Multiset::from_values(canonicalize(&ops).unwrap());
+        assert_eq!(ms.self_join_size(), canon.self_join_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 0.25]")]
+    fn excessive_churn_probability_rejected() {
+        let _ = StreamBuilder::with_pattern(DeletePattern::RandomChurn { probability: 0.4 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "breaks the 1/5 bound")]
+    fn short_undo_period_rejected() {
+        let _ = StreamBuilder::with_pattern(DeletePattern::UndoEvery { every: 2 }, 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let b = StreamBuilder::with_pattern(DeletePattern::RandomChurn { probability: 0.2 }, 5);
+        assert_eq!(b.build(&base_values(500)), b.build(&base_values(500)));
+    }
+}

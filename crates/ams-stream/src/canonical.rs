@@ -1,0 +1,197 @@
+//! The paper's canonical-sequence transformation (§2.1, deletions).
+//!
+//! Any prefix sequence `Â` of insertions and deletions is reduced to an
+//! insertion-only sequence as follows: scanning left to right, each
+//! `delete(v)` is replaced by *nil*, and so is the **nearest `insert(v)`
+//! to its left** that has not already been nil'ed — i.e. a delete cancels
+//! the most recent undeleted insert of the same value. The non-nil inserts,
+//! in order, form the canonical insertion-only sequence `A`; the multiset
+//! of its values is exactly the multiset after processing `Â`.
+//!
+//! This transformation justifies treating deletes as "reversals of the most
+//! recent insert" inside sample-count, and it gives tests a precise oracle:
+//! *processing `Â` must leave any correct tracker in a state equivalent to
+//! processing `A`*.
+
+use ams_hash::FxHashMap;
+
+use crate::op::{Op, Value};
+
+/// Error from canonicalizing an ill-formed sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanonicalizeError {
+    /// A `delete(v)` appeared when no undeleted `insert(v)` precedes it.
+    DeleteFromEmpty {
+        /// The value whose delete could not be matched.
+        value: Value,
+        /// Index of the offending operation within the input sequence.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for CanonicalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanonicalizeError::DeleteFromEmpty { value, index } => write!(
+                f,
+                "delete({value}) at operation {index} has no matching prior insert"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CanonicalizeError {}
+
+/// Reduces an insert/delete sequence `Â` to its canonical insertion-only
+/// sequence `A` (the paper's `Â → A′ → A`).
+///
+/// Returns the values of the surviving inserts in their original order.
+///
+/// ```
+/// use ams_stream::{canonicalize, Op};
+///
+/// let ops = [Op::Insert(5), Op::Insert(7), Op::Insert(5), Op::Delete(5)];
+/// // The delete cancels the MOST RECENT insert of 5.
+/// assert_eq!(canonicalize(&ops).unwrap(), vec![5, 7]);
+/// ```
+///
+/// # Errors
+/// [`CanonicalizeError::DeleteFromEmpty`] if some delete has no matching
+/// prior undeleted insert — such sequences are outside the paper's model.
+pub fn canonicalize(ops: &[Op]) -> Result<Vec<Value>, CanonicalizeError> {
+    // For each value, a stack of indices of its live (not-yet-cancelled)
+    // inserts; a delete pops the top (= most recent).
+    let mut live: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+    let mut keep = vec![false; ops.len()];
+
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(v) => {
+                live.entry(v).or_default().push(i);
+                keep[i] = true;
+            }
+            Op::Delete(v) => {
+                let stack = live.get_mut(&v);
+                match stack.and_then(Vec::pop) {
+                    Some(j) => keep[j] = false,
+                    None => return Err(CanonicalizeError::DeleteFromEmpty { value: v, index: i }),
+                }
+            }
+        }
+    }
+
+    Ok(ops
+        .iter()
+        .enumerate()
+        .filter(|&(i, op)| keep[i] && op.is_insert())
+        .map(|(_, op)| op.value())
+        .collect())
+}
+
+/// Counts the maximum deletion fraction over all prefixes of `ops`:
+/// `max_k (#deletes in ops[..k]) / k`. The paper's sample-count analysis
+/// assumes this stays below 1/5 (Theorem 2.1 phrases it as insertions
+/// exceeding deletions by at least 4×).
+pub fn max_prefix_delete_fraction(ops: &[Op]) -> f64 {
+    let mut deletes = 0u64;
+    let mut worst = 0.0f64;
+    for (k, op) in ops.iter().enumerate() {
+        if !op.is_insert() {
+            deletes += 1;
+        }
+        let frac = deletes as f64 / (k + 1) as f64;
+        if frac > worst {
+            worst = frac;
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiset::Multiset;
+
+    #[test]
+    fn insert_only_sequence_is_its_own_canonical_form() {
+        let ops = vec![Op::Insert(1), Op::Insert(2), Op::Insert(1)];
+        assert_eq!(canonicalize(&ops).unwrap(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn delete_cancels_most_recent_insert_of_that_value() {
+        // Â = i(5) i(7) i(5) d(5): the *second* insert of 5 is cancelled.
+        let ops = vec![
+            Op::Insert(5),
+            Op::Insert(7),
+            Op::Insert(5),
+            Op::Delete(5),
+        ];
+        assert_eq!(canonicalize(&ops).unwrap(), vec![5, 7]);
+    }
+
+    #[test]
+    fn interleaved_deletes() {
+        let ops = vec![
+            Op::Insert(1), // kept
+            Op::Insert(2), // cancelled by first d(2)
+            Op::Delete(2),
+            Op::Insert(2), // kept
+            Op::Insert(1), // cancelled by d(1)
+            Op::Delete(1),
+            Op::Insert(3), // kept
+        ];
+        assert_eq!(canonicalize(&ops).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unmatched_delete_is_rejected_with_position() {
+        let ops = vec![Op::Insert(1), Op::Delete(2)];
+        assert_eq!(
+            canonicalize(&ops),
+            Err(CanonicalizeError::DeleteFromEmpty { value: 2, index: 1 })
+        );
+        let ops = vec![Op::Insert(1), Op::Delete(1), Op::Delete(1)];
+        assert_eq!(
+            canonicalize(&ops),
+            Err(CanonicalizeError::DeleteFromEmpty { value: 1, index: 2 })
+        );
+    }
+
+    #[test]
+    fn canonical_multiset_matches_direct_application() {
+        let ops = vec![
+            Op::Insert(1),
+            Op::Insert(1),
+            Op::Insert(2),
+            Op::Delete(1),
+            Op::Insert(3),
+            Op::Delete(2),
+            Op::Insert(1),
+        ];
+        let canon = canonicalize(&ops).unwrap();
+        let mut direct = Multiset::new();
+        for &op in &ops {
+            assert!(direct.apply(op));
+        }
+        let canonical_ms = Multiset::from_values(canon);
+        assert_eq!(direct.len(), canonical_ms.len());
+        assert_eq!(direct.self_join_size(), canonical_ms.self_join_size());
+        for (v, f) in direct.iter() {
+            assert_eq!(canonical_ms.frequency(v), f);
+        }
+    }
+
+    #[test]
+    fn delete_fraction_measures_worst_prefix() {
+        let ops = vec![
+            Op::Insert(1),
+            Op::Delete(1), // prefix [i,d]: 1/2
+            Op::Insert(2),
+            Op::Insert(3),
+        ];
+        assert!((max_prefix_delete_fraction(&ops) - 0.5).abs() < 1e-12);
+        assert_eq!(max_prefix_delete_fraction(&[]), 0.0);
+        assert_eq!(max_prefix_delete_fraction(&[Op::Insert(1)]), 0.0);
+    }
+}

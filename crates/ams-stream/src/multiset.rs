@@ -1,0 +1,301 @@
+//! An exact multiset with incrementally maintained self-join size.
+//!
+//! This is the "full histogram" baseline the paper contrasts against
+//! (storage proportional to the number of distinct values): it serves as
+//! ground truth for every experiment and test, and — via
+//! [`crate::tracker::ExactTracker`] — as the exact member of the estimator
+//! family.
+//!
+//! The self-join size is maintained *incrementally*: inserting a value with
+//! current frequency `f` changes `Σ f_v²` by `(f+1)² − f² = 2f + 1`, and a
+//! delete by `−(2f − 1)`, so updates are O(1) on top of the histogram
+//! probe.
+
+use std::collections::hash_map::Entry;
+
+use ams_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::op::{Op, Value};
+
+/// An exact multiset of `u64` values with O(1) self-join size maintenance.
+///
+/// ```
+/// use ams_stream::Multiset;
+///
+/// let mut ms = Multiset::from_values([1, 1, 2]);
+/// assert_eq!(ms.self_join_size(), 5); // 2² + 1²
+/// ms.delete(1);
+/// assert_eq!(ms.self_join_size(), 2);
+/// let other = Multiset::from_values([1, 2, 2]);
+/// assert_eq!(ms.join_size(&other), 3); // 1·1 + 1·2
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Multiset {
+    /// Value → frequency. Absent keys have frequency 0; stored frequencies
+    /// are always ≥ 1.
+    freq: FxHashMap<Value, u64>,
+    /// Total number of elements, `n = Σ f_v`.
+    len: u64,
+    /// Self-join size `Σ f_v²` (second frequency moment). `u128`: for
+    /// `n ≤ 2⁶⁴` elements concentrated on one value this reaches `n²`.
+    self_join: u128,
+}
+
+impl Multiset {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty multiset sized for `distinct` expected values.
+    pub fn with_capacity(distinct: usize) -> Self {
+        Self {
+            freq: FxHashMap::with_capacity_and_hasher(distinct, Default::default()),
+            len: 0,
+            self_join: 0,
+        }
+    }
+
+    /// Builds a multiset from a value sequence.
+    pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        let mut ms = Self::new();
+        for v in values {
+            ms.insert(v);
+        }
+        ms
+    }
+
+    /// Inserts one occurrence of `v`.
+    #[inline]
+    pub fn insert(&mut self, v: Value) {
+        let f = self.freq.entry(v).or_insert(0);
+        // (f+1)² − f² = 2f + 1
+        self.self_join += (2 * *f + 1) as u128;
+        *f += 1;
+        self.len += 1;
+    }
+
+    /// Deletes one occurrence of `v`. Returns `false` (leaving the set
+    /// unchanged) if `v` is not present.
+    #[inline]
+    pub fn delete(&mut self, v: Value) -> bool {
+        match self.freq.entry(v) {
+            Entry::Occupied(mut e) => {
+                let f = *e.get();
+                debug_assert!(f >= 1);
+                // f² − (f−1)² = 2f − 1
+                self.self_join -= (2 * f - 1) as u128;
+                if f == 1 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = f - 1;
+                }
+                self.len -= 1;
+                true
+            }
+            Entry::Vacant(_) => false,
+        }
+    }
+
+    /// Applies one operation. Returns `false` for a delete of an absent
+    /// value.
+    #[inline]
+    pub fn apply(&mut self, op: Op) -> bool {
+        match op {
+            Op::Insert(v) => {
+                self.insert(v);
+                true
+            }
+            Op::Delete(v) => self.delete(v),
+        }
+    }
+
+    /// The frequency of `v` (0 if absent).
+    #[inline]
+    pub fn frequency(&self, v: Value) -> u64 {
+        self.freq.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Total number of elements `n`.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the multiset holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct values currently present.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// The exact self-join size `SJ(R) = Σ f_v²` (the second frequency
+    /// moment F₂, the statistics literature's *repeat rate* / Gini index
+    /// of homogeneity).
+    #[inline]
+    pub fn self_join_size(&self) -> u128 {
+        self.self_join
+    }
+
+    /// The exact join size `|R ⋈ S| = Σ_v f_v · g_v` against another
+    /// multiset on the same attribute.
+    pub fn join_size(&self, other: &Multiset) -> u128 {
+        // Iterate the smaller histogram and probe the larger.
+        let (small, large) = if self.freq.len() <= other.freq.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .freq
+            .iter()
+            .map(|(&v, &f)| f as u128 * large.frequency(v) as u128)
+            .sum()
+    }
+
+    /// Iterates `(value, frequency)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Value, u64)> + '_ {
+        self.freq.iter().map(|(&v, &f)| (v, f))
+    }
+
+    /// The most frequent `(value, frequency)` pair, if nonempty (ties
+    /// broken by smaller value for determinism).
+    pub fn mode(&self) -> Option<(Value, u64)> {
+        self.freq
+            .iter()
+            .map(|(&v, &f)| (v, f))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Verifies Fact 1.1: `|R ⋈ S| ≤ (SJ(R) + SJ(S)) / 2`. Exposed for
+    /// tests and examples; always true mathematically.
+    pub fn join_bound_holds(&self, other: &Multiset) -> bool {
+        2 * self.join_size(other) <= self.self_join_size() + other.self_join_size()
+    }
+}
+
+impl FromIterator<Value> for Multiset {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Self::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_sj(ms: &Multiset) -> u128 {
+        ms.iter().map(|(_, f)| (f as u128) * (f as u128)).sum()
+    }
+
+    #[test]
+    fn empty_set_invariants() {
+        let ms = Multiset::new();
+        assert!(ms.is_empty());
+        assert_eq!(ms.len(), 0);
+        assert_eq!(ms.distinct(), 0);
+        assert_eq!(ms.self_join_size(), 0);
+        assert_eq!(ms.mode(), None);
+    }
+
+    #[test]
+    fn insert_updates_sj_incrementally() {
+        let mut ms = Multiset::new();
+        ms.insert(5);
+        assert_eq!(ms.self_join_size(), 1); // 1²
+        ms.insert(5);
+        assert_eq!(ms.self_join_size(), 4); // 2²
+        ms.insert(7);
+        assert_eq!(ms.self_join_size(), 5); // 2² + 1²
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms.distinct(), 2);
+        assert_eq!(brute_force_sj(&ms), 5);
+    }
+
+    #[test]
+    fn delete_reverses_insert_exactly() {
+        let mut ms = Multiset::from_values([1, 1, 1, 2, 2, 3]);
+        let sj = ms.self_join_size(); // 9 + 4 + 1 = 14
+        assert_eq!(sj, 14);
+        ms.insert(2);
+        assert!(ms.delete(2));
+        assert_eq!(ms.self_join_size(), 14);
+        assert_eq!(ms.len(), 6);
+    }
+
+    #[test]
+    fn delete_absent_value_is_noop() {
+        let mut ms = Multiset::from_values([1, 2]);
+        assert!(!ms.delete(3));
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms.self_join_size(), 2);
+        // Delete to zero then once more.
+        assert!(ms.delete(1));
+        assert!(!ms.delete(1));
+        assert_eq!(ms.distinct(), 1);
+    }
+
+    #[test]
+    fn join_size_matches_hand_computation() {
+        let r = Multiset::from_values([1, 1, 2, 3]);
+        let s = Multiset::from_values([1, 2, 2, 4]);
+        // f·g: value 1: 2·1, value 2: 1·2, value 3: 1·0, value 4: 0·1 → 4
+        assert_eq!(r.join_size(&s), 4);
+        assert_eq!(s.join_size(&r), 4);
+        // Self-join via join with self.
+        assert_eq!(r.join_size(&r), r.self_join_size());
+    }
+
+    #[test]
+    fn join_bound_fact_1_1() {
+        let r = Multiset::from_values([1, 1, 1, 2]);
+        let s = Multiset::from_values([1, 3, 3, 3]);
+        assert!(r.join_bound_holds(&s));
+    }
+
+    #[test]
+    fn mode_returns_heaviest_value() {
+        let ms = Multiset::from_values([4, 4, 4, 9, 9, 1]);
+        assert_eq!(ms.mode(), Some((4, 3)));
+    }
+
+    #[test]
+    fn mode_breaks_frequency_ties_by_smaller_value() {
+        let ms = Multiset::from_values([9, 9, 4, 4]);
+        assert_eq!(ms.mode(), Some((4, 2)));
+    }
+
+    #[test]
+    fn apply_dispatches() {
+        let mut ms = Multiset::new();
+        assert!(ms.apply(Op::Insert(1)));
+        assert!(ms.apply(Op::Delete(1)));
+        assert!(!ms.apply(Op::Delete(1)));
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_stats() {
+        let ms = Multiset::from_values([1, 1, 2, 5, 5, 5]);
+        let json = serde_json::to_string(&ms).unwrap();
+        let back: Multiset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), ms.len());
+        assert_eq!(back.self_join_size(), ms.self_join_size());
+        assert_eq!(back.frequency(5), 3);
+    }
+
+    #[test]
+    fn large_frequency_no_overflow_of_u128_path() {
+        let mut ms = Multiset::new();
+        for _ in 0..100_000 {
+            ms.insert(42);
+        }
+        assert_eq!(ms.self_join_size(), 100_000u128 * 100_000u128);
+    }
+}

@@ -1,0 +1,81 @@
+//! The stream operation model.
+
+use serde::{Deserialize, Serialize};
+
+/// An attribute value. The paper's domain is `D = {1, …, t}`; we use the
+/// full `u64` space and let workloads choose their own domains.
+pub type Value = u64;
+
+/// One update operation on the tracked multiset.
+///
+/// Queries are not part of the stream encoding: an estimator's
+/// [`estimate`](crate::tracker::SelfJoinEstimator::estimate) can be called
+/// at any point, so materializing query markers would only constrain
+/// replay drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Insert one occurrence of the value.
+    Insert(Value),
+    /// Delete one occurrence of the value (which must be present; see
+    /// [`crate::canonical`] for the exact semantics).
+    Delete(Value),
+}
+
+impl Op {
+    /// The value this operation touches.
+    #[inline]
+    pub fn value(&self) -> Value {
+        match *self {
+            Op::Insert(v) | Op::Delete(v) => v,
+        }
+    }
+
+    /// `true` for inserts.
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Op::Insert(_))
+    }
+
+    /// The signed multiplicity change this operation applies (+1 / −1).
+    #[inline]
+    pub fn delta(&self) -> i64 {
+        match self {
+            Op::Insert(_) => 1,
+            Op::Delete(_) => -1,
+        }
+    }
+}
+
+/// Wraps every value of an iterator as an insert operation.
+pub fn inserts<I: IntoIterator<Item = Value>>(values: I) -> impl Iterator<Item = Op> {
+    values.into_iter().map(Op::Insert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Op::Insert(7).value(), 7);
+        assert_eq!(Op::Delete(9).value(), 9);
+        assert!(Op::Insert(1).is_insert());
+        assert!(!Op::Delete(1).is_insert());
+        assert_eq!(Op::Insert(1).delta(), 1);
+        assert_eq!(Op::Delete(1).delta(), -1);
+    }
+
+    #[test]
+    fn inserts_helper_wraps_all() {
+        let ops: Vec<Op> = inserts([1, 2, 3]).collect();
+        assert_eq!(ops, vec![Op::Insert(1), Op::Insert(2), Op::Insert(3)]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ops = vec![Op::Insert(5), Op::Delete(5)];
+        let json = serde_json::to_string(&ops).unwrap();
+        let back: Vec<Op> = serde_json::from_str(&json).unwrap();
+        assert_eq!(ops, back);
+    }
+}

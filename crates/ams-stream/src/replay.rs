@@ -1,0 +1,145 @@
+//! Replay drivers: run any estimator over an operation stream, optionally
+//! recording ground-truth checkpoints along the way.
+
+use crate::multiset::Multiset;
+use crate::op::Op;
+use crate::tracker::SelfJoinEstimator;
+
+/// The state of an estimator-vs-truth comparison at one stream position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Number of operations processed so far (checkpoint taken *after*
+    /// this many ops).
+    pub ops_processed: usize,
+    /// The estimator's answer.
+    pub estimate: f64,
+    /// The exact self-join size at this point.
+    pub exact: u128,
+    /// `|estimate − exact| / exact`; `f64::INFINITY` when `exact` is 0 and
+    /// the estimate is not (0.0 when both are 0).
+    pub relative_error: f64,
+}
+
+impl Checkpoint {
+    fn measure<E: SelfJoinEstimator>(est: &E, truth: &Multiset, ops_processed: usize) -> Self {
+        let estimate = est.estimate();
+        let exact = truth.self_join_size();
+        let relative_error = relative_error(estimate, exact);
+        Checkpoint {
+            ops_processed,
+            estimate,
+            exact,
+            relative_error,
+        }
+    }
+}
+
+/// `|estimate − exact| / exact` with the 0/0 = 0 convention.
+pub fn relative_error(estimate: f64, exact: u128) -> f64 {
+    if exact == 0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - exact as f64).abs() / exact as f64
+    }
+}
+
+/// Feeds every operation to the estimator. Returns the final estimate.
+pub fn replay<E: SelfJoinEstimator>(estimator: &mut E, ops: &[Op]) -> f64 {
+    for &op in ops {
+        estimator.apply(op);
+    }
+    estimator.estimate()
+}
+
+/// Feeds every operation to the estimator while maintaining exact ground
+/// truth, emitting a [`Checkpoint`] every `every` operations and one final
+/// checkpoint at the end of the stream.
+///
+/// # Panics
+/// Panics if `every` is 0.
+pub fn replay_with_truth<E: SelfJoinEstimator>(
+    estimator: &mut E,
+    ops: &[Op],
+    every: usize,
+) -> Vec<Checkpoint> {
+    assert!(every > 0, "checkpoint interval must be positive");
+    let mut truth = Multiset::new();
+    let mut checkpoints = Vec::with_capacity(ops.len() / every + 1);
+    for (i, &op) in ops.iter().enumerate() {
+        estimator.apply(op);
+        let applied = truth.apply(op);
+        debug_assert!(applied, "stream deletes an absent value at op {i}");
+        if (i + 1).is_multiple_of(every) {
+            checkpoints.push(Checkpoint::measure(estimator, &truth, i + 1));
+        }
+    }
+    if !ops.len().is_multiple_of(every) || ops.is_empty() {
+        checkpoints.push(Checkpoint::measure(estimator, &truth, ops.len()));
+    }
+    checkpoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::inserts;
+    use crate::tracker::ExactTracker;
+
+    #[test]
+    fn replay_returns_final_estimate() {
+        let ops: Vec<Op> = inserts([1u64, 1, 2]).collect();
+        let mut t = ExactTracker::new();
+        assert_eq!(replay(&mut t, &ops), 5.0);
+    }
+
+    #[test]
+    fn exact_tracker_checkpoints_have_zero_error() {
+        let ops: Vec<Op> = inserts((0..100u64).map(|i| i % 10)).collect();
+        let mut t = ExactTracker::new();
+        let cps = replay_with_truth(&mut t, &ops, 25);
+        assert_eq!(cps.len(), 4);
+        for cp in &cps {
+            assert_eq!(cp.relative_error, 0.0);
+            assert_eq!(cp.estimate, cp.exact as f64);
+        }
+        assert_eq!(cps.last().unwrap().ops_processed, 100);
+    }
+
+    #[test]
+    fn final_checkpoint_emitted_for_ragged_lengths() {
+        let ops: Vec<Op> = inserts([1u64, 2, 3]).collect();
+        let mut t = ExactTracker::new();
+        let cps = replay_with_truth(&mut t, &ops, 2);
+        // one at op 2, one final at op 3
+        assert_eq!(cps.len(), 2);
+        assert_eq!(cps[1].ops_processed, 3);
+    }
+
+    #[test]
+    fn empty_stream_yields_single_zero_checkpoint() {
+        let mut t = ExactTracker::new();
+        let cps = replay_with_truth(&mut t, &[], 10);
+        assert_eq!(cps.len(), 1);
+        assert_eq!(cps[0].exact, 0);
+        assert_eq!(cps[0].relative_error, 0.0);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(relative_error(0.0, 0), 0.0);
+        assert_eq!(relative_error(5.0, 0), f64::INFINITY);
+        assert!((relative_error(110.0, 100) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90.0, 100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let mut t = ExactTracker::new();
+        let _ = replay_with_truth(&mut t, &[], 0);
+    }
+}

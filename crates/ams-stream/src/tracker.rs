@@ -1,0 +1,129 @@
+//! The estimator interface and its exact reference implementation.
+
+use crate::multiset::Multiset;
+use crate::op::{Op, Value};
+
+/// A tracking algorithm for the self-join size of a dynamic multiset.
+///
+/// Implementations process a stream of insertions and deletions and answer
+/// `query` operations at any point with an estimate of `SJ(R) = Σ f_v²`.
+/// This is the contract shared by the paper's three algorithms
+/// (tug-of-war, sample-count, naive-sampling in `ams-core`) and by the
+/// exact baseline [`ExactTracker`].
+pub trait SelfJoinEstimator {
+    /// Processes `insert(v)`.
+    fn insert(&mut self, v: Value);
+
+    /// Processes `delete(v)`. Callers must only delete present values
+    /// (see [`crate::canonical`]); implementations are free to
+    /// silently tolerate or to debug-assert on violations.
+    fn delete(&mut self, v: Value);
+
+    /// Returns the current estimate of the self-join size.
+    fn estimate(&self) -> f64;
+
+    /// Approximate memory footprint in machine words, the paper's space
+    /// measure ("number of Θ(log n)-bit memory words").
+    fn memory_words(&self) -> usize;
+
+    /// Processes one stream operation.
+    #[inline]
+    fn apply(&mut self, op: Op) {
+        match op {
+            Op::Insert(v) => self.insert(v),
+            Op::Delete(v) => self.delete(v),
+        }
+    }
+
+    /// Processes every operation of a stream in order.
+    fn extend_ops<I: IntoIterator<Item = Op>>(&mut self, ops: I)
+    where
+        Self: Sized,
+    {
+        for op in ops {
+            self.apply(op);
+        }
+    }
+
+    /// Inserts every value of an iterator.
+    fn extend_values<I: IntoIterator<Item = Value>>(&mut self, values: I)
+    where
+        Self: Sized,
+    {
+        for v in values {
+            self.insert(v);
+        }
+    }
+}
+
+/// The exact tracker: a full histogram (space Θ(#distinct values)).
+///
+/// This is the baseline whose storage cost motivates the whole paper; it
+/// anchors experiments with zero-error ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct ExactTracker {
+    set: Multiset,
+}
+
+impl ExactTracker {
+    /// Creates an empty exact tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the underlying multiset.
+    pub fn multiset(&self) -> &Multiset {
+        &self.set
+    }
+}
+
+impl SelfJoinEstimator for ExactTracker {
+    #[inline]
+    fn insert(&mut self, v: Value) {
+        self.set.insert(v);
+    }
+
+    #[inline]
+    fn delete(&mut self, v: Value) {
+        let present = self.set.delete(v);
+        debug_assert!(present, "delete({v}) of absent value");
+    }
+
+    fn estimate(&self) -> f64 {
+        self.set.self_join_size() as f64
+    }
+
+    fn memory_words(&self) -> usize {
+        // value + counter per distinct entry.
+        2 * self.set.distinct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tracker_is_exact() {
+        let mut t = ExactTracker::new();
+        t.extend_values([1u64, 1, 2, 3, 3, 3]);
+        assert_eq!(t.estimate(), (4 + 1 + 9) as f64);
+        t.delete(3);
+        assert_eq!(t.estimate(), (4 + 1 + 4) as f64);
+    }
+
+    #[test]
+    fn apply_routes_ops() {
+        let mut t = ExactTracker::new();
+        t.extend_ops([Op::Insert(9), Op::Insert(9), Op::Delete(9)]);
+        assert_eq!(t.estimate(), 1.0);
+    }
+
+    #[test]
+    fn memory_words_tracks_distinct_values() {
+        let mut t = ExactTracker::new();
+        assert_eq!(t.memory_words(), 0);
+        t.extend_values([1u64, 2, 2, 3]);
+        assert_eq!(t.memory_words(), 6);
+    }
+}

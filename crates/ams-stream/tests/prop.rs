@@ -1,0 +1,112 @@
+//! Property-based tests for the stream substrate.
+
+use ams_stream::{canonicalize, Multiset, Op, SelfJoinEstimator};
+use proptest::prelude::*;
+
+/// Strategy: a well-formed op sequence (every delete matches a live
+/// insert), built by tracking live counts during generation.
+fn wellformed_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u64..20, any::<bool>()), 0..max_len).prop_map(|raw| {
+        let mut live = std::collections::HashMap::<u64, u64>::new();
+        let mut ops = Vec::with_capacity(raw.len());
+        for (v, want_delete) in raw {
+            let count = live.entry(v).or_insert(0);
+            if want_delete && *count > 0 {
+                *count -= 1;
+                ops.push(Op::Delete(v));
+            } else {
+                *count += 1;
+                ops.push(Op::Insert(v));
+            }
+        }
+        ops
+    })
+}
+
+fn brute_force_sj(values: &[u64]) -> u128 {
+    let mut freq = std::collections::HashMap::<u64, u128>::new();
+    for &v in values {
+        *freq.entry(v).or_insert(0) += 1;
+    }
+    freq.values().map(|f| f * f).sum()
+}
+
+proptest! {
+    #[test]
+    fn multiset_sj_matches_brute_force(values in proptest::collection::vec(0u64..50, 0..500)) {
+        let ms = Multiset::from_values(values.iter().copied());
+        prop_assert_eq!(ms.self_join_size(), brute_force_sj(&values));
+        prop_assert_eq!(ms.len() as usize, values.len());
+    }
+
+    #[test]
+    fn multiset_join_is_symmetric_and_bounded(
+        a in proptest::collection::vec(0u64..30, 0..200),
+        b in proptest::collection::vec(0u64..30, 0..200),
+    ) {
+        let ra = Multiset::from_values(a);
+        let rb = Multiset::from_values(b);
+        prop_assert_eq!(ra.join_size(&rb), rb.join_size(&ra));
+        // Fact 1.1: |A ⋈ B| ≤ (SJ(A) + SJ(B)) / 2.
+        prop_assert!(2 * ra.join_size(&rb) <= ra.self_join_size() + rb.self_join_size());
+        // Cauchy–Schwarz: |A ⋈ B|² ≤ SJ(A)·SJ(B).
+        let j = ra.join_size(&rb);
+        prop_assert!(j * j <= ra.self_join_size() * rb.self_join_size());
+    }
+
+    #[test]
+    fn canonicalization_preserves_final_multiset(ops in wellformed_ops(400)) {
+        let canon = canonicalize(&ops).expect("wellformed by construction");
+        let mut direct = Multiset::new();
+        for &op in &ops {
+            prop_assert!(direct.apply(op));
+        }
+        let canonical = Multiset::from_values(canon.iter().copied());
+        prop_assert_eq!(direct.len(), canonical.len());
+        prop_assert_eq!(direct.self_join_size(), canonical.self_join_size());
+        for (v, f) in direct.iter() {
+            prop_assert_eq!(canonical.frequency(v), f);
+        }
+    }
+
+    #[test]
+    fn canonical_sequence_is_subsequence_of_inserts(ops in wellformed_ops(300)) {
+        let canon = canonicalize(&ops).expect("wellformed");
+        // The canonical values must embed order-preservingly into the
+        // insert subsequence.
+        let inserts: Vec<u64> = ops.iter().filter(|o| o.is_insert()).map(|o| o.value()).collect();
+        let mut it = inserts.iter();
+        for &v in &canon {
+            prop_assert!(it.any(|&x| x == v), "canonical value {v} not embeddable");
+        }
+    }
+
+    #[test]
+    fn exact_tracker_agrees_with_multiset_on_any_stream(ops in wellformed_ops(300)) {
+        let mut tracker = ams_stream::ExactTracker::new();
+        let mut ms = Multiset::new();
+        for &op in &ops {
+            tracker.apply(op);
+            ms.apply(op);
+        }
+        prop_assert_eq!(tracker.estimate(), ms.self_join_size() as f64);
+    }
+
+    #[test]
+    fn insert_delete_roundtrip_is_identity(
+        base in proptest::collection::vec(0u64..40, 0..200),
+        extra in proptest::collection::vec(0u64..40, 0..50),
+    ) {
+        let mut ms = Multiset::from_values(base.iter().copied());
+        let before_sj = ms.self_join_size();
+        let before_len = ms.len();
+        for &v in &extra {
+            ms.insert(v);
+        }
+        for &v in extra.iter().rev() {
+            prop_assert!(ms.delete(v));
+        }
+        prop_assert_eq!(ms.self_join_size(), before_sj);
+        prop_assert_eq!(ms.len(), before_len);
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: track a self-join size in a few kilobytes instead of a
+//! full histogram.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ams::{DatasetId, Multiset, SampleCount, SelfJoinEstimator, SketchParams, TugOfWarSketch};
+
+fn main() {
+    // A Zipf(1.0) stream of half a million values over ~10k distinct
+    // values — Figure 2's data set.
+    let values = DatasetId::Zipf10.generate(42);
+
+    // Ground truth (what a production system can NOT afford to keep):
+    // ~10k counters.
+    let exact = Multiset::from_values(values.iter().copied());
+    println!(
+        "stream: n = {}, distinct = {}, exact self-join size = {:.4e}",
+        exact.len(),
+        exact.distinct(),
+        exact.self_join_size() as f64
+    );
+
+    // A tug-of-war sketch: 256 words total (s1 = 64 averaged per group,
+    // median over s2 = 4 groups).
+    let params = SketchParams::new(64, 4).expect("valid shape");
+    let mut sketch: TugOfWarSketch = TugOfWarSketch::new(params, 7);
+    for &v in &values {
+        sketch.insert(v);
+    }
+    report("tug-of-war", &sketch, &exact);
+
+    // Sample-count with the same budget: O(1) amortized per update.
+    let mut sample_count = SampleCount::new(params, 7);
+    for &v in &values {
+        sample_count.insert(v);
+    }
+    report("sample-count", &sample_count, &exact);
+
+    // Deletions are first-class: remove the last 10k values again.
+    let mut truth = exact.clone();
+    for &v in values.iter().rev().take(10_000) {
+        sketch.delete(v);
+        sample_count.delete(v);
+        truth.delete(v);
+    }
+    println!("\nafter deleting the most recent 10k values:");
+    report("tug-of-war", &sketch, &truth);
+    report("sample-count", &sample_count, &truth);
+}
+
+fn report<E: SelfJoinEstimator>(name: &str, estimator: &E, truth: &Multiset) {
+    let exact = truth.self_join_size() as f64;
+    let estimate = estimator.estimate();
+    println!(
+        "{name:>14}: estimate {estimate:.4e}  (exact {exact:.4e}, error {:+.2}%, {} words)",
+        100.0 * (estimate - exact) / exact,
+        estimator.memory_words()
+    );
+}

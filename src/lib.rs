@@ -1,0 +1,33 @@
+//! `ams`: the workspace façade for the AMS join/self-join tracking
+//! library.
+//!
+//! Re-exports the public API of the member crates so applications can
+//! depend on a single crate:
+//!
+//! * [`core`] — the sketches and signatures (tug-of-war, sample-count,
+//!   naive-sampling, k-TW join signatures).
+//! * [`stream`] — the operation model, exact multisets, canonical
+//!   sequences and replay drivers.
+//! * [`datagen`] — the Table 1 workload generators.
+//! * [`hash`] — the k-wise independent hashing substrate.
+//!
+//! See the repository README for a guided tour and the `examples/`
+//! directory for runnable scenarios.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use ams_core as core;
+pub use ams_datagen as datagen;
+pub use ams_hash as hash;
+pub use ams_relation as relation;
+pub use ams_stream as stream;
+
+pub use ams_core::{
+    CompressedHistogram, DeltaTracker, JoinSignatureFamily, NaiveSampling, SampleCount,
+    SampleCountFastQuery, SampleJoinSignature, SelfJoinEstimator, SketchError, SketchParams,
+    ThreeWayFamily, ThreeWayRole, TugOfWarSketch, TwJoinSignature,
+};
+pub use ams_datagen::DatasetId;
+pub use ams_relation::{Catalog, RelationTracker, TrackerConfig};
+pub use ams_stream::{DeletePattern, ExactTracker, Multiset, Op, StreamBuilder, Value};
