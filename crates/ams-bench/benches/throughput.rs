@@ -13,6 +13,7 @@ use ams_core::{
     TugOfWarSketch,
 };
 use ams_datagen::DatasetId;
+use ams_stream::{value_blocks, OpBlock};
 
 const UPDATE_BATCH: usize = 10_000;
 
@@ -148,5 +149,77 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_deletes, bench_queries);
+/// Scalar vs block ingestion: the same 10k-value Zipf stream pushed
+/// through the per-item path and through pre-built columnar blocks of
+/// 64 / 256 / 1024 source values. Sketch construction and block
+/// building are outside the timed region, so the numbers compare the
+/// update kernels themselves (AoS per-item dispatch vs the SoA plane
+/// sweep).
+fn bench_scalar_vs_block(c: &mut Criterion) {
+    let workload = Workload::from_dataset(DatasetId::Zipf10, Some(UPDATE_BATCH));
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(UPDATE_BATCH as u64));
+    let params = SketchParams::single_group(256).unwrap();
+
+    let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, 1);
+    group.bench_function("tug-of-war/scalar", |b| {
+        b.iter(|| {
+            for &v in &workload.values {
+                tw.insert(v);
+            }
+            tw.counters()[0]
+        });
+    });
+    for block_size in [64usize, 256, 1024] {
+        let blocks: Vec<OpBlock> = value_blocks(&workload.values, block_size).collect();
+        let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, 1);
+        group.bench_with_input(
+            BenchmarkId::new("tug-of-war/block", block_size),
+            &block_size,
+            |b, _| {
+                b.iter(|| {
+                    for block in &blocks {
+                        tw.apply_block(block);
+                    }
+                    tw.counters()[0]
+                });
+            },
+        );
+    }
+
+    // Sample-count for contrast: its updates are O(1) amortized, so the
+    // block path only trims dispatch — the interesting claim is that it
+    // does not get *slower*.
+    group.bench_function("sample-count/scalar", |b| {
+        b.iter(|| {
+            let mut sc = SampleCount::new(params, 1);
+            for &v in &workload.values {
+                sc.insert(v);
+            }
+            sc
+        });
+    });
+    {
+        let blocks: Vec<OpBlock> = value_blocks(&workload.values, 256).collect();
+        group.bench_function("sample-count/block/256", |b| {
+            b.iter(|| {
+                let mut sc = SampleCount::new(params, 1);
+                for block in &blocks {
+                    sc.apply_block(block);
+                }
+                sc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_updates,
+    bench_deletes,
+    bench_queries,
+    bench_scalar_vs_block
+);
 criterion_main!(benches);

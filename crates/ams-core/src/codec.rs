@@ -88,8 +88,7 @@ mod tests {
     use ams_stream::SelfJoinEstimator;
 
     fn sample_sketch() -> TugOfWarSketch<PolySign> {
-        let mut tw: TugOfWarSketch =
-            TugOfWarSketch::new(SketchParams::new(8, 3).unwrap(), 0xC0DEC);
+        let mut tw: TugOfWarSketch = TugOfWarSketch::new(SketchParams::new(8, 3).unwrap(), 0xC0DEC);
         tw.extend_values([1u64, 5, 5, 9, 1, 2]);
         tw
     }

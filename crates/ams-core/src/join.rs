@@ -21,12 +21,13 @@
 //!   equality joins `Σ_v f_v·g_v·h_v`, via two independent sign families
 //!   with role-dependent signatures.
 
+use ams_hash::plane::{PolySignPlane, SignPlane};
 use ams_hash::rng::SplitMix64;
-use ams_hash::sign::{PolySign, SignFamily, SignHash};
+use ams_hash::sign::PolySign;
 use ams_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
-use ams_stream::Value;
+use ams_stream::{OpBlock, Value};
 
 use crate::error::SketchError;
 use crate::params::SketchParams;
@@ -121,6 +122,18 @@ impl TwJoinSignature {
     #[inline]
     pub fn update(&mut self, v: Value, delta: i64) {
         self.sketch.update(v, delta);
+    }
+
+    /// Registers a columnar batch of tuples in one plane sweep per
+    /// counter (linear, so any block ordering — including fully
+    /// coalesced blocks — gives identical counters).
+    pub fn update_block(&mut self, block: &OpBlock) {
+        self.sketch.update_block(block);
+    }
+
+    /// Registers raw value/delta columns without building an [`OpBlock`].
+    pub fn update_columns(&mut self, values: &[Value], deltas: &[i64]) {
+        self.sketch.update_columns(values, deltas);
     }
 
     /// Estimates `|F ⋈ G|` from this signature and another of the same
@@ -240,6 +253,17 @@ impl SampleJoinSignature {
         }
     }
 
+    /// Registers a columnar batch. Bernoulli sampling consumes one coin
+    /// per tuple, so the block is expanded entry by entry in order
+    /// (the canonical [`OpBlock::for_each_op`] expansion) —
+    /// bit-identical to the scalar stream on run-coalesced blocks.
+    pub fn update_block(&mut self, block: &OpBlock) {
+        block.for_each_op(|op| match op {
+            ams_stream::Op::Insert(v) => self.insert(v),
+            ams_stream::Op::Delete(v) => self.delete(v),
+        });
+    }
+
     /// The number of sampled tuples currently held.
     pub fn sample_size(&self) -> usize {
         self.counts.values().map(|&c| c as usize).sum()
@@ -314,14 +338,12 @@ impl ThreeWayFamily {
     pub fn signature(&self, role: ThreeWayRole) -> ThreeWaySignature {
         let mut xi_rng = SplitMix64::new(self.seed ^ 0x9E37_79B9_7F4A_7C15);
         let mut psi_rng = SplitMix64::new(self.seed.rotate_left(17) ^ 0xDEAD_BEEF_CAFE_F00D);
-        let xi: Vec<PolySign> = (0..self.k).map(|_| PolySign::draw(&mut xi_rng)).collect();
-        let psi: Vec<PolySign> = (0..self.k).map(|_| PolySign::draw(&mut psi_rng)).collect();
         ThreeWaySignature {
             family: *self,
             role,
             counters: vec![0; self.k],
-            xi,
-            psi,
+            xi: PolySignPlane::draw(self.k, &mut xi_rng),
+            psi: PolySignPlane::draw(self.k, &mut psi_rng),
         }
     }
 
@@ -364,14 +386,15 @@ impl ThreeWayFamily {
     }
 }
 
-/// A per-relation three-way join signature (k signed counters).
+/// A per-relation three-way join signature (k signed counters, sign
+/// banks stored as columnar planes).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThreeWaySignature {
     family: ThreeWayFamily,
     role: ThreeWayRole,
     counters: Vec<i64>,
-    xi: Vec<PolySign>,
-    psi: Vec<PolySign>,
+    xi: PolySignPlane,
+    psi: PolySignPlane,
 }
 
 impl ThreeWaySignature {
@@ -384,11 +407,35 @@ impl ThreeWaySignature {
     pub fn update(&mut self, v: Value, delta: i64) {
         for m in 0..self.counters.len() {
             let sign = match self.role {
-                ThreeWayRole::Center => self.xi[m].sign(v) * self.psi[m].sign(v),
-                ThreeWayRole::Left => self.xi[m].sign(v),
-                ThreeWayRole::Right => self.psi[m].sign(v),
+                ThreeWayRole::Center => self.xi.sign(m, v) * self.psi.sign(m, v),
+                ThreeWayRole::Left => self.xi.sign(m, v),
+                ThreeWayRole::Right => self.psi.sign(m, v),
             };
             self.counters[m] += sign * delta;
+        }
+    }
+
+    /// Applies a columnar batch. Outer relations sweep their single
+    /// plane; the center relation folds both sign banks row-major over
+    /// the block. Linear, so bit-identical to per-item updates under any
+    /// block ordering.
+    pub fn update_block(&mut self, block: &OpBlock) {
+        let (values, deltas) = (block.values(), block.deltas());
+        match self.role {
+            ThreeWayRole::Left => self.xi.accumulate_block(values, deltas, &mut self.counters),
+            ThreeWayRole::Right => self
+                .psi
+                .accumulate_block(values, deltas, &mut self.counters),
+            ThreeWayRole::Center => {
+                // Fused two-plane kernel: keys reduced once, both sign
+                // banks evaluated branch-free per row.
+                self.xi.accumulate_block_signed_product(
+                    &self.psi,
+                    values,
+                    deltas,
+                    &mut self.counters,
+                )
+            }
         }
     }
 
@@ -407,6 +454,11 @@ impl ThreeWaySignature {
     /// Signature size in memory words.
     pub fn memory_words(&self) -> usize {
         self.counters.len()
+    }
+
+    /// The raw counters (for experiments and equivalence tests).
+    pub fn counters(&self) -> &[i64] {
+        &self.counters
     }
 }
 
@@ -588,7 +640,10 @@ mod tests {
         let p = SampleJoinSignature::rate_for_sanity_bound(1_000, 500_000, 3.0);
         assert!((p - 0.006).abs() < 1e-12);
         // Clamped at 1.
-        assert_eq!(SampleJoinSignature::rate_for_sanity_bound(1_000, 10, 3.0), 1.0);
+        assert_eq!(
+            SampleJoinSignature::rate_for_sanity_bound(1_000, 10, 3.0),
+            1.0
+        );
     }
 
     #[test]
@@ -674,10 +729,7 @@ mod tests {
         assert_eq!(wire_f.len(), 20 + 32 * 8);
         let f2 = TwJoinSignature::from_bytes(&wire_f).unwrap();
         let g2 = TwJoinSignature::from_bytes(&wire_g).unwrap();
-        assert_eq!(
-            f.estimate_join(&g).unwrap(),
-            f2.estimate_join(&g2).unwrap()
-        );
+        assert_eq!(f.estimate_join(&g).unwrap(), f2.estimate_join(&g2).unwrap());
         assert!(TwJoinSignature::from_bytes(&wire_f[..10]).is_err());
     }
 }

@@ -7,7 +7,11 @@
 //! measure) and join size queries at any time, under both insertions and
 //! deletions, in space far below a full histogram.
 //!
-//! # The three self-join trackers
+//! # The four self-join trackers
+//!
+//! The paper describes three algorithms; sample-count ships in two
+//! interchangeable variants (trade update cost against query cost), so
+//! this crate provides four tracker types:
 //!
 //! | algorithm | type | update | query | space guarantee |
 //! |---|---|---|---|---|
@@ -17,8 +21,12 @@
 //! | naive-sampling | [`NaiveSampling`] | O(1) | O(s) | Ω(√n) lower bound (Lemma 2.3) |
 //!
 //! All four implement [`SelfJoinEstimator`] (re-exported from
-//! `ams-stream`), so they are interchangeable in streams, experiments and
-//! applications.
+//! `ams-stream`), so they are interchangeable in streams, experiments
+//! and applications — including the columnar
+//! [`apply_block`](SelfJoinEstimator::apply_block) ingestion path, which
+//! the linear tug-of-war sketch serves with a structure-of-arrays hash
+//! plane (one sweep per counter row per block) and the order-sensitive
+//! sampling trackers serve by faithful in-order expansion.
 //!
 //! # Join signatures
 //!
@@ -34,10 +42,16 @@
 //! # Quickstart
 //!
 //! ```
-//! use ams_core::{SketchParams, TugOfWarSketch, SelfJoinEstimator};
+//! use ams_core::{SelfJoinEstimator, SketchError, SketchParams, TugOfWarSketch};
 //!
 //! // 64 estimators averaged per group, median over 5 groups.
-//! let params = SketchParams::new(64, 5).unwrap();
+//! // `SketchParams::new` returns `Result<SketchParams, SketchError>`:
+//! // a zero dimension is rejected as `SketchError::InvalidParams`.
+//! let params = SketchParams::new(64, 5)?;
+//! assert!(matches!(
+//!     SketchParams::new(0, 5),
+//!     Err(SketchError::InvalidParams { .. })
+//! ));
 //! let mut sketch: TugOfWarSketch = TugOfWarSketch::new(params, 42);
 //!
 //! for value in [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5] {
@@ -48,6 +62,7 @@
 //! let estimate = sketch.estimate();
 //! // Exact SJ of {3,1,4,1,5,2,6,5,3,5} is 4+4+1+9+1+1 = 20.
 //! assert!(estimate > 0.0);
+//! # Ok::<(), SketchError>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -139,6 +139,11 @@ impl SelfJoinEstimator for NaiveSampling {
     fn memory_words(&self) -> usize {
         self.sample.len()
     }
+
+    // `apply_block` is inherited: reservoir sampling draws one random
+    // position per insert, so the default in-order expansion IS the
+    // block path (bit-identical to the scalar stream on run-coalesced
+    // blocks; pinned by the block≡scalar property tests).
 }
 
 #[cfg(test)]

@@ -127,6 +127,11 @@ impl SelfJoinEstimator for SampleCount {
     fn memory_words(&self) -> usize {
         self.table.memory_words()
     }
+
+    // `apply_block` is inherited: the positional reservoirs are
+    // order-sensitive, so the default in-order expansion IS the block
+    // path — bit-identical to the scalar stream on run-coalesced
+    // blocks (pinned by the block≡scalar property tests).
 }
 
 /// Per-group aggregates for the fast-query variant: `Σ r` and live counts
@@ -298,6 +303,8 @@ impl SelfJoinEstimator for SampleCountFastQuery {
             + self.agg.kv.len()
             + 2 * self.agg.kv.values().map(Vec::len).sum::<usize>()
     }
+
+    // `apply_block` is inherited; see the note on `SampleCount`.
 }
 
 #[cfg(test)]

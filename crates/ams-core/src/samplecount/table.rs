@@ -306,9 +306,7 @@ impl SampleTable {
 
     /// Iterates `(point id, value, r)` for every live sample point.
     pub(crate) fn live_samples(&self) -> impl Iterator<Item = (usize, Value, u64)> + '_ {
-        (0..self.params.total()).filter_map(move |i| {
-            self.r_of(i).map(|r| (i, self.val[i], r))
-        })
+        (0..self.params.total()).filter_map(move |i| self.r_of(i).map(|r| (i, self.val[i], r)))
     }
 
     /// Exhaustive internal-consistency check, used by tests after every

@@ -21,11 +21,12 @@
 //! this is exactly the §4.3 k-TW join signature, so
 //! [`crate::join::TwJoinSignature`] is built on this type.
 
+use ams_hash::plane::SignPlane;
 use ams_hash::rng::SplitMix64;
 use ams_hash::sign::{PolySign, SignFamily};
 use serde::{Deserialize, Serialize};
 
-use ams_stream::{SelfJoinEstimator, Value};
+use ams_stream::{OpBlock, SelfJoinEstimator, Value};
 
 use crate::error::SketchError;
 use crate::estimator::median_of_means;
@@ -33,6 +34,14 @@ use crate::params::SketchParams;
 
 /// A tug-of-war sketch with pluggable sign-hash family `H`
 /// (default: 4-wise independent polynomial hashing).
+///
+/// The hash functions live in the family's columnar
+/// [`SignPlane`](ams_hash::plane::SignPlane) (structure-of-arrays for the
+/// polynomial families), so block ingestion via
+/// [`update_block`](Self::update_block) /
+/// [`apply_block`](SelfJoinEstimator::apply_block) sweeps each counter
+/// row over a whole block with the row's coefficients in registers —
+/// the per-item path and the block path produce bit-identical counters.
 ///
 /// ```
 /// use ams_core::{SketchParams, TugOfWarSketch, SelfJoinEstimator};
@@ -48,16 +57,17 @@ use crate::params::SketchParams;
 /// assert_eq!(sketch.estimate(), 16.0);
 /// # Ok::<(), ams_core::SketchError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct TugOfWarSketch<H = PolySign> {
+#[derive(Debug, Clone)]
+pub struct TugOfWarSketch<H: SignFamily = PolySign> {
     params: SketchParams,
     /// Master seed the hash functions were derived from; two sketches are
     /// mergeable/joinable iff seeds and params match.
     seed: u64,
     /// One signed counter per atomic estimator, group-major.
     counters: Vec<i64>,
-    /// The ±1 hash functions, aligned with `counters`.
-    hashes: Vec<H>,
+    /// The ±1 hash functions as a columnar bank, row `i` aligned with
+    /// `counters[i]`.
+    plane: H::Plane,
 }
 
 impl<H: SignFamily> TugOfWarSketch<H> {
@@ -66,12 +76,11 @@ impl<H: SignFamily> TugOfWarSketch<H> {
     pub fn new(params: SketchParams, seed: u64) -> Self {
         let s = params.total();
         let mut rng = SplitMix64::new(seed);
-        let hashes: Vec<H> = (0..s).map(|_| H::draw(&mut rng)).collect();
         Self {
             params,
             seed,
             counters: vec![0; s],
-            hashes,
+            plane: H::Plane::draw(s, &mut rng),
         }
     }
 
@@ -113,14 +122,55 @@ impl<H: SignFamily> TugOfWarSketch<H> {
     /// bulk-load convenience the linear structure gives for free).
     #[inline]
     pub fn update(&mut self, v: Value, delta: i64) {
-        for (z, h) in self.counters.iter_mut().zip(self.hashes.iter()) {
-            *z += h.sign(v) * delta;
+        self.plane.accumulate_one(v, delta, &mut self.counters);
+    }
+
+    /// Applies a columnar batch in one pass per counter row. Because the
+    /// sketch is linear, any block ordering — including the fully
+    /// coalesced form from [`OpBlock::coalesce`] — yields the same
+    /// counters as the equivalent per-item updates, bit for bit.
+    pub fn update_block(&mut self, block: &OpBlock) {
+        if block.is_coalesced() {
+            // Already net deltas (histogram bulk loads, pre-coalesced
+            // batches): straight to the plane sweep.
+            self.plane
+                .accumulate_block(block.values(), block.deltas(), &mut self.counters);
+        } else {
+            self.ingest_columns(block.values(), block.deltas());
+        }
+    }
+
+    /// Applies raw value/delta columns (the zero-copy variant of
+    /// [`Self::update_block`] for callers that already hold columns).
+    ///
+    /// # Panics
+    /// Panics if the column lengths differ.
+    pub fn update_columns(&mut self, values: &[Value], deltas: &[i64]) {
+        self.ingest_columns(values, deltas);
+    }
+
+    fn ingest_columns(&mut self, values: &[Value], deltas: &[i64]) {
+        // Net-delta coalescing before the plane sweep: linearity makes
+        // it exact, and every duplicate removed saves a full per-row
+        // hash evaluation. A hash-map pass over the block costs a few ns
+        // per entry, so it amortizes once the plane is more than a few
+        // rows tall and the block is big enough to hold duplicates.
+        if self.counters.len() >= 8 && values.len() >= 16 {
+            let net = OpBlock::from_columns_coalesced(values, deltas);
+            self.plane
+                .accumulate_block(net.values(), net.deltas(), &mut self.counters);
+        } else {
+            self.plane
+                .accumulate_block(values, deltas, &mut self.counters);
         }
     }
 
     /// The atomic estimates `X_{i,j} = Z_{i,j}²`, group-major.
     pub fn atomic_estimates(&self) -> Vec<f64> {
-        self.counters.iter().map(|&z| (z as f64) * (z as f64)).collect()
+        self.counters
+            .iter()
+            .map(|&z| (z as f64) * (z as f64))
+            .collect()
     }
 
     /// Checks shape/seed compatibility for merge/inner-product.
@@ -200,17 +250,68 @@ impl<H: SignFamily> SelfJoinEstimator for TugOfWarSketch<H> {
     }
 
     fn estimate(&self) -> f64 {
-        median_of_means(
-            &self.atomic_estimates(),
-            self.params.s1(),
-            self.params.s2(),
-        )
+        median_of_means(&self.atomic_estimates(), self.params.s1(), self.params.s2())
     }
 
     fn memory_words(&self) -> usize {
         // One counter per estimator; hash seeds are a constant number of
         // words per estimator (4 coefficients for the polynomial family).
         self.counters.len()
+    }
+
+    /// Linear fast path: one plane sweep per counter row.
+    fn apply_block(&mut self, block: &OpBlock) {
+        self.update_block(block);
+    }
+}
+
+/// Borrowed wire form (portable serde representation: shape, seed,
+/// counters, and the hash bank — the robust self-contained encoding;
+/// [`crate::codec`] is the compact seed-only alternative).
+#[derive(Serialize)]
+struct SketchWire<'a, P> {
+    params: &'a SketchParams,
+    seed: u64,
+    counters: &'a [i64],
+    plane: &'a P,
+}
+
+/// Owned wire form for decoding.
+#[derive(Deserialize)]
+struct SketchWireOwned<P> {
+    params: SketchParams,
+    seed: u64,
+    counters: Vec<i64>,
+    plane: P,
+}
+
+impl<H: SignFamily> Serialize for TugOfWarSketch<H> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        SketchWire {
+            params: &self.params,
+            seed: self.seed,
+            counters: &self.counters,
+            plane: &self.plane,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de, H: SignFamily> Deserialize<'de> for TugOfWarSketch<H> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = SketchWireOwned::<H::Plane>::deserialize(deserializer)?;
+        let total = wire.params.total();
+        if wire.counters.len() != total || wire.plane.rows() != total {
+            return Err(serde::de::Error::custom(
+                "tug-of-war wire shape does not match its parameters",
+            ));
+        }
+        Ok(Self {
+            params: wire.params,
+            seed: wire.seed,
+            counters: wire.counters,
+            plane: wire.plane,
+        })
     }
 }
 

@@ -2,9 +2,9 @@
 
 use ams_core::{
     JoinSignatureFamily, NaiveSampling, SampleCount, SampleCountFastQuery, SelfJoinEstimator,
-    SketchParams, TugOfWarSketch,
+    SketchParams, ThreeWayFamily, ThreeWayRole, TugOfWarSketch,
 };
-use ams_stream::{Multiset, Op};
+use ams_stream::{Multiset, Op, OpBlock};
 use proptest::prelude::*;
 
 /// Well-formed op sequences (every delete matches a live insert).
@@ -129,6 +129,99 @@ proptest! {
         let join_est = sig.estimate_join(&sig.clone()).unwrap();
         prop_assert_eq!(self_est, join_est);
         prop_assert!(self_est >= 0.0);
+    }
+
+    /// Block path ≡ scalar path for every estimator: the same op stream
+    /// fed per item and fed as run-coalesced `OpBlock`s must leave each
+    /// estimator in a bit-identical state (counters for the linear
+    /// sketch, exact estimates and live points for the order-sensitive
+    /// sampling trackers).
+    #[test]
+    fn block_ingestion_equals_scalar_ingestion(
+        ops in wellformed_ops(400),
+        seed in any::<u64>(),
+        block_size in 1usize..80,
+    ) {
+        let blocks: Vec<OpBlock> = ops
+            .chunks(block_size)
+            .map(|chunk| OpBlock::from_ops(chunk.iter().copied()))
+            .collect();
+        let params = SketchParams::new(8, 3).unwrap();
+
+        // Tug-of-war: linear, so counters must match bit for bit — for
+        // chunked run-coalesced blocks AND for one fully-coalesced
+        // net-delta block.
+        let mut scalar_tw: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+        scalar_tw.extend_ops(ops.iter().copied());
+        let mut block_tw: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+        block_tw.extend_blocks(&blocks);
+        prop_assert_eq!(scalar_tw.counters(), block_tw.counters());
+        let mut net_tw: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+        net_tw.apply_block(&OpBlock::from_ops(ops.iter().copied()).coalesce());
+        prop_assert_eq!(scalar_tw.counters(), net_tw.counters());
+
+        // Sample-count (both variants): positional sampling is
+        // order-sensitive; run-coalesced blocks replay the identical
+        // trajectory, so estimates and live points match exactly.
+        let mut scalar_sc = SampleCount::new(params, seed);
+        scalar_sc.extend_ops(ops.iter().copied());
+        let mut block_sc = SampleCount::new(params, seed);
+        block_sc.extend_blocks(&blocks);
+        prop_assert_eq!(scalar_sc.live_points(), block_sc.live_points());
+        prop_assert_eq!(scalar_sc.estimate().to_bits(), block_sc.estimate().to_bits());
+
+        let mut scalar_fq = SampleCountFastQuery::new(params, seed);
+        scalar_fq.extend_ops(ops.iter().copied());
+        let mut block_fq = SampleCountFastQuery::new(params, seed);
+        block_fq.extend_blocks(&blocks);
+        prop_assert_eq!(scalar_fq.live_points(), block_fq.live_points());
+        prop_assert_eq!(scalar_fq.estimate().to_bits(), block_fq.estimate().to_bits());
+
+        // Naive sampling: the reservoir consumes one random draw per
+        // insert, so in-order expansion reproduces the exact sample.
+        let mut scalar_ns = NaiveSampling::new(16, seed);
+        scalar_ns.extend_ops(ops.iter().copied());
+        let mut block_ns = NaiveSampling::new(16, seed);
+        block_ns.extend_blocks(&blocks);
+        prop_assert_eq!(scalar_ns.sample_size(), block_ns.sample_size());
+        prop_assert_eq!(scalar_ns.estimate().to_bits(), block_ns.estimate().to_bits());
+    }
+
+    /// Block path ≡ scalar path for the §4.3 join-signature families.
+    #[test]
+    fn signature_block_ingestion_equals_scalar(
+        ops in wellformed_ops(300),
+        seed in any::<u64>(),
+        block_size in 1usize..60,
+    ) {
+        let blocks: Vec<OpBlock> = ops
+            .chunks(block_size)
+            .map(|chunk| OpBlock::from_ops(chunk.iter().copied()))
+            .collect();
+
+        let fam = JoinSignatureFamily::new(24, seed).unwrap();
+        let mut scalar_sig = fam.signature();
+        for &op in &ops {
+            scalar_sig.update(op.value(), op.delta());
+        }
+        let mut block_sig = fam.signature();
+        for block in &blocks {
+            block_sig.update_block(block);
+        }
+        prop_assert_eq!(scalar_sig.counters(), block_sig.counters());
+
+        let three = ThreeWayFamily::new(9, seed).unwrap();
+        for role in [ThreeWayRole::Center, ThreeWayRole::Left, ThreeWayRole::Right] {
+            let mut scalar_three = three.signature(role);
+            for &op in &ops {
+                scalar_three.update(op.value(), op.delta());
+            }
+            let mut block_three = three.signature(role);
+            for block in &blocks {
+                block_three.update_block(block);
+            }
+            prop_assert_eq!(scalar_three.counters(), block_three.counters());
+        }
     }
 
     /// Signature linearity: inserting then deleting any suffix restores

@@ -98,7 +98,10 @@ impl DatasetId {
 
     /// Looks an id up by its Table 1 name.
     pub fn by_name(name: &str) -> Option<DatasetId> {
-        DatasetId::ALL.iter().copied().find(|d| d.spec().name == name)
+        DatasetId::ALL
+            .iter()
+            .copied()
+            .find(|d| d.spec().name == name)
     }
 
     /// The data set a given figure number (2–14) depicts.
@@ -262,10 +265,7 @@ mod tests {
     fn registry_covers_thirteen_sets_and_all_figures() {
         assert_eq!(DatasetId::ALL.len(), 13);
         for fig in 2..=14 {
-            assert!(
-                DatasetId::by_figure(fig).is_some(),
-                "figure {fig} unmapped"
-            );
+            assert!(DatasetId::by_figure(fig).is_some(), "figure {fig} unmapped");
         }
         // Figure 15 reuses zipf1.5.
         assert_eq!(DatasetId::by_figure(15), Some(DatasetId::Zipf15));

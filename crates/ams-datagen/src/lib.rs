@@ -47,5 +47,5 @@ pub mod text;
 pub mod uniform;
 pub mod zipf;
 
-pub use datasets::{DatasetId, DatasetSpec, DataKind};
+pub use datasets::{DataKind, DatasetId, DatasetSpec};
 pub use dist::DiscreteDistribution;

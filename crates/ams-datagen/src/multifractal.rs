@@ -87,9 +87,7 @@ mod tests {
         assert!(g.pmf_by_ones(0) > g.pmf_by_ones(1));
         assert!(g.pmf_by_ones(1) > g.pmf_by_ones(6));
         // Total mass: Σ_j C(k,j) bias^j (1-bias)^(k-j) = 1.
-        let total: f64 = (0..=12)
-            .map(|j| binomial(12, j) * g.pmf_by_ones(j))
-            .sum();
+        let total: f64 = (0..=12).map(|j| binomial(12, j) * g.pmf_by_ones(j)).sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

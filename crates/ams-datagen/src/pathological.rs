@@ -109,10 +109,7 @@ mod tests {
         let quarter = values.len() / 4;
         for chunk in values.chunks(quarter) {
             let heavy = chunk.iter().filter(|&&v| v == 0).count();
-            assert!(
-                (150..=280).contains(&heavy),
-                "heavy per quarter = {heavy}"
-            );
+            assert!((150..=280).contains(&heavy), "heavy per quarter = {heavy}");
         }
     }
 

@@ -24,7 +24,10 @@ impl PoissonGenerator {
     /// # Panics
     /// Panics unless `λ > 0` and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive"
+        );
         // Build pmf iteratively: p(0) = e^-λ, p(i) = p(i−1)·λ/i, out to a
         // tail cutoff generous enough that the truncated mass is ≪ 1/n for
         // any realistic n.
@@ -89,10 +92,7 @@ mod tests {
         let g = PoissonGenerator::new(20.0);
         let ms = Multiset::from_values(g.generate(3, 120_000));
         let distinct = ms.distinct();
-        assert!(
-            (30..=50).contains(&distinct),
-            "distinct = {distinct}"
-        );
+        assert!((30..=50).contains(&distinct), "distinct = {distinct}");
         let sj = ms.self_join_size() as f64;
         assert!((7.5e8..1.1e9).contains(&sj), "SJ = {sj:e}");
     }

@@ -90,7 +90,10 @@ impl SpatialGenerator {
 
     /// Generates the x-coordinate stream (the xout1 substitute).
     pub fn xs(&self, seed: u64, n: usize) -> Vec<u64> {
-        self.generate_points(seed, n).into_iter().map(|(x, _)| x).collect()
+        self.generate_points(seed, n)
+            .into_iter()
+            .map(|(x, _)| x)
+            .collect()
     }
 
     /// Generates the y-coordinate stream (the yout1 substitute).
@@ -98,7 +101,10 @@ impl SpatialGenerator {
     /// Uses the *same* point set as [`Self::xs`] for the same seed, as in
     /// the paper (two projections of one spatial relation).
     pub fn ys(&self, seed: u64, n: usize) -> Vec<u64> {
-        self.generate_points(seed, n).into_iter().map(|(_, y)| y).collect()
+        self.generate_points(seed, n)
+            .into_iter()
+            .map(|(_, y)| y)
+            .collect()
     }
 }
 

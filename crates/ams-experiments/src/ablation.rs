@@ -40,13 +40,12 @@ fn run_family<H: SignFamily>(
     trials: u32,
     seed: u64,
 ) -> ErrorProfile {
+    let block = ams_stream::OpBlock::from_histogram(histogram);
     let errors: Vec<f64> = (0..trials)
         .map(|trial| {
             let mut tw: TugOfWarSketch<H> =
                 TugOfWarSketch::new(params, seed.wrapping_add(trial as u64));
-            for (v, f) in histogram.iter() {
-                tw.update(v, f as i64);
-            }
+            tw.update_block(&block);
             (tw.estimate() - exact).abs() / exact
         })
         .collect();
@@ -65,12 +64,7 @@ pub struct HashAblationRow {
 }
 
 /// Compares sign-hash families on a data set at fixed sketch size.
-pub fn hash_families(
-    dataset: DatasetId,
-    s: usize,
-    trials: u32,
-    seed: u64,
-) -> Vec<HashAblationRow> {
+pub fn hash_families(dataset: DatasetId, s: usize, trials: u32, seed: u64) -> Vec<HashAblationRow> {
     let values = dataset.generate(dataset.default_seed());
     let histogram = Multiset::from_values(values.iter().copied());
     let exact = histogram.self_join_size() as f64;

@@ -3,15 +3,23 @@
 //!
 //! The figures need hundreds of (algorithm, sample size) cells over
 //! streams up to a million values. Sample-count and naive-sampling
-//! replay the stream (their updates are O(1) amortized). Tug-of-war
+//! replay the stream in columnar blocks (their updates are O(1)
+//! amortized, so blocks only trim dispatch overhead). Tug-of-war
 //! updates are O(s), so a naive replay of the largest cells would cost
 //! ~10¹⁰ hash evaluations; instead the runner **bulk-loads** the
-//! frequency histogram through [`TugOfWarSketch::update`] — by linearity
-//! the resulting counters are *identical* to a full replay (a tested
-//! invariant), at O(t·s) instead of O(n·s).
+//! frequency histogram as one fully-coalesced
+//! [`OpBlock`](ams_stream::OpBlock) through
+//! [`TugOfWarSketch::update_block`] — by linearity the resulting
+//! counters are *identical* to a full replay (a tested invariant), at
+//! O(t·s) instead of O(n·s), with the plane kernel sweeping all t
+//! distinct values per counter row.
 
 use ams_core::{NaiveSampling, SampleCount, SelfJoinEstimator, SketchParams, TugOfWarSketch};
-use ams_stream::Multiset;
+use ams_stream::{value_blocks, Multiset, OpBlock};
+
+/// Block size for streamed replays (the sweet spot of the throughput
+/// bench's 64/256/1024 sweep).
+const BLOCK_SIZE: usize = 256;
 
 /// The three §2 algorithms, as figure series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,48 +51,43 @@ impl Algorithm {
 }
 
 /// Runs tug-of-war with `s` estimators (single group, matching the
-/// figures' "sample size" axis) by bulk-loading the histogram.
+/// figures' "sample size" axis) by bulk-loading the histogram as one
+/// coalesced block.
 pub fn run_tugofwar(histogram: &Multiset, s: usize, seed: u64) -> f64 {
     let params = SketchParams::single_group(s).expect("s >= 1");
     let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, seed);
-    for (v, f) in histogram.iter() {
-        tw.update(v, f as i64);
-    }
+    tw.update_block(&OpBlock::from_histogram(histogram));
     tw.estimate()
 }
 
-/// Runs sample-count with `s` sample points over the value stream.
+/// Runs sample-count with `s` sample points over the value stream,
+/// ingested in columnar blocks.
 pub fn run_samplecount(values: &[u64], s: usize, seed: u64) -> f64 {
     let params = SketchParams::single_group(s).expect("s >= 1");
     let mut sc = SampleCount::new(params, seed);
-    for &v in values {
-        sc.insert(v);
+    for block in value_blocks(values, BLOCK_SIZE) {
+        sc.apply_block(&block);
     }
     sc.estimate()
 }
 
-/// Runs naive-sampling with reservoir capacity `s` over the value stream.
-/// (The estimator needs `s ≥ 2`; for `s = 1` the paper's plots start at
-/// the information-free floor, which we mirror by returning `n`.)
+/// Runs naive-sampling with reservoir capacity `s` over the value
+/// stream, ingested in columnar blocks. (The estimator needs `s ≥ 2`;
+/// for `s = 1` the paper's plots start at the information-free floor,
+/// which we mirror by returning `n`.)
 pub fn run_naivesampling(values: &[u64], s: usize, seed: u64) -> f64 {
     if s < 2 {
         return values.len() as f64;
     }
     let mut ns = NaiveSampling::new(s, seed);
-    for &v in values {
-        ns.insert(v);
+    for block in value_blocks(values, BLOCK_SIZE) {
+        ns.apply_block(&block);
     }
     ns.estimate()
 }
 
 /// Runs one algorithm at one sample size, returning the raw estimate.
-pub fn run(
-    algorithm: Algorithm,
-    values: &[u64],
-    histogram: &Multiset,
-    s: usize,
-    seed: u64,
-) -> f64 {
+pub fn run(algorithm: Algorithm, values: &[u64], histogram: &Multiset, s: usize, seed: u64) -> f64 {
     match algorithm {
         Algorithm::TugOfWar => run_tugofwar(histogram, s, seed),
         Algorithm::SampleCount => run_samplecount(values, s, seed),

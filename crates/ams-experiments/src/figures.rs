@@ -91,7 +91,13 @@ impl FigureResult {
                 self.t,
                 self.exact_sj
             ),
-            &["log2(s)", "s", "tug-of-war", "sample-count", "naive-sampling"],
+            &[
+                "log2(s)",
+                "s",
+                "tug-of-war",
+                "sample-count",
+                "naive-sampling",
+            ],
         );
         for p in &self.points {
             table.push_row(vec![
@@ -249,7 +255,13 @@ pub fn external_sweep(
             histogram.distinct(),
             histogram.self_join_size() as f64
         ),
-        &["log2(s)", "s", "tug-of-war", "sample-count", "naive-sampling"],
+        &[
+            "log2(s)",
+            "s",
+            "tug-of-war",
+            "sample-count",
+            "naive-sampling",
+        ],
     );
     for p in &points {
         table.push_row(vec![
@@ -268,7 +280,13 @@ pub fn external_sweep(
 pub fn summary_table(results: &[FigureResult]) -> Table {
     let mut table = Table::new(
         "Convergence to within 15% relative error (minimum sample size)",
-        &["figure", "dataset", "tug-of-war", "sample-count", "naive-sampling"],
+        &[
+            "figure",
+            "dataset",
+            "tug-of-war",
+            "sample-count",
+            "naive-sampling",
+        ],
     );
     let fmt = |c: Option<usize>| c.map_or("-".to_string(), |s| s.to_string());
     for r in results {

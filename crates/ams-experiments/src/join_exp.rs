@@ -69,9 +69,7 @@ pub fn run(cases: &[JoinCase], ks: &[usize], trials: u32, seed: u64) -> Vec<Join
     thread::scope(|scope| {
         let handles: Vec<_> = cases
             .iter()
-            .map(|&case| {
-                scope.spawn(move |_| run_case(case, ks, trials, seed))
-            })
+            .map(|&case| scope.spawn(move |_| run_case(case, ks, trials, seed)))
             .collect();
         handles
             .into_iter()
@@ -107,22 +105,20 @@ fn run_case(case: JoinCase, ks: &[usize], trials: u32, seed: u64) -> Vec<JoinExp
             };
             let mut ktw_err = 0.0;
             let mut sam_err = 0.0;
+            let left_block = ams_stream::OpBlock::from_histogram(&left);
+            let right_block = ams_stream::OpBlock::from_histogram(&right);
             for trial in 0..trials {
                 let t_seed = seed
                     .wrapping_add((trial as u64) << 20)
                     .wrapping_add(k as u64)
                     .wrapping_add((case.left as u64) << 40)
                     .wrapping_add((case.right as u64) << 48);
-                // k-TW: bulk-load signatures from histograms.
+                // k-TW: bulk-load signatures from histogram blocks.
                 let fam = JoinSignatureFamily::new(k, t_seed).expect("k >= 1");
                 let mut sig_l = fam.signature();
                 let mut sig_r = fam.signature();
-                for (v, f) in left.iter() {
-                    sig_l.update(v, f as i64);
-                }
-                for (v, f) in right.iter() {
-                    sig_r.update(v, f as i64);
-                }
+                sig_l.update_block(&left_block);
+                sig_r.update_block(&right_block);
                 let est = sig_l.estimate_join(&sig_r).expect("same family");
                 ktw_err += (est - exact).abs() / exact;
 

@@ -34,14 +34,7 @@ pub fn lemma23(n: u64, trials: u32, seed: u64) -> Vec<Lemma23Row> {
     let exact1 = n as f64;
     let exact2 = 2.0 * n as f64;
     let sqrt_n = (n as f64).sqrt() as usize;
-    let sizes = [
-        4,
-        16,
-        sqrt_n / 4,
-        sqrt_n,
-        4 * sqrt_n,
-        16 * sqrt_n,
-    ];
+    let sizes = [4, 16, sqrt_n / 4, sqrt_n, 4 * sqrt_n, 16 * sqrt_n];
     sizes
         .iter()
         .filter(|&&s| s >= 2 && (s as u64) < n)
@@ -145,7 +138,11 @@ pub fn thm43(n: u64, b: u64, pairs: usize, seed: u64) -> (Theorem43Construction,
                 if predicted_2b == *is_2b {
                     correct += 1;
                 }
-                debug_assert!(if *is_2b { truth >= b as f64 } else { truth <= 1.5 * b as f64 });
+                debug_assert!(if *is_2b {
+                    truth >= b as f64
+                } else {
+                    truth <= 1.5 * b as f64
+                });
             }
             Thm43Row {
                 signature_words: p * n as f64,
@@ -186,11 +183,23 @@ mod tests {
         // Smallest samples: R1 correct, R2 stuck near 0.5 (= estimating n
         // where truth is 2n).
         let first = rows.first().unwrap();
-        assert!((first.r1_ratio - 1.0).abs() < 0.1, "R1 ratio {}", first.r1_ratio);
-        assert!(first.r2_ratio < 0.65, "R2 ratio {} should be ~0.5", first.r2_ratio);
+        assert!(
+            (first.r1_ratio - 1.0).abs() < 0.1,
+            "R1 ratio {}",
+            first.r1_ratio
+        );
+        assert!(
+            first.r2_ratio < 0.65,
+            "R2 ratio {} should be ~0.5",
+            first.r2_ratio
+        );
         // Largest samples (≫ √n): R2 recovers.
         let last = rows.last().unwrap();
-        assert!((last.r2_ratio - 1.0).abs() < 0.25, "R2 ratio {}", last.r2_ratio);
+        assert!(
+            (last.r2_ratio - 1.0).abs() < 0.25,
+            "R2 ratio {}",
+            last.r2_ratio
+        );
     }
 
     #[test]
@@ -207,6 +216,10 @@ mod tests {
         );
         // At 8x the threshold the classification should be essentially
         // perfect.
-        assert!(large.accuracy > 0.9, "large-signature accuracy {}", large.accuracy);
+        assert!(
+            large.accuracy > 0.9,
+            "large-signature accuracy {}",
+            large.accuracy
+        );
     }
 }

@@ -192,8 +192,7 @@ fn run_external(path: &str, opts: &Options) -> Result<(), String> {
         return Err(format!("{path} holds no tokens"));
     }
     let cfg = sweep_config(opts);
-    let (table, convergences) =
-        ams_experiments::figures::external_sweep(path, &values, &cfg);
+    let (table, convergences) = ams_experiments::figures::external_sweep(path, &values, &cfg);
     emit(&table, opts, "external");
     println!(
         "convergence (within 15%): tug-of-war {:?}, sample-count {:?}, naive-sampling {:?}",
@@ -206,7 +205,11 @@ fn run_ablation(opts: &Options) {
     let trials = if opts.quick { 15 } else { 51 };
     let dataset = DatasetId::Zipf10;
     let rows = ablation::hash_families(dataset, 64, trials, opts.seed);
-    emit(&ablation::hash_table(dataset, 64, &rows), opts, "ablation_hash");
+    emit(
+        &ablation::hash_table(dataset, 64, &rows),
+        opts,
+        "ablation_hash",
+    );
     let rows = ablation::grouping(dataset, 64, trials, opts.seed);
     emit(
         &ablation::grouping_table(dataset, 64, &rows),

@@ -50,7 +50,10 @@ impl RobustnessResult {
     /// Renders `(rank, estimate)` rows, decimated to at most `max_rows`.
     pub fn table(&self, max_rows: usize) -> Table {
         let mut t = Table::new(
-            format!("Figure 15: sorted atomic estimators (exact SJ = {})", fmt_sci(self.exact_sj)),
+            format!(
+                "Figure 15: sorted atomic estimators (exact SJ = {})",
+                fmt_sci(self.exact_sj)
+            ),
             &["rank", "X_ij", "X_ij / exact"],
         );
         let step = (self.sorted_estimates.len() / max_rows.max(1)).max(1);
@@ -72,13 +75,11 @@ pub fn run(dataset: DatasetId, count: usize, seed: u64) -> RobustnessResult {
     let histogram = Multiset::from_values(values.iter().copied());
     let exact = histogram.self_join_size() as f64;
     let params = SketchParams::single_group(1).expect("one estimator");
+    let block = ams_stream::OpBlock::from_histogram(&histogram);
     let mut estimates: Vec<f64> = (0..count)
         .map(|i| {
-            let mut tw: TugOfWarSketch =
-                TugOfWarSketch::new(params, seed.wrapping_add(i as u64));
-            for (v, f) in histogram.iter() {
-                tw.update(v, f as i64);
-            }
+            let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, seed.wrapping_add(i as u64));
+            tw.update_block(&block);
             tw.estimate()
         })
         .collect();

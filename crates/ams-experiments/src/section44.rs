@@ -103,17 +103,38 @@ mod tests {
     fn paper_quoted_factors_reproduced() {
         let rows = run();
         let within = |x: f64, target: f64| x / target > 0.7 && x / target < 1.45;
-        assert!(within(row(&rows, DatasetId::Uniform).advantage_at_n_paper, 1_000.0));
-        assert!(within(row(&rows, DatasetId::Mf3).advantage_at_n_paper, 20.0));
-        assert!(within(row(&rows, DatasetId::Path).advantage_at_n_paper, 150.0));
+        assert!(within(
+            row(&rows, DatasetId::Uniform).advantage_at_n_paper,
+            1_000.0
+        ));
+        assert!(within(
+            row(&rows, DatasetId::Mf3).advantage_at_n_paper,
+            20.0
+        ));
+        assert!(within(
+            row(&rows, DatasetId::Path).advantage_at_n_paper,
+            150.0
+        ));
         assert!(within(
             row(&rows, DatasetId::SelfSimilar).break_even_factor_paper,
             6_700.0
         ));
-        assert!(within(row(&rows, DatasetId::Zipf15).break_even_factor_paper, 4_000.0));
-        assert!(within(row(&rows, DatasetId::Poisson).break_even_factor_paper, 500.0));
-        assert!(within(row(&rows, DatasetId::Zipf10).break_even_factor_paper, 150.0));
-        assert!(within(row(&rows, DatasetId::Brown2).break_even_factor_paper, 50.0));
+        assert!(within(
+            row(&rows, DatasetId::Zipf15).break_even_factor_paper,
+            4_000.0
+        ));
+        assert!(within(
+            row(&rows, DatasetId::Poisson).break_even_factor_paper,
+            500.0
+        ));
+        assert!(within(
+            row(&rows, DatasetId::Zipf10).break_even_factor_paper,
+            150.0
+        ));
+        assert!(within(
+            row(&rows, DatasetId::Brown2).break_even_factor_paper,
+            50.0
+        ));
     }
 
     #[test]

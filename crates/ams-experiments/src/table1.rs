@@ -54,7 +54,14 @@ pub fn table(rows: &[Table1Row]) -> Table {
     let mut t = Table::new(
         "Table 1: data sets and their characteristics (paper vs generated)",
         &[
-            "dataset", "type", "figure", "n", "t(paper)", "t(gen)", "SJ(paper)", "SJ(gen)",
+            "dataset",
+            "type",
+            "figure",
+            "n",
+            "t(paper)",
+            "t(gen)",
+            "SJ(paper)",
+            "SJ(gen)",
             "SJ ratio",
         ],
     );

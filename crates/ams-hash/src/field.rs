@@ -73,6 +73,30 @@ pub fn mul(a: u64, b: u64) -> u64 {
     reduce128(a as u128 * b as u128)
 }
 
+/// One branch-free Horner step in a *redundant* representation:
+/// returns a value `≡ acc·x + c (mod p)` that is `< 2⁶²` but not
+/// necessarily canonical.
+///
+/// Chaining these steps keeps the whole polynomial evaluation free of
+/// the data-dependent conditional subtractions in [`add`]/[`mul`]
+/// (which random field values make unpredictable); callers canonicalize
+/// once at the end with [`reduce64`]. This is the inner step of the
+/// columnar sign-plane kernels.
+///
+/// Safety of the bounds (all checked in debug builds): with
+/// `acc < 2⁶²`, `x < p < 2⁶¹` and `c < 2⁶¹`, the product term is
+/// `< 2¹²³`, so `hi = t ≫ 61 < 2⁶²` and the folded result
+/// `lo + (hi ≫ 61) + (hi & p) ≤ (2⁶¹−1) + 1 + (2⁶¹−1) < 2⁶²` —
+/// the invariant is preserved.
+#[inline]
+pub fn lazy_mul_add(acc: u64, x: u64, c: u64) -> u64 {
+    debug_assert!((acc as u128) < (1 << 62) && x < P && c < P);
+    let t = acc as u128 * x as u128 + c as u128;
+    let lo = (t as u64) & P;
+    let hi = (t >> 61) as u64;
+    lo + (hi >> 61) + (hi & P)
+}
+
 /// Field exponentiation by squaring.
 pub fn pow(mut base: u64, mut exp: u64) -> u64 {
     debug_assert!(base < P);
@@ -153,12 +177,41 @@ mod tests {
     }
 
     #[test]
+    fn lazy_mul_add_matches_canonical_arithmetic() {
+        let cases = [0u64, 1, 2, P - 1, P / 2, 948_372_932_112, (1 << 61) - 7];
+        for &a in &cases {
+            for &x in &cases {
+                for &c in &cases {
+                    let (a, x, c) = (reduce64(a), reduce64(x), reduce64(c));
+                    let lazy = lazy_mul_add(a, x, c);
+                    assert!(lazy < (1 << 62), "redundant bound violated");
+                    assert_eq!(reduce64(lazy), add(mul(a, x), c), "a={a} x={x} c={c}");
+                }
+            }
+        }
+        // Chained steps stay within the redundant bound and reduce to
+        // the canonical Horner evaluation.
+        let coeffs = [123u64, P - 5, 77, P - 1];
+        for x in [0u64, 1, P - 2, 0x1234_5678_9ABC] {
+            let x = reduce64(x);
+            let mut lazy = coeffs[3];
+            let mut canon = coeffs[3];
+            for &c in coeffs[..3].iter().rev() {
+                lazy = lazy_mul_add(lazy, x, c);
+                canon = add(mul(canon, x), c);
+                assert!(lazy < (1 << 62));
+            }
+            assert_eq!(reduce64(lazy), canon);
+        }
+    }
+
+    #[test]
     fn pow_small_cases() {
         assert_eq!(pow(2, 10), 1024);
         assert_eq!(pow(5, 0), 1);
         assert_eq!(pow(0, 5), 0);
         assert_eq!(pow(0, 0), 1); // empty product convention
-        // Fermat: a^(p-1) = 1 for a != 0.
+                                  // Fermat: a^(p-1) = 1 for a != 0.
         assert_eq!(pow(123_456_789, P - 1), 1);
     }
 

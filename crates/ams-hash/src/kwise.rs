@@ -194,7 +194,11 @@ mod tests {
             }
         }
         let rate = collisions as f64 / trials as f64;
-        assert!(rate < 2.5 / m as f64, "collision rate {rate} vs 1/m = {}", 1.0 / m as f64);
+        assert!(
+            rate < 2.5 / m as f64,
+            "collision rate {rate} vs 1/m = {}",
+            1.0 / m as f64
+        );
     }
 
     #[test]

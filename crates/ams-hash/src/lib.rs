@@ -48,6 +48,7 @@ pub mod fast;
 pub mod field;
 pub mod gf2;
 pub mod kwise;
+pub mod plane;
 pub mod rng;
 pub mod sign;
 pub mod tabulation;
@@ -55,5 +56,6 @@ pub mod universal;
 
 pub use fast::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kwise::{FourWisePoly, PolyHash, TwoWisePoly};
+pub use plane::{PolyPlane, PolySignPlane, RowPlane, SignPlane, TwoWiseSignPlane};
 pub use rng::SplitMix64;
-pub use sign::{BchSignHash, PolySign, SignHash, TabulationSign, TwoWiseSign};
+pub use sign::{BchSignHash, PolySign, SignFamily, SignHash, TabulationSign, TwoWiseSign};

@@ -1,0 +1,337 @@
+//! Columnar banks of sign functions: the structure-of-arrays layout
+//! behind block-at-a-time sketch ingestion.
+//!
+//! A tug-of-war sketch owns `s = s1·s2` independent ±1 hash functions.
+//! Stored as a `Vec` of hash structs (array-of-structs), every per-item
+//! update walks `s` scattered 32-byte structs — the hot path is bound on
+//! memory traffic for hash-function state, not on the O(s) arithmetic the
+//! paper's analysis counts. A [`SignPlane`] flips the layout: the
+//! coefficients of all drawn functions live in contiguous per-coefficient
+//! columns, and evaluation is *counter-row-major over a block* — for each
+//! function row, a tight loop sweeps the whole block of values with the
+//! row's coefficients held in registers. One memory pass per row per
+//! block instead of one struct load per row per item.
+//!
+//! Two implementations:
+//!
+//! * [`PolyPlane`] — the SoA fast path for polynomial families
+//!   ([`PolySign`]/[`TwoWiseSign`]): `K` coefficient columns over
+//!   GF(2⁶¹−1), Horner kernel with block-hoisted key reduction.
+//! * [`RowPlane`] — the generic fallback for any [`SignFamily`]: keeps
+//!   the AoS struct per row but still gains the inverted loop nest (each
+//!   hash struct is loaded once per block, not once per item).
+//!
+//! Drawing a plane consumes the seed stream *identically* to drawing the
+//! same number of individual functions with [`SignFamily::draw`], so a
+//! plane-backed sketch is bit-compatible with the per-item
+//! implementation — a property the block/scalar equivalence property
+//! tests pin down.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use crate::field;
+use crate::rng::SplitMix64;
+use crate::sign::SignFamily;
+
+/// A bank of independently drawn ±1 hash functions ("rows") with a
+/// columnar block-evaluation kernel.
+pub trait SignPlane: std::fmt::Debug + Clone + Serialize + DeserializeOwned {
+    /// Draws `rows` functions from the family, consuming the generator
+    /// exactly as `rows` successive [`SignFamily::draw`] calls would.
+    fn draw(rows: usize, rng: &mut SplitMix64) -> Self;
+
+    /// Number of functions in the bank.
+    fn rows(&self) -> usize;
+
+    /// Evaluates one function on one key (the scalar path).
+    fn sign(&self, row: usize, v: u64) -> i64;
+
+    /// Scalar update: adds `ε_row(v) · delta` to every counter.
+    ///
+    /// # Panics
+    /// Panics if `counters.len() != self.rows()`.
+    fn accumulate_one(&self, v: u64, delta: i64, counters: &mut [i64]) {
+        assert_eq!(counters.len(), self.rows(), "counter/plane shape mismatch");
+        for (row, z) in counters.iter_mut().enumerate() {
+            *z += self.sign(row, v) * delta;
+        }
+    }
+
+    /// Block update: adds `Σ_j ε_row(values[j]) · deltas[j]` to each
+    /// counter, sweeping the block once per row.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree with the plane shape.
+    fn accumulate_block(&self, values: &[u64], deltas: &[i64], counters: &mut [i64]);
+}
+
+// ---------------------------------------------------------------------
+// polynomial SoA plane
+// ---------------------------------------------------------------------
+
+/// Structure-of-arrays bank of degree-(K−1) polynomial sign functions
+/// over GF(2⁶¹−1): column `c` holds coefficient `c` of every row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolyPlane<const K: usize> {
+    /// `cols[c][row]` is coefficient `c` of function `row`.
+    cols: [Vec<u64>; K],
+    rows: usize,
+}
+
+/// The plane of 4-wise independent polynomial sign functions
+/// ([`crate::sign::PolySign`]'s columnar form).
+pub type PolySignPlane = PolyPlane<4>;
+
+/// The plane of 2-wise polynomial sign functions
+/// ([`crate::sign::TwoWiseSign`]'s columnar form).
+pub type TwoWiseSignPlane = PolyPlane<2>;
+
+impl<const K: usize> PolyPlane<K> {
+    /// Evaluates the raw polynomial hash of row `row` at a pre-reduced
+    /// key `x` (Horner, highest coefficient first — identical to
+    /// [`crate::kwise::PolyHash::hash`]).
+    #[inline]
+    fn hash_reduced(&self, row: usize, x: u64) -> u64 {
+        let mut acc = self.cols[K - 1][row];
+        for c in (0..K - 1).rev() {
+            acc = field::add(field::mul(acc, x), self.cols[c][row]);
+        }
+        acc
+    }
+
+    /// The coefficients of one row (lowest degree first), for tests.
+    pub fn row_coeffs(&self, row: usize) -> [u64; K] {
+        std::array::from_fn(|c| self.cols[c][row])
+    }
+
+    /// Accumulates the *product* of two planes' signs over a block:
+    /// `counters[row] += Σ_j ξ_row(values[j]) · ψ_row(values[j]) ·
+    /// deltas[j]` with `self` as ξ and `other` as ψ — the center-role
+    /// kernel of three-way join signatures. Keys are reduced once for
+    /// both planes and each row runs two fused branch-free Horner
+    /// chains (the sign product is `−1` iff the two parities differ).
+    ///
+    /// # Panics
+    /// Panics if the plane or column shapes disagree.
+    pub fn accumulate_block_signed_product(
+        &self,
+        other: &Self,
+        values: &[u64],
+        deltas: &[i64],
+        counters: &mut [i64],
+    ) {
+        assert_eq!(values.len(), deltas.len(), "values/deltas length mismatch");
+        assert_eq!(self.rows, other.rows, "plane shape mismatch");
+        assert_eq!(counters.len(), self.rows, "counter/plane shape mismatch");
+        let xs: Vec<u64> = values.iter().map(|&v| field::reduce64(v)).collect();
+        for (row, z) in counters.iter_mut().enumerate() {
+            let xi: [u64; K] = std::array::from_fn(|c| self.cols[c][row]);
+            let psi: [u64; K] = std::array::from_fn(|c| other.cols[c][row]);
+            let mut acc = 0i64;
+            for (&x, &d) in xs.iter().zip(deltas.iter()) {
+                let mut hx = xi[K - 1];
+                let mut hp = psi[K - 1];
+                for c in (0..K - 1).rev() {
+                    hx = field::lazy_mul_add(hx, x, xi[c]);
+                    hp = field::lazy_mul_add(hp, x, psi[c]);
+                }
+                let parity = (field::reduce64(hx) ^ field::reduce64(hp)) & 1;
+                let mask = (parity as i64).wrapping_neg();
+                acc += (d ^ mask) - mask;
+            }
+            *z += acc;
+        }
+    }
+}
+
+impl<const K: usize> SignPlane for PolyPlane<K> {
+    fn draw(rows: usize, rng: &mut SplitMix64) -> Self {
+        let mut cols: [Vec<u64>; K] = std::array::from_fn(|_| Vec::with_capacity(rows));
+        for _ in 0..rows {
+            // Same draw order as PolyHash::from_rng: c_0 … c_{K−1}.
+            for col in cols.iter_mut() {
+                col.push(rng.next_below(field::P));
+            }
+        }
+        Self { cols, rows }
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, v: u64) -> i64 {
+        if self.hash_reduced(row, field::reduce64(v)) & 1 == 1 {
+            -1
+        } else {
+            1
+        }
+    }
+
+    fn accumulate_one(&self, v: u64, delta: i64, counters: &mut [i64]) {
+        assert_eq!(counters.len(), self.rows, "counter/plane shape mismatch");
+        let x = field::reduce64(v);
+        for (row, z) in counters.iter_mut().enumerate() {
+            let parity = self.hash_reduced(row, x) & 1;
+            *z += if parity == 1 { -delta } else { delta };
+        }
+    }
+
+    fn accumulate_block(&self, values: &[u64], deltas: &[i64], counters: &mut [i64]) {
+        assert_eq!(values.len(), deltas.len(), "values/deltas length mismatch");
+        assert_eq!(counters.len(), self.rows, "counter/plane shape mismatch");
+        // Reduce each key into the field once for the whole plane.
+        let xs: Vec<u64> = values.iter().map(|&v| field::reduce64(v)).collect();
+        for (row, z) in counters.iter_mut().enumerate() {
+            // Hoist the row's coefficients out of the columns; the inner
+            // loop then touches only the shared block arrays, runs the
+            // Horner chain in the branch-free redundant representation
+            // (one canonicalization per key instead of one conditional
+            // subtraction per step — those branches are 50/50 on random
+            // field values), and folds the ±1 branchlessly.
+            let coeffs: [u64; K] = std::array::from_fn(|c| self.cols[c][row]);
+            let mut acc = 0i64;
+            for (&x, &d) in xs.iter().zip(deltas.iter()) {
+                let mut h = coeffs[K - 1];
+                for &c in coeffs[..K - 1].iter().rev() {
+                    h = field::lazy_mul_add(h, x, c);
+                }
+                let parity_mask = ((field::reduce64(h) & 1) as i64).wrapping_neg();
+                acc += (d ^ parity_mask) - parity_mask;
+            }
+            *z += acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// generic AoS fallback plane
+// ---------------------------------------------------------------------
+
+/// The generic plane: one hash struct per row (array-of-structs), with
+/// the block kernel's inverted loop nest but no layout change. Used by
+/// families without a dedicated columnar form (BCH, tabulation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RowPlane<H> {
+    rows: Vec<H>,
+}
+
+impl<H> RowPlane<H> {
+    /// The per-row hash functions.
+    pub fn hashes(&self) -> &[H] {
+        &self.rows
+    }
+}
+
+impl<H> SignPlane for RowPlane<H>
+where
+    H: SignFamily + std::fmt::Debug + Clone + Serialize + DeserializeOwned,
+{
+    fn draw(rows: usize, rng: &mut SplitMix64) -> Self {
+        Self {
+            rows: (0..rows).map(|_| H::draw(rng)).collect(),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, v: u64) -> i64 {
+        self.rows[row].sign(v)
+    }
+
+    fn accumulate_block(&self, values: &[u64], deltas: &[i64], counters: &mut [i64]) {
+        assert_eq!(values.len(), deltas.len(), "values/deltas length mismatch");
+        assert_eq!(
+            counters.len(),
+            self.rows.len(),
+            "counter/plane shape mismatch"
+        );
+        // Route through the family's `sign_block` so any per-family
+        // batch specialization applies here too; one scratch row of
+        // signs is reused across all plane rows.
+        let mut signs = vec![0i64; values.len()];
+        for (h, z) in self.rows.iter().zip(counters.iter_mut()) {
+            h.sign_block(values, &mut signs);
+            let mut acc = 0i64;
+            for (&s, &d) in signs.iter().zip(deltas.iter()) {
+                acc += s * d;
+            }
+            *z += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::{BchSignHash, PolySign, TabulationSign, TwoWiseSign};
+
+    fn plane_matches_family<H: SignFamily>(seed: u64)
+    where
+        H::Plane: SignPlane,
+    {
+        let rows = 17;
+        let mut plane_rng = SplitMix64::new(seed);
+        let plane = H::Plane::draw(rows, &mut plane_rng);
+        let mut item_rng = SplitMix64::new(seed);
+        let hashes: Vec<H> = (0..rows).map(|_| H::draw(&mut item_rng)).collect();
+        assert_eq!(plane.rows(), rows);
+        for (row, h) in hashes.iter().enumerate() {
+            for v in [0u64, 1, 42, 1 << 40, u64::MAX] {
+                assert_eq!(plane.sign(row, v), h.sign(v), "row {row}, key {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn planes_draw_identically_to_per_item_families() {
+        plane_matches_family::<PolySign>(1);
+        plane_matches_family::<TwoWiseSign>(2);
+        plane_matches_family::<BchSignHash>(3);
+        plane_matches_family::<TabulationSign>(4);
+    }
+
+    #[test]
+    fn accumulate_block_equals_scalar_loop() {
+        let mut rng = SplitMix64::new(99);
+        let plane = PolySignPlane::draw(8, &mut rng);
+        let values: Vec<u64> = (0..100).map(|i| i * 0x9E37_79B9u64).collect();
+        let deltas: Vec<i64> = (0..100).map(|i| (i % 7) as i64 - 3).collect();
+        let mut block = vec![0i64; 8];
+        plane.accumulate_block(&values, &deltas, &mut block);
+        let mut scalar = vec![0i64; 8];
+        for (&v, &d) in values.iter().zip(deltas.iter()) {
+            plane.accumulate_one(v, d, &mut scalar);
+        }
+        assert_eq!(block, scalar);
+    }
+
+    #[test]
+    fn row_plane_block_kernel_matches_scalar() {
+        let mut rng = SplitMix64::new(5);
+        let plane = RowPlane::<BchSignHash>::draw(6, &mut rng);
+        let values: Vec<u64> = (0..64).map(|i| i * 31 + 7).collect();
+        let deltas = vec![1i64; 64];
+        let mut block = vec![0i64; 6];
+        plane.accumulate_block(&values, &deltas, &mut block);
+        let mut scalar = vec![0i64; 6];
+        for &v in &values {
+            plane.accumulate_one(v, 1, &mut scalar);
+        }
+        assert_eq!(block, scalar);
+    }
+
+    #[test]
+    fn poly_plane_serde_roundtrip() {
+        let mut rng = SplitMix64::new(12);
+        let plane = PolySignPlane::draw(4, &mut rng);
+        let json = serde_json::to_string(&plane).unwrap();
+        let back: PolySignPlane = serde_json::from_str(&json).unwrap();
+        assert_eq!(plane, back);
+    }
+}

@@ -19,7 +19,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bch::BchSign;
+use crate::field;
 use crate::kwise::{FourWisePoly, TwoWisePoly};
+use crate::plane::{PolySignPlane, RowPlane, SignPlane, TwoWiseSignPlane};
 use crate::rng::SplitMix64;
 use crate::tabulation::TabulationHash;
 
@@ -30,11 +32,32 @@ use crate::tabulation::TabulationHash;
 pub trait SignHash {
     /// Evaluates the sign of `v`.
     fn sign(&self, v: u64) -> i64;
+
+    /// Evaluates the signs of a whole block of keys into `out`.
+    ///
+    /// Semantically identical to calling [`Self::sign`] per key (a
+    /// property the hash test-suite pins down); implementations override
+    /// it to hoist per-function state out of the loop.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != out.len()`.
+    fn sign_block(&self, values: &[u64], out: &mut [i64]) {
+        assert_eq!(values.len(), out.len(), "sign_block shape mismatch");
+        for (o, &v) in out.iter_mut().zip(values.iter()) {
+            *o = self.sign(v);
+        }
+    }
 }
 
 /// Builder for sign-hash families: lets sketch constructors draw any number
 /// of independent functions from a master generator.
 pub trait SignFamily: SignHash + Sized {
+    /// The columnar bank this family evaluates blocks with; drawing a
+    /// plane of `n` rows consumes the generator exactly like `n`
+    /// [`SignFamily::draw`] calls, so plane-backed and per-item sketches
+    /// are bit-identical.
+    type Plane: SignPlane;
+
     /// Draws one function from the family.
     fn draw(rng: &mut SplitMix64) -> Self;
 }
@@ -67,9 +90,25 @@ impl SignHash for PolySign {
             1
         }
     }
+
+    fn sign_block(&self, values: &[u64], out: &mut [i64]) {
+        assert_eq!(values.len(), out.len(), "sign_block shape mismatch");
+        // Coefficients in registers for the whole block; the Horner
+        // chain runs in the branch-free redundant representation with a
+        // single canonicalization per key.
+        let [c0, c1, c2, c3] = *self.poly.coeffs();
+        for (o, &v) in out.iter_mut().zip(values.iter()) {
+            let x = field::reduce64(v);
+            let h = field::lazy_mul_add(field::lazy_mul_add(c3, x, c2), x, c1);
+            let h = field::reduce64(field::lazy_mul_add(h, x, c0));
+            *o = 1 - 2 * ((h & 1) as i64);
+        }
+    }
 }
 
 impl SignFamily for PolySign {
+    type Plane = PolySignPlane;
+
     fn draw(rng: &mut SplitMix64) -> Self {
         Self {
             poly: FourWisePoly::from_rng(rng),
@@ -102,9 +141,20 @@ impl SignHash for TwoWiseSign {
             1
         }
     }
+
+    fn sign_block(&self, values: &[u64], out: &mut [i64]) {
+        assert_eq!(values.len(), out.len(), "sign_block shape mismatch");
+        let [c0, c1] = *self.poly.coeffs();
+        for (o, &v) in out.iter_mut().zip(values.iter()) {
+            let h = field::reduce64(field::lazy_mul_add(c1, field::reduce64(v), c0));
+            *o = 1 - 2 * ((h & 1) as i64);
+        }
+    }
 }
 
 impl SignFamily for TwoWiseSign {
+    type Plane = TwoWiseSignPlane;
+
     fn draw(rng: &mut SplitMix64) -> Self {
         Self {
             poly: TwoWisePoly::from_rng(rng),
@@ -137,6 +187,8 @@ impl SignHash for BchSignHash {
 }
 
 impl SignFamily for BchSignHash {
+    type Plane = RowPlane<Self>;
+
     fn draw(rng: &mut SplitMix64) -> Self {
         Self {
             inner: BchSign::from_rng(rng),
@@ -173,6 +225,8 @@ impl SignHash for TabulationSign {
 }
 
 impl SignFamily for TabulationSign {
+    type Plane = RowPlane<Self>;
+
     fn draw(rng: &mut SplitMix64) -> Self {
         Self {
             table: TabulationHash::from_rng(rng),
@@ -198,10 +252,7 @@ mod tests {
         // Within any single function, signs over many keys should be
         // roughly balanced (not a formal guarantee, but a strong smoke
         // test for all these families on consecutive integers).
-        assert!(
-            (800..1200).contains(&plus),
-            "plus = {plus} for seed {seed}"
-        );
+        assert!((800..1200).contains(&plus), "plus = {plus} for seed {seed}");
     }
 
     #[test]

@@ -3,13 +3,48 @@
 use ams_hash::field;
 use ams_hash::gf2;
 use ams_hash::kwise::{FourWisePoly, TwoWisePoly};
+use ams_hash::plane::SignPlane;
 use ams_hash::rng::SplitMix64;
-use ams_hash::sign::{PolySign, SignHash};
+use ams_hash::sign::{BchSignHash, PolySign, SignFamily, SignHash, TabulationSign, TwoWiseSign};
 use ams_hash::universal::BucketHash;
 use proptest::prelude::*;
 
 fn field_elem() -> impl Strategy<Value = u64> {
     (0..field::P).prop_map(|x| x)
+}
+
+/// `sign_block` must agree with per-item `sign` on every key.
+fn sign_block_matches_per_item<H: SignFamily>(seed: u64, keys: &[u64]) -> bool {
+    let mut rng = SplitMix64::new(seed);
+    let h = H::draw(&mut rng);
+    let mut out = vec![0i64; keys.len()];
+    h.sign_block(keys, &mut out);
+    keys.iter().zip(out.iter()).all(|(&k, &s)| s == h.sign(k))
+}
+
+/// A plane drawn from a seed must evaluate every row exactly like the
+/// corresponding per-item function drawn from the same seed stream, via
+/// both its scalar and its block kernel.
+fn plane_matches_per_item<H: SignFamily>(seed: u64, rows: usize, keys: &[u64]) -> bool {
+    let mut plane_rng = SplitMix64::new(seed);
+    let plane = H::Plane::draw(rows, &mut plane_rng);
+    let mut item_rng = SplitMix64::new(seed);
+    let hashes: Vec<H> = (0..rows).map(|_| H::draw(&mut item_rng)).collect();
+
+    let scalar_ok = hashes
+        .iter()
+        .enumerate()
+        .all(|(row, h)| keys.iter().all(|&k| plane.sign(row, k) == h.sign(k)));
+
+    let deltas = vec![1i64; keys.len()];
+    let mut block_counters = vec![0i64; rows];
+    plane.accumulate_block(keys, &deltas, &mut block_counters);
+    let item_counters: Vec<i64> = hashes
+        .iter()
+        .map(|h| keys.iter().map(|&k| h.sign(k)).sum())
+        .collect();
+
+    scalar_ok && block_counters == item_counters
 }
 
 proptest! {
@@ -83,6 +118,50 @@ proptest! {
         let h = PolySign::from_seed(seed);
         let s = h.sign(key);
         prop_assert!(s == 1 || s == -1);
+    }
+
+    #[test]
+    fn sign_block_equals_per_item_sign_for_all_families(
+        seed in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        prop_assert!(sign_block_matches_per_item::<PolySign>(seed, &keys), "PolySign");
+        prop_assert!(sign_block_matches_per_item::<TwoWiseSign>(seed, &keys), "TwoWiseSign");
+        prop_assert!(sign_block_matches_per_item::<BchSignHash>(seed, &keys), "BchSignHash");
+        prop_assert!(sign_block_matches_per_item::<TabulationSign>(seed, &keys), "TabulationSign");
+    }
+
+    #[test]
+    fn sign_planes_equal_per_item_families(
+        seed in any::<u64>(),
+        rows in 1usize..24,
+        keys in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        prop_assert!(plane_matches_per_item::<PolySign>(seed, rows, &keys), "PolySign");
+        prop_assert!(plane_matches_per_item::<TwoWiseSign>(seed, rows, &keys), "TwoWiseSign");
+        prop_assert!(plane_matches_per_item::<BchSignHash>(seed, rows, &keys), "BchSignHash");
+        prop_assert!(plane_matches_per_item::<TabulationSign>(seed, rows, &keys), "TabulationSign");
+    }
+
+    #[test]
+    fn lazy_reduction_chain_matches_canonical_horner(
+        coeffs in (0..field::P, 0..field::P, 0..field::P, 0..field::P),
+        key in any::<u64>(),
+    ) {
+        // The branch-free redundant-representation kernel must agree
+        // with the canonical field arithmetic on arbitrary polynomials.
+        let (c0, c1, c2, c3) = coeffs;
+        let x = field::reduce64(key);
+        let lazy = field::reduce64(field::lazy_mul_add(
+            field::lazy_mul_add(field::lazy_mul_add(c3, x, c2), x, c1),
+            x,
+            c0,
+        ));
+        let canon = field::add(
+            field::mul(field::add(field::mul(field::add(field::mul(c3, x), c2), x), c1), x),
+            c0,
+        );
+        prop_assert_eq!(lazy, canon);
     }
 
     #[test]

@@ -137,10 +137,7 @@ impl Catalog {
         let mut out: Vec<(String, String)> = self
             .relations
             .iter()
-            .flat_map(|(rel, t)| {
-                t.attributes()
-                    .map(move |a| (rel.clone(), a.to_string()))
-            })
+            .flat_map(|(rel, t)| t.attributes().map(move |a| (rel.clone(), a.to_string())))
             .collect();
         out.sort();
         out
@@ -217,8 +214,14 @@ mod tests {
         c.add_relation("r", &["k"]).unwrap();
         c.add_relation("s", &["k"]).unwrap();
         for i in 0..1_000u64 {
-            c.tracker_mut("r").unwrap().insert_row(&[("k", i % 20)]).unwrap();
-            c.tracker_mut("s").unwrap().insert_row(&[("k", i % 30)]).unwrap();
+            c.tracker_mut("r")
+                .unwrap()
+                .insert_row(&[("k", i % 20)])
+                .unwrap();
+            c.tracker_mut("s")
+                .unwrap()
+                .insert_row(&[("k", i % 30)])
+                .unwrap();
         }
         // Exact: Σ f·g with f = 50 each over 20 values, g ≈ 33.3 over 30;
         // shared values 0..20 → ~20·50·33.3 ≈ 33 333.
@@ -236,8 +239,14 @@ mod tests {
         c.add_relation("big2", &["k"]).unwrap();
         c.add_relation("tiny", &["k", "other"]).unwrap();
         for i in 0..2_000u64 {
-            c.tracker_mut("big1").unwrap().insert_row(&[("k", i % 5)]).unwrap();
-            c.tracker_mut("big2").unwrap().insert_row(&[("k", i % 5)]).unwrap();
+            c.tracker_mut("big1")
+                .unwrap()
+                .insert_row(&[("k", i % 5)])
+                .unwrap();
+            c.tracker_mut("big2")
+                .unwrap()
+                .insert_row(&[("k", i % 5)])
+                .unwrap();
         }
         for i in 0..100u64 {
             c.tracker_mut("tiny")
@@ -253,10 +262,7 @@ mod tests {
         }
         // The big1⋈big2 join must rank last (largest).
         let last = ranked.last().unwrap();
-        assert_eq!(
-            [(last.0).0.as_str(), (last.1).0.as_str()],
-            ["big1", "big2"]
-        );
+        assert_eq!([(last.0).0.as_str(), (last.1).0.as_str()], ["big1", "big2"]);
         // "other" never pairs with "k" (incompatible seeds) — ensure no
         // pair mixes attribute names.
         for (l, r, _) in &ranked {

@@ -23,6 +23,15 @@ pub enum TrackerError {
         /// The duplicated name.
         name: String,
     },
+    /// A columnar batch supplied columns of unequal length.
+    RaggedColumns {
+        /// Length of the first column.
+        expected: usize,
+        /// The attribute whose column disagreed.
+        attribute: String,
+        /// Its length.
+        got: usize,
+    },
     /// Underlying sketch error (sizing, compatibility).
     Sketch(SketchError),
 }
@@ -37,6 +46,14 @@ impl std::fmt::Display for TrackerError {
             TrackerError::DuplicateAttribute { name } => {
                 write!(f, "attribute registered twice: {name}")
             }
+            TrackerError::RaggedColumns {
+                expected,
+                attribute,
+                got,
+            } => write!(
+                f,
+                "column for attribute {attribute} has {got} values, expected {expected}"
+            ),
             TrackerError::Sketch(e) => write!(f, "sketch error: {e}"),
         }
     }
@@ -189,14 +206,12 @@ impl RelationTracker {
             })
     }
 
-    fn apply_row(
-        &mut self,
-        row: &[(&str, Value)],
-        delta: i64,
-    ) -> Result<(), TrackerError> {
+    fn apply_row(&mut self, row: &[(&str, Value)], delta: i64) -> Result<(), TrackerError> {
         // Validate fully before touching any synopsis, so a bad row
         // leaves no partial update behind: every registered attribute
-        // must be supplied, and every supplied attribute registered.
+        // must be supplied exactly once, and every supplied attribute
+        // registered (a duplicated attribute would otherwise be applied
+        // twice while the row count moves once).
         for state in &self.attributes {
             if !row.iter().any(|(name, _)| *name == state.name) {
                 return Err(TrackerError::IncompleteRow {
@@ -204,9 +219,14 @@ impl RelationTracker {
                 });
             }
         }
-        for (name, _) in row {
+        for (i, (name, _)) in row.iter().enumerate() {
             if !self.attributes.iter().any(|a| &a.name == name) {
                 return Err(TrackerError::UnknownAttribute {
+                    name: name.to_string(),
+                });
+            }
+            if row[..i].iter().any(|(earlier, _)| earlier == name) {
+                return Err(TrackerError::DuplicateAttribute {
                     name: name.to_string(),
                 });
             }
@@ -248,6 +268,95 @@ impl RelationTracker {
         self.apply_row(row, -1)
     }
 
+    /// Validates a columnar batch and returns the row count: every
+    /// registered attribute supplied exactly once, no unknown
+    /// attributes, all columns of equal length.
+    fn check_columns(&self, columns: &[(&str, &[Value])]) -> Result<usize, TrackerError> {
+        let n = columns.first().map_or(0, |(_, col)| col.len());
+        for state in &self.attributes {
+            if !columns.iter().any(|(name, _)| *name == state.name) {
+                return Err(TrackerError::IncompleteRow {
+                    missing: state.name.clone(),
+                });
+            }
+        }
+        for (i, (name, col)) in columns.iter().enumerate() {
+            if !self.attributes.iter().any(|a| &a.name == name) {
+                return Err(TrackerError::UnknownAttribute {
+                    name: name.to_string(),
+                });
+            }
+            if columns[..i].iter().any(|(earlier, _)| earlier == name) {
+                return Err(TrackerError::DuplicateAttribute {
+                    name: name.to_string(),
+                });
+            }
+            if col.len() != n {
+                return Err(TrackerError::RaggedColumns {
+                    expected: n,
+                    attribute: name.to_string(),
+                    got: col.len(),
+                });
+            }
+        }
+        Ok(n)
+    }
+
+    fn apply_columns(
+        &mut self,
+        columns: &[(&str, &[Value])],
+        sign: i64,
+    ) -> Result<u64, TrackerError> {
+        let n = self.check_columns(columns)?;
+        if n == 0 {
+            return Ok(0);
+        }
+        // One shared delta column, net-coalesced once per attribute and
+        // shared by both of its synopses (signature + skew sketch).
+        let deltas = vec![sign; n];
+        for (name, col) in columns {
+            let state = self
+                .attributes
+                .iter_mut()
+                .find(|a| &a.name == name)
+                .expect("validated above");
+            let net = ams_stream::OpBlock::from_columns_coalesced(col, &deltas);
+            state.signature.update_block(&net);
+            state.skew.update_block(&net);
+        }
+        if sign > 0 {
+            self.rows += n as u64;
+        } else {
+            self.rows = self.rows.saturating_sub(n as u64);
+        }
+        Ok(n as u64)
+    }
+
+    /// Inserts a batch of rows column-at-a-time: one `(attribute,
+    /// values)` column per registered attribute, all of equal length
+    /// (row `i` is the i-th entry of every column). Each attribute's
+    /// synopses ingest their column in one plane sweep per counter —
+    /// the relation-level columnar fast path.
+    ///
+    /// Returns the number of rows inserted.
+    ///
+    /// # Errors
+    /// [`TrackerError::IncompleteRow`] / [`TrackerError::UnknownAttribute`]
+    /// / [`TrackerError::RaggedColumns`] on malformed batches; the
+    /// tracker is unchanged on error.
+    pub fn insert_rows(&mut self, columns: &[(&str, &[Value])]) -> Result<u64, TrackerError> {
+        self.apply_columns(columns, 1)
+    }
+
+    /// Deletes a batch of previously-inserted rows column-at-a-time
+    /// (same shape rules as [`Self::insert_rows`]).
+    ///
+    /// # Errors
+    /// As for [`Self::insert_rows`].
+    pub fn delete_rows(&mut self, columns: &[(&str, &[Value])]) -> Result<u64, TrackerError> {
+        self.apply_columns(columns, -1)
+    }
+
     /// The k-TW signature of an attribute (e.g. for persistence through
     /// [`ams_core::codec`] or shipping to a coordinator).
     ///
@@ -266,7 +375,11 @@ impl RelationTracker {
         let sj = state.skew.estimate();
         Ok(AttributeStats {
             self_join: sj,
-            skew_ratio: if self.rows == 0 { 0.0 } else { sj / self.rows as f64 },
+            skew_ratio: if self.rows == 0 {
+                0.0
+            } else {
+                sj / self.rows as f64
+            },
             synopsis_words: state.signature.memory_words() + state.skew.memory_words(),
         })
     }
@@ -355,6 +468,75 @@ mod tests {
         t.delete_row(&[("a", 7)]).unwrap();
         assert_eq!(t.rows(), 1);
         assert_eq!(t.stats("a").unwrap().self_join, 1.0);
+    }
+
+    #[test]
+    fn columnar_batch_equals_row_at_a_time() {
+        let cfg = config();
+        let mut by_rows = RelationTracker::new(cfg, &["a", "b"]).unwrap();
+        let mut by_cols = RelationTracker::new(cfg, &["a", "b"]).unwrap();
+        let col_a: Vec<u64> = (0..500u64).map(|i| i % 17).collect();
+        let col_b: Vec<u64> = (0..500u64).map(|i| (i * 3) % 5).collect();
+        for i in 0..col_a.len() {
+            by_rows
+                .insert_row(&[("a", col_a[i]), ("b", col_b[i])])
+                .unwrap();
+        }
+        let n = by_cols
+            .insert_rows(&[("a", &col_a), ("b", &col_b)])
+            .unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(by_rows.rows(), by_cols.rows());
+        for attr in ["a", "b"] {
+            assert_eq!(
+                by_rows.signature(attr).unwrap().counters(),
+                by_cols.signature(attr).unwrap().counters(),
+                "attribute {attr}"
+            );
+        }
+        // A columnar delete batch reverses the insert batch exactly.
+        by_cols
+            .delete_rows(&[("b", &col_b), ("a", &col_a)])
+            .unwrap();
+        assert_eq!(by_cols.rows(), 0);
+        assert!(by_cols
+            .signature("a")
+            .unwrap()
+            .counters()
+            .iter()
+            .all(|&c| c == 0));
+    }
+
+    #[test]
+    fn ragged_or_malformed_column_batches_rejected_atomically() {
+        let mut t = RelationTracker::new(config(), &["a", "b"]).unwrap();
+        let short: Vec<u64> = vec![1, 2];
+        let long: Vec<u64> = vec![1, 2, 3];
+        let err = t.insert_rows(&[("a", &short), ("b", &long)]).unwrap_err();
+        assert!(matches!(err, TrackerError::RaggedColumns { .. }));
+        let err = t.insert_rows(&[("a", &short)]).unwrap_err();
+        assert!(matches!(err, TrackerError::IncompleteRow { .. }));
+        let err = t
+            .insert_rows(&[("a", &short), ("b", &short), ("zz", &short)])
+            .unwrap_err();
+        assert!(matches!(err, TrackerError::UnknownAttribute { .. }));
+        // A duplicated column would double-apply one attribute's
+        // updates while moving the row count once — rejected up front.
+        let err = t
+            .insert_rows(&[("a", &short), ("a", &short), ("b", &short)])
+            .unwrap_err();
+        assert!(matches!(err, TrackerError::DuplicateAttribute { .. }));
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.stats("a").unwrap().self_join, 0.0, "no partial updates");
+    }
+
+    #[test]
+    fn duplicate_row_attribute_rejected() {
+        let mut t = RelationTracker::new(config(), &["a", "b"]).unwrap();
+        let err = t.insert_row(&[("a", 1), ("a", 2), ("b", 3)]).unwrap_err();
+        assert!(matches!(err, TrackerError::DuplicateAttribute { .. }));
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.stats("a").unwrap().self_join, 0.0);
     }
 
     #[test]

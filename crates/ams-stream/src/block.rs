@@ -1,0 +1,322 @@
+//! Columnar operation blocks: the unit of batch ingestion.
+//!
+//! Estimators historically consumed one [`Op`](crate::op::Op) at a time,
+//! which pins the sketch hot path on per-item dispatch. An [`OpBlock`]
+//! carries a *column* of values and a parallel column of signed
+//! multiplicities, so linear estimators can sweep a whole block per
+//! counter row (see `ams_hash::plane`) and every estimator saves the
+//! per-item enum dispatch.
+//!
+//! Two coalescing levels:
+//!
+//! * **Run coalescing** (the [`push`](OpBlock::push) path, used by
+//!   [`from_ops`](OpBlock::from_ops)): adjacent operations on the same
+//!   value with the same sign merge into one `(value, ±k)` entry. This
+//!   is *order-preserving* — expanding the block entry-by-entry
+//!   reproduces the original operation sequence exactly, so even
+//!   order-sensitive estimators (sample-count's positional reservoirs,
+//!   naive-sampling's reservoir) process a block bit-identically to the
+//!   scalar stream.
+//! * **Full coalescing** ([`coalesce`](OpBlock::coalesce)): merges *all*
+//!   entries per value into one net delta, dropping zeros. This
+//!   reorders and cancels operations, which is only sound for **linear**
+//!   estimators (tug-of-war sketches and join signatures, where counters
+//!   depend on net frequencies alone); it is the bulk-load layout the
+//!   experiment drivers use.
+
+use ams_hash::FxHashMap;
+
+use crate::multiset::Multiset;
+use crate::op::{Op, Value};
+
+/// A columnar batch of multiset updates: parallel `values`/`deltas`
+/// arrays, entry `i` meaning "change the multiplicity of `values[i]` by
+/// `deltas[i]`".
+#[derive(Debug, Clone, Default)]
+pub struct OpBlock {
+    values: Vec<Value>,
+    deltas: Vec<i64>,
+    /// Whether the block is known to be fully coalesced (one entry per
+    /// distinct value, no zero deltas) — lets linear consumers skip a
+    /// redundant net-coalescing pass.
+    net: bool,
+}
+
+impl PartialEq for OpBlock {
+    fn eq(&self, other: &Self) -> bool {
+        // The `net` marker is a derived property of the columns, not
+        // part of the block's identity.
+        self.values == other.values && self.deltas == other.deltas
+    }
+}
+
+impl Eq for OpBlock {}
+
+impl OpBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty block with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            values: Vec::with_capacity(capacity),
+            deltas: Vec::with_capacity(capacity),
+            net: false,
+        }
+    }
+
+    /// Builds a run-coalesced block from an operation stream.
+    pub fn from_ops<I: IntoIterator<Item = Op>>(ops: I) -> Self {
+        let mut block = Self::new();
+        for op in ops {
+            block.push_op(op);
+        }
+        block
+    }
+
+    /// Builds a run-coalesced block of insertions from a value stream.
+    pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        let mut block = Self::new();
+        for v in values {
+            block.push(v, 1);
+        }
+        block
+    }
+
+    /// Builds the fully-coalesced block of a materialized histogram: one
+    /// `(value, frequency)` entry per distinct value — the bulk-load
+    /// form linear estimators ingest in one plane sweep.
+    pub fn from_histogram(histogram: &Multiset) -> Self {
+        let mut block = Self::with_capacity(histogram.distinct());
+        for (v, f) in histogram.iter() {
+            block.push(v, f as i64);
+        }
+        // One entry per distinct value by construction.
+        block.net = true;
+        block
+    }
+
+    /// Appends one operation (run-coalescing with the last entry).
+    #[inline]
+    pub fn push_op(&mut self, op: Op) {
+        match op {
+            Op::Insert(v) => self.push(v, 1),
+            Op::Delete(v) => self.push(v, -1),
+        }
+    }
+
+    /// Appends a multiplicity change (`delta` copies of `v`; negative
+    /// deletes). Adjacent same-value, same-sign entries merge, which
+    /// keeps the block order-equivalent to the expanded op sequence.
+    /// Zero deltas are ignored.
+    #[inline]
+    pub fn push(&mut self, v: Value, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.net = false;
+        if let (Some(&last_v), Some(last_d)) = (self.values.last(), self.deltas.last_mut()) {
+            if last_v == v && (*last_d > 0) == (delta > 0) {
+                *last_d += delta;
+                return;
+            }
+        }
+        self.values.push(v);
+        self.deltas.push(delta);
+    }
+
+    /// Number of (coalesced) entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the block carries no updates.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of expanded operations the block represents
+    /// (`Σ |delta|`).
+    pub fn ops(&self) -> u64 {
+        self.deltas.iter().map(|d| d.unsigned_abs()).sum()
+    }
+
+    /// The value column.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The delta column.
+    pub fn deltas(&self) -> &[i64] {
+        &self.deltas
+    }
+
+    /// Iterates `(value, delta)` entries in order.
+    pub fn entries(&self) -> impl Iterator<Item = (Value, i64)> + '_ {
+        self.values.iter().copied().zip(self.deltas.iter().copied())
+    }
+
+    /// Replays the block as its expanded operation sequence, in order:
+    /// an entry `(v, ±k)` yields `k` inserts/deletes of `v`. This is
+    /// *the* canonical expansion every order-sensitive consumer uses,
+    /// so run-coalesced blocks stay bit-identical to the scalar stream.
+    pub fn for_each_op<F: FnMut(Op)>(&self, mut f: F) {
+        for (v, delta) in self.entries() {
+            if delta >= 0 {
+                for _ in 0..delta {
+                    f(Op::Insert(v));
+                }
+            } else {
+                for _ in 0..delta.unsigned_abs() {
+                    f(Op::Delete(v));
+                }
+            }
+        }
+    }
+
+    /// Empties the block, keeping its allocations (the shard-queue reuse
+    /// path).
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.deltas.clear();
+        self.net = false;
+    }
+
+    /// `true` when the block is known to be fully coalesced (built by
+    /// [`OpBlock::coalesce`], [`OpBlock::from_columns_coalesced`] or
+    /// [`OpBlock::from_histogram`]); linear consumers use this to skip
+    /// re-coalescing.
+    pub fn is_coalesced(&self) -> bool {
+        self.net
+    }
+
+    /// Fully coalesces the block: one entry per distinct value with the
+    /// net delta, zero-net values dropped, entry order = first
+    /// appearance. **Only order-insensitive (linear) estimators may
+    /// ingest the result**; for them it is equivalent and strictly
+    /// cheaper (one hash-function evaluation per distinct value).
+    pub fn coalesce(&self) -> OpBlock {
+        Self::from_columns_coalesced(&self.values, &self.deltas)
+    }
+
+    /// Fully coalesces raw value/delta columns (the zero-copy producer
+    /// side of [`OpBlock::coalesce`]).
+    ///
+    /// # Panics
+    /// Panics if the column lengths differ.
+    pub fn from_columns_coalesced(values: &[Value], deltas: &[i64]) -> OpBlock {
+        assert_eq!(values.len(), deltas.len(), "ragged columns");
+        let mut index: FxHashMap<Value, usize> =
+            FxHashMap::with_capacity_and_hasher(values.len(), Default::default());
+        let mut out = OpBlock::with_capacity(values.len());
+        for (&v, &d) in values.iter().zip(deltas.iter()) {
+            match index.get(&v) {
+                Some(&i) => out.deltas[i] += d,
+                None => {
+                    index.insert(v, out.values.len());
+                    out.values.push(v);
+                    out.deltas.push(d);
+                }
+            }
+        }
+        // Drop zero-net entries (insert/delete pairs that cancelled).
+        let mut w = 0;
+        for r in 0..out.values.len() {
+            if out.deltas[r] != 0 {
+                out.values[w] = out.values[r];
+                out.deltas[w] = out.deltas[r];
+                w += 1;
+            }
+        }
+        out.values.truncate(w);
+        out.deltas.truncate(w);
+        out.net = true;
+        out
+    }
+}
+
+/// Splits a value stream into run-coalesced insert blocks of at most
+/// `block_size` source values each.
+pub fn value_blocks(values: &[Value], block_size: usize) -> impl Iterator<Item = OpBlock> + '_ {
+    assert!(block_size > 0, "block size must be positive");
+    values
+        .chunks(block_size)
+        .map(|chunk| OpBlock::from_values(chunk.iter().copied()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_coalescing_merges_same_sign_runs_only() {
+        let block = OpBlock::from_ops([
+            Op::Insert(7),
+            Op::Insert(7),
+            Op::Delete(7),
+            Op::Insert(7),
+            Op::Insert(9),
+        ]);
+        let entries: Vec<_> = block.entries().collect();
+        assert_eq!(entries, vec![(7, 2), (7, -1), (7, 1), (9, 1)]);
+        assert_eq!(block.ops(), 5);
+    }
+
+    #[test]
+    fn full_coalescing_nets_per_value_and_drops_zeros() {
+        let block = OpBlock::from_ops([
+            Op::Insert(1),
+            Op::Insert(2),
+            Op::Delete(1),
+            Op::Insert(2),
+            Op::Insert(3),
+            Op::Delete(3),
+        ]);
+        let net: Vec<_> = block.coalesce().entries().collect();
+        assert_eq!(net, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn from_values_is_insert_only() {
+        let block = OpBlock::from_values([5, 5, 6]);
+        assert_eq!(block.entries().collect::<Vec<_>>(), vec![(5, 2), (6, 1)]);
+    }
+
+    #[test]
+    fn zero_deltas_ignored() {
+        let mut block = OpBlock::new();
+        block.push(1, 0);
+        assert!(block.is_empty());
+    }
+
+    #[test]
+    fn coalesced_marker_tracks_construction() {
+        let raw = OpBlock::from_values([1, 1, 2, 1]);
+        assert!(!raw.is_coalesced());
+        let net = raw.coalesce();
+        assert!(net.is_coalesced());
+        assert_eq!(
+            net,
+            OpBlock::from_columns_coalesced(raw.values(), raw.deltas())
+        );
+        let mut hist = crate::multiset::Multiset::new();
+        hist.insert(5);
+        hist.insert(5);
+        assert!(OpBlock::from_histogram(&hist).is_coalesced());
+        // Mutation invalidates the marker.
+        let mut net = net;
+        net.push(99, 1);
+        assert!(!net.is_coalesced());
+    }
+
+    #[test]
+    fn value_blocks_cover_the_stream() {
+        let values: Vec<u64> = (0..10).collect();
+        let blocks: Vec<OpBlock> = value_blocks(&values, 4).collect();
+        assert_eq!(blocks.len(), 3);
+        let total: u64 = blocks.iter().map(OpBlock::ops).sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -95,9 +95,7 @@ impl StreamBuilder {
     pub fn build(&self, values: &[Value]) -> Vec<Op> {
         match self.pattern {
             DeletePattern::None => values.iter().map(|&v| Op::Insert(v)).collect(),
-            DeletePattern::RandomChurn { probability } => {
-                self.build_churn(values, probability)
-            }
+            DeletePattern::RandomChurn { probability } => self.build_churn(values, probability),
             DeletePattern::UndoEvery { every } => Self::build_undo(values, every),
         }
     }

@@ -121,12 +121,7 @@ mod tests {
     #[test]
     fn delete_cancels_most_recent_insert_of_that_value() {
         // Â = i(5) i(7) i(5) d(5): the *second* insert of 5 is cancelled.
-        let ops = vec![
-            Op::Insert(5),
-            Op::Insert(7),
-            Op::Insert(5),
-            Op::Delete(5),
-        ];
+        let ops = vec![Op::Insert(5), Op::Insert(7), Op::Insert(5), Op::Delete(5)];
         assert_eq!(canonicalize(&ops).unwrap(), vec![5, 7]);
     }
 

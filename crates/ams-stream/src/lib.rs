@@ -7,6 +7,9 @@
 //! estimators themselves:
 //!
 //! * [`op`] — the operation model ([`Op`], [`Value`]).
+//! * [`block`] — columnar [`OpBlock`] batches (parallel value/delta
+//!   columns with duplicate coalescing), the unit of block-at-a-time
+//!   ingestion across every estimator.
 //! * [`multiset`] — an exact [`Multiset`] with incrementally-maintained
 //!   self-join size and exact join sizes: the ground truth every
 //!   experiment compares against (the "full histogram" the paper says is
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod block;
 pub mod build;
 pub mod canonical;
 pub mod multiset;
@@ -35,6 +39,7 @@ pub mod op;
 pub mod replay;
 pub mod tracker;
 
+pub use block::{value_blocks, OpBlock};
 pub use build::{DeletePattern, StreamBuilder};
 pub use canonical::{canonicalize, max_prefix_delete_fraction, CanonicalizeError};
 pub use multiset::Multiset;

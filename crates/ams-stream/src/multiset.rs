@@ -98,6 +98,44 @@ impl Multiset {
         }
     }
 
+    /// Applies a signed multiplicity change in one histogram probe:
+    /// `SJ` moves by `(f+δ)² − f²`. Returns `false` (leaving the set
+    /// unchanged) if `delta` would drive the frequency negative.
+    #[inline]
+    pub fn update(&mut self, v: Value, delta: i64) -> bool {
+        if delta == 0 {
+            return true;
+        }
+        match self.freq.entry(v) {
+            Entry::Occupied(mut e) => {
+                let f = *e.get();
+                let Some(new_f) = f.checked_add_signed(delta) else {
+                    return false;
+                };
+                self.self_join += (new_f as u128) * (new_f as u128);
+                self.self_join -= (f as u128) * (f as u128);
+                if new_f == 0 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = new_f;
+                }
+            }
+            Entry::Vacant(e) => {
+                if delta < 0 {
+                    return false;
+                }
+                self.self_join += (delta as u128) * (delta as u128);
+                e.insert(delta as u64);
+            }
+        }
+        if delta > 0 {
+            self.len += delta as u64;
+        } else {
+            self.len -= delta.unsigned_abs();
+        }
+        true
+    }
+
     /// Applies one operation. Returns `false` for a delete of an absent
     /// value.
     #[inline]

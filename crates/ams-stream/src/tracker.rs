@@ -1,5 +1,6 @@
 //! The estimator interface and its exact reference implementation.
 
+use crate::block::OpBlock;
 use crate::multiset::Multiset;
 use crate::op::{Op, Value};
 
@@ -42,6 +43,28 @@ pub trait SelfJoinEstimator {
     {
         for op in ops {
             self.apply(op);
+        }
+    }
+
+    /// Processes a columnar batch of updates.
+    ///
+    /// The default expands the block entry by entry in order (via
+    /// [`OpBlock::for_each_op`]), so any implementor — including
+    /// order-sensitive sampling trackers — keeps exactly its scalar
+    /// behaviour on run-coalesced blocks ([`OpBlock::from_ops`]).
+    /// Linear estimators override this with a kernel that sweeps the
+    /// columns directly.
+    fn apply_block(&mut self, block: &OpBlock) {
+        block.for_each_op(|op| self.apply(op));
+    }
+
+    /// Processes a sequence of blocks in order.
+    fn extend_blocks<'a, I: IntoIterator<Item = &'a OpBlock>>(&mut self, blocks: I)
+    where
+        Self: Sized,
+    {
+        for block in blocks {
+            self.apply_block(block);
         }
     }
 
@@ -96,6 +119,22 @@ impl SelfJoinEstimator for ExactTracker {
     fn memory_words(&self) -> usize {
         // value + counter per distinct entry.
         2 * self.set.distinct()
+    }
+
+    /// One histogram probe per block entry instead of one per operation.
+    fn apply_block(&mut self, block: &OpBlock) {
+        for (v, delta) in block.entries() {
+            let applied = self.set.update(v, delta);
+            if !applied {
+                debug_assert!(applied, "block deletes more copies of {v} than present");
+                // Ill-formed stream (more deletes than copies): the
+                // scalar path deletes until the value runs out and
+                // ignores the rest — mirror that so block-fed and
+                // op-fed ground truth agree in release builds too.
+                let remaining = self.set.frequency(v) as i64;
+                self.set.update(v, -remaining);
+            }
+        }
     }
 }
 

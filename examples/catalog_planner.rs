@@ -68,7 +68,10 @@ fn main() {
     }
 
     println!("column statistics (from synopses only):\n");
-    println!("{:>28} {:>10} {:>12} {:>10}", "column", "rows", "est SJ", "SJ/n");
+    println!(
+        "{:>28} {:>10} {:>12} {:>10}",
+        "column", "rows", "est SJ", "SJ/n"
+    );
     for (rel, attr) in catalog.columns() {
         let stats = catalog.stats(&rel, &attr).expect("registered");
         let rows = catalog.tracker(&rel).unwrap().rows();

@@ -1,26 +1,59 @@
-//! Concurrent tracking by sketch merging: the linearity dividend.
+//! Concurrent tracking by sketch merging: the linearity dividend, fed
+//! through per-shard block queues.
 //!
 //! Tug-of-war sketches (and k-TW signatures) are linear in the frequency
 //! vector, so a relation ingested by many threads can be tracked with
 //! one *shard sketch per thread* — zero contention on the hot path — and
-//! merged only when someone asks. This example partitions a 500k-value
-//! stream across worker threads, each with a private shard published
-//! through a `parking_lot::RwLock` register, while a reader concurrently
-//! snapshots the merged estimate.
+//! merged only when someone asks. This example stages a 500k-value
+//! stream through the columnar pipeline: a producer shards the stream
+//! round-robin into per-shard **block queues** (columnar `OpBlock`
+//! batches, duplicates run-coalesced), one ingestor thread per shard
+//! drains its queue with the block-at-a-time plane kernel and publishes
+//! snapshots through a `parking_lot::RwLock` register, while a reader
+//! concurrently snapshots the merged estimate.
 //!
 //! ```text
 //! cargo run --release --example concurrent_tracking
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use ams::stream::OpBlock;
 use ams::{DatasetId, Multiset, SelfJoinEstimator, SketchParams, TugOfWarSketch};
 
 const WORKERS: usize = 4;
+/// Source values per queued block (before run coalescing).
+const BLOCK: usize = 4096;
+
+/// A single-producer single-consumer block queue for one shard.
+#[derive(Default)]
+struct BlockQueue {
+    blocks: Mutex<VecDeque<OpBlock>>,
+    closed: AtomicBool,
+}
+
+impl BlockQueue {
+    fn push(&self, block: OpBlock) {
+        self.blocks.lock().push_back(block);
+    }
+
+    fn pop(&self) -> Option<OpBlock> {
+        self.blocks.lock().pop_front()
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    fn is_drained(&self) -> bool {
+        self.closed.load(Ordering::Acquire) && self.blocks.lock().is_empty()
+    }
+}
 
 fn merge_shards(shards: &[TugOfWarSketch], params: SketchParams, seed: u64) -> TugOfWarSketch {
     let mut merged: TugOfWarSketch = TugOfWarSketch::new(params, seed);
@@ -35,7 +68,7 @@ fn main() {
     let exact = Multiset::from_values(values.iter().copied());
     let exact_sj = exact.self_join_size() as f64;
     println!(
-        "stream: n = {}, exact SJ = {:.4e}; ingesting on {WORKERS} threads\n",
+        "stream: n = {}, exact SJ = {:.4e}; block-queue ingest on {WORKERS} shards\n",
         exact.len(),
         exact_sj
     );
@@ -44,7 +77,9 @@ fn main() {
     let params = SketchParams::new(64, 4).expect("valid shape");
     let seed = 0xC0_FFEE;
 
-    // Shard register: writers publish snapshots, the reader merges them.
+    let queues: Vec<BlockQueue> = (0..WORKERS).map(|_| BlockQueue::default()).collect();
+
+    // Shard register: ingestors publish snapshots, the reader merges them.
     let published: RwLock<Vec<TugOfWarSketch>> = RwLock::new(
         (0..WORKERS)
             .map(|_| TugOfWarSketch::new(params, seed))
@@ -53,20 +88,51 @@ fn main() {
     let finished = AtomicUsize::new(0);
 
     thread::scope(|scope| {
-        for worker in 0..WORKERS {
+        // Producer: shard the stream round-robin, batch each shard's
+        // values into columnar blocks, enqueue when full.
+        let queues_ref = &queues;
+        let values_ref = &values;
+        scope.spawn(move || {
+            let mut pending: Vec<OpBlock> = (0..WORKERS).map(|_| OpBlock::new()).collect();
+            let mut sizes = [0usize; WORKERS];
+            for (i, &v) in values_ref.iter().enumerate() {
+                let shard = i % WORKERS;
+                pending[shard].push(v, 1);
+                sizes[shard] += 1;
+                if sizes[shard] == BLOCK {
+                    queues_ref[shard].push(std::mem::take(&mut pending[shard]));
+                    sizes[shard] = 0;
+                }
+            }
+            for (shard, block) in pending.into_iter().enumerate() {
+                if !block.is_empty() {
+                    queues_ref[shard].push(block);
+                }
+                queues_ref[shard].close();
+            }
+        });
+
+        // Ingestors: one per shard, draining that shard's block queue
+        // with the columnar plane kernel.
+        for (worker, queue) in queues.iter().enumerate() {
             let published = &published;
             let finished = &finished;
-            let values = &values;
             scope.spawn(move || {
                 let mut shard: TugOfWarSketch = TugOfWarSketch::new(params, seed);
-                for (i, &v) in values.iter().enumerate() {
-                    if i % WORKERS == worker {
-                        shard.insert(v);
-                        // Publish a snapshot every 50k positions so the
-                        // reader sees progress mid-stream.
-                        if i % 50_000 == 0 {
-                            published.write()[worker] = shard.clone();
+                let mut drained_blocks = 0usize;
+                loop {
+                    match queue.pop() {
+                        Some(block) => {
+                            shard.apply_block(&block);
+                            drained_blocks += 1;
+                            // Publish a snapshot every few blocks so the
+                            // reader sees progress mid-stream.
+                            if drained_blocks.is_multiple_of(8) {
+                                published.write()[worker] = shard.clone();
+                            }
                         }
+                        None if queue.is_drained() => break,
+                        None => thread::sleep(Duration::from_micros(50)),
                     }
                 }
                 published.write()[worker] = shard;
@@ -74,23 +140,21 @@ fn main() {
             });
         }
 
-        // Reader: concurrent merged snapshots until all writers finish.
+        // Reader: concurrent merged snapshots until all ingestors finish.
         let published = &published;
         let finished = &finished;
-        scope.spawn(move || {
-            loop {
-                let all_done = finished.load(Ordering::Acquire) == WORKERS;
-                let merged = merge_shards(&published.read(), params, seed);
-                println!(
-                    "  live estimate: {:.4e}  ({:+6.2}% vs final exact)",
-                    merged.estimate(),
-                    100.0 * (merged.estimate() - exact_sj) / exact_sj
-                );
-                if all_done {
-                    break;
-                }
-                thread::sleep(Duration::from_millis(20));
+        scope.spawn(move || loop {
+            let all_done = finished.load(Ordering::Acquire) == WORKERS;
+            let merged = merge_shards(&published.read(), params, seed);
+            println!(
+                "  live estimate: {:.4e}  ({:+6.2}% vs final exact)",
+                merged.estimate(),
+                100.0 * (merged.estimate() - exact_sj) / exact_sj
+            );
+            if all_done {
+                break;
             }
+            thread::sleep(Duration::from_millis(20));
         });
     });
 
@@ -103,12 +167,16 @@ fn main() {
     let rel = (est - exact_sj).abs() / exact_sj;
     assert!(rel < 0.25, "merged estimate off by {rel}");
 
-    // Linearity, verified: merging the shards equals sketching the whole
-    // stream on one thread.
+    // Linearity, verified end to end: merging the block-ingested shards
+    // equals sketching the whole stream one value at a time on one
+    // thread — the block path and the scalar path are bit-identical.
     let mut single: TugOfWarSketch = TugOfWarSketch::new(params, seed);
     for &v in &values {
         single.insert(v);
     }
     assert_eq!(single.counters(), merged.counters());
-    println!("verified: merge of {WORKERS} shard sketches == single-threaded sketch, counter for counter.");
+    println!(
+        "verified: merge of {WORKERS} block-queue shard sketches == single-threaded \
+         per-item sketch, counter for counter."
+    );
 }

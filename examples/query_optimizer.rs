@@ -62,11 +62,10 @@ fn main() {
     }
 
     let (pair, est) = best.expect("pairs exist");
-    println!(
-        "\noptimizer decision: start with {pair} (estimated {est:.3e} output tuples),"
-    );
+    println!("\noptimizer decision: start with {pair} (estimated {est:.3e} output tuples),");
     println!("then join the remaining relations against the intermediate result.");
-    println!("\nplanning cost: {} signature words per relation, zero base-table access.",
+    println!(
+        "\nplanning cost: {} signature words per relation, zero base-table access.",
         family.k()
     );
 }

@@ -26,11 +26,7 @@ fn main() {
 
     let mut rng = Xoshiro256StarStar::new(2026);
     let domain = 4_096u64;
-    let phases: [(&str, f64); 3] = [
-        ("uniform", 0.0),
-        ("mild skew", 0.05),
-        ("heavy skew", 0.6),
-    ];
+    let phases: [(&str, f64); 3] = [("uniform", 0.0), ("mild skew", 0.05), ("heavy skew", 0.6)];
     // Even a perfectly uniform stream has SJ/n ≈ 1 + n/t; alert only when
     // the measured ratio exceeds 5x that no-skew expectation.
     let alert_factor = 5.0;
@@ -58,7 +54,10 @@ fn main() {
             exact.memory_words()
         );
         if alerted_at.is_none() && est_ratio > alert_factor * no_skew {
-            println!("  → ALERT: skew is {:.1}x the no-skew baseline", est_ratio / no_skew);
+            println!(
+                "  → ALERT: skew is {:.1}x the no-skew baseline",
+                est_ratio / no_skew
+            );
             alerted_at = Some(phase);
         }
     }

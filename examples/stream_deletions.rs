@@ -18,10 +18,8 @@ use ams::{
 fn main() {
     // Base values: the Genesis-scale text stream (n = 43k).
     let values = DatasetId::Genesis.generate(5);
-    let builder = StreamBuilder::with_pattern(
-        DeletePattern::RandomChurn { probability: 0.2 },
-        0xDE1,
-    );
+    let builder =
+        StreamBuilder::with_pattern(DeletePattern::RandomChurn { probability: 0.2 }, 0xDE1);
     let ops = builder.build(&values);
     let deletes = ops.iter().filter(|o| !o.is_insert()).count();
     println!(

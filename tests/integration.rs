@@ -19,8 +19,10 @@ fn tugofwar_within_15_percent_on_all_datasets() {
         let values = dataset.generate(dataset.default_seed());
         let histogram = Multiset::from_values(values.iter().copied());
         let exact = histogram.self_join_size() as f64;
-        let mut tw: TugOfWarSketch =
-            TugOfWarSketch::new(SketchParams::new(1024, 4).unwrap(), 0xACC_u64 + dataset as u64);
+        let mut tw: TugOfWarSketch = TugOfWarSketch::new(
+            SketchParams::new(1024, 4).unwrap(),
+            0xACC_u64 + dataset as u64,
+        );
         for (v, f) in histogram.iter() {
             tw.update(v, f as i64);
         }
@@ -135,9 +137,8 @@ fn join_signatures_recover_table1_pair_join() {
         sig_r.update(v, f as i64);
     }
     let est = sig_l.estimate_join(&sig_r).unwrap();
-    let predicted = (2.0 * left.self_join_size() as f64 * right.self_join_size() as f64
-        / k as f64)
-        .sqrt();
+    let predicted =
+        (2.0 * left.self_join_size() as f64 * right.self_join_size() as f64 / k as f64).sqrt();
     assert!(
         (est - exact).abs() < 4.0 * predicted,
         "estimate {est:.3e} vs exact {exact:.3e} (bound scale {predicted:.3e})"
@@ -173,13 +174,21 @@ fn catalog_tracks_table1_relations() {
     let left_values = ams::DatasetId::Mf2.generate(1);
     let right_values = ams::DatasetId::Mf3.generate(2);
     for &v in &left_values {
-        catalog.tracker_mut("mf2").unwrap().insert_row(&[("v", v)]).unwrap();
+        catalog
+            .tracker_mut("mf2")
+            .unwrap()
+            .insert_row(&[("v", v)])
+            .unwrap();
     }
     for &v in &right_values {
-        catalog.tracker_mut("mf3").unwrap().insert_row(&[("v", v)]).unwrap();
+        catalog
+            .tracker_mut("mf3")
+            .unwrap()
+            .insert_row(&[("v", v)])
+            .unwrap();
     }
-    let exact = Multiset::from_values(left_values)
-        .join_size(&Multiset::from_values(right_values)) as f64;
+    let exact =
+        Multiset::from_values(left_values).join_size(&Multiset::from_values(right_values)) as f64;
     let est = catalog.estimate_join(("mf2", "v"), ("mf3", "v")).unwrap();
     let rel = (est - exact).abs() / exact;
     assert!(rel < 0.5, "estimate {est:.3e} vs exact {exact:.3e}");
@@ -293,7 +302,11 @@ fn sketch_memory_independent_of_domain() {
         sc.insert(v);
         exact.insert(v);
     }
-    assert!(exact.memory_words() > 50_000, "exact {}", exact.memory_words());
+    assert!(
+        exact.memory_words() > 50_000,
+        "exact {}",
+        exact.memory_words()
+    );
     assert!(tw.memory_words() < 1_000, "tw {}", tw.memory_words());
     assert!(sc.memory_words() < 5_000, "sc {}", sc.memory_words());
 }

@@ -1,0 +1,279 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — groups,
+//! throughput annotations, `bench_with_input`, `iter`/`iter_batched`,
+//! `criterion_group!`/`criterion_main!` — over a simple median-of-samples
+//! wall-clock harness. No plots, no statistics beyond the median; good
+//! enough to compare code paths on one machine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` sizes its batches (ignored: every batch is one
+/// routine call here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a name and a displayed parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Test mode (`cargo test` passes `--test`): run each body once,
+    /// skip measurement.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Self { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.matches(name) {
+            run_one(name, None, 10, self.test_mode, &mut f);
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function identified by an id, passing it an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        if self.criterion.matches(&full) {
+            run_one(
+                &full,
+                self.throughput,
+                self.sample_size,
+                self.criterion.test_mode,
+                &mut |b| f(b, input),
+            );
+        }
+        self
+    }
+
+    /// Benchmarks a named function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        if self.criterion.matches(&full) {
+            run_one(
+                &full,
+                self.throughput,
+                self.sample_size,
+                self.criterion.test_mode,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Target duration of one timing sample.
+    sample_target: Duration,
+    /// Collected samples as (total duration, iterations).
+    samples: Vec<(Duration, u64)>,
+    sample_count: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times a routine, running it as many times as needed per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fill one sample?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.sample_target.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// Times a routine over inputs built by an untimed setup closure.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+    test_mode: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_target: Duration::from_millis(10),
+        samples: Vec::new(),
+        sample_count,
+        test_mode,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {name} ... ok");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{name:<55} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median = per_iter[per_iter.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:>10.3} Melem/s", n as f64 * 1e3 / median)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: {:>10.3} MiB/s",
+                n as f64 * 1e9 / median / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{name:<55} time: {:>12.2} ns/iter{rate}", median);
+}
+
+/// Declares a benchmark entry point running the given functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

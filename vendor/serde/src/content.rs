@@ -1,0 +1,76 @@
+//! The self-describing value tree all (de)serialization funnels through.
+
+/// A serialized value: the data model shared by every `Serializer` and
+/// `Deserializer` in this stand-in implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (canonical form for any unsigned that fits).
+    U64(u64),
+    /// A signed integer (used when the value is negative).
+    I64(i64),
+    /// An unsigned integer wider than `u64`.
+    U128(u128),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence of values.
+    Seq(Vec<Content>),
+    /// An ordered map (struct fields, map entries, enum variants).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// A short human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::U128(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// The value as an unsigned 128-bit integer, if it is one
+    /// (string contents that parse as integers are accepted, because
+    /// JSON map keys arrive as strings).
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Content::U64(v) => Some(*v as u128),
+            Content::U128(v) => Some(*v),
+            Content::I64(v) if *v >= 0 => Some(*v as u128),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed 128-bit integer, if it is one.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Content::U64(v) => Some(*v as i128),
+            Content::I64(v) => Some(*v as i128),
+            Content::U128(v) => i128::try_from(*v).ok(),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            Content::U128(v) => Some(*v as f64),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+}

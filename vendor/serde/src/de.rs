@@ -1,0 +1,71 @@
+//! Deserialization traits.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+use crate::content::Content;
+
+/// Error trait every deserializer error type implements.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can produce a serialized value tree.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: Error;
+
+    /// Yields the complete [`Content`] tree of the input.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from the [`Content`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input (all types in
+/// this stand-in qualify; the alias mirrors serde's bound vocabulary).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A deserializer over an already-parsed content tree, generic over the
+/// error type for use inside `with`-style helper modules.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        Self {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a value out of a content tree.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+/// Removes and returns the value stored under a string key of a
+/// serialized map (derive-macro helper for struct fields).
+pub fn take_entry(entries: &mut Vec<(Content, Content)>, key: &str) -> Option<Content> {
+    let idx = entries
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == key))?;
+    Some(entries.remove(idx).1)
+}

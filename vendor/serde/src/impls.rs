@@ -1,0 +1,387 @@
+//! Trait impls for primitive and standard-library types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
+
+use crate::content::Content;
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, Serializer};
+
+// ---------------------------------------------------------------------
+// integers
+// ---------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.take_content()?;
+                let v = c.as_u128().ok_or_else(|| {
+                    de::Error::custom(format!("expected unsigned integer, got {}", c.kind()))
+                })?;
+                <$t>::try_from(v)
+                    .map_err(|_| de::Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_content(Content::U64(v as u64))
+                } else {
+                    s.serialize_content(Content::I64(v))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.take_content()?;
+                let v = c.as_i128().ok_or_else(|| {
+                    de::Error::custom(format!("expected integer, got {}", c.kind()))
+                })?;
+                <$t>::try_from(v)
+                    .map_err(|_| de::Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        if let Ok(v) = u64::try_from(*self) {
+            s.serialize_content(Content::U64(v))
+        } else {
+            s.serialize_content(Content::U128(*self))
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.take_content()?;
+        c.as_u128().ok_or_else(|| {
+            de::Error::custom(format!("expected unsigned integer, got {}", c.kind()))
+        })
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        if *self >= 0 {
+            (*self as u128).serialize(s)
+        } else {
+            let v = i64::try_from(*self)
+                .map_err(|_| ser::Error::custom("i128 below i64::MIN is unsupported"))?;
+            s.serialize_content(Content::I64(v))
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for i128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.take_content()?;
+        c.as_i128()
+            .ok_or_else(|| de::Error::custom(format!("expected integer, got {}", c.kind())))
+    }
+}
+
+// ---------------------------------------------------------------------
+// floats, bool, char, strings
+// ---------------------------------------------------------------------
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.take_content()?;
+                c.as_f64().map(|v| v as $t).ok_or_else(|| {
+                    de::Error::custom(format!("expected number, got {}", c.kind()))
+                })
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Bool(b) => Ok(b),
+            c => Err(de::Error::custom(format!(
+                "expected bool, got {}",
+                c.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            c => Err(de::Error::custom(format!(
+                "expected char, got {}",
+                c.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) => Ok(s),
+            c => Err(de::Error::custom(format!(
+                "expected string, got {}",
+                c.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// unit / option
+// ---------------------------------------------------------------------
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Null)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(()),
+            c => Err(de::Error::custom(format!(
+                "expected null, got {}",
+                c.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_content(Content::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            c => crate::de::from_content::<T, D::Error>(c).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// sequences
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(crate::ser::to_content::<T, S::Error>(item)?);
+        }
+        s.serialize_content(Content::Seq(seq))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(crate::de::from_content::<T, D::Error>)
+                .collect(),
+            c => Err(de::Error::custom(format!(
+                "expected sequence, got {}",
+                c.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| de::Error::custom(format!("expected {N} elements, got {len}")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![$(crate::ser::to_content::<$name, S::Error>(&self.$idx)?),+];
+                s.serialize_content(Content::Seq(seq))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::Seq(items) => {
+                        let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                        if items.len() != expected {
+                            return Err(de::Error::custom(format!(
+                                "expected a {expected}-tuple, got {} elements",
+                                items.len()
+                            )));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($(crate::de::from_content::<$name, D::Error>(
+                            it.next().expect("length checked")
+                        )?,)+))
+                    }
+                    c => Err(de::Error::custom(format!("expected sequence, got {}", c.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, Z.3)
+}
+
+// ---------------------------------------------------------------------
+// maps
+// ---------------------------------------------------------------------
+
+impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            entries.push((
+                crate::ser::to_content::<K, S::Error>(k)?,
+                crate::ser::to_content::<V, S::Error>(v)?,
+            ));
+        }
+        s.serialize_content(Content::Map(entries))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Map(entries) => {
+                let mut map = HashMap::with_capacity_and_hasher(entries.len(), H::default());
+                for (k, v) in entries {
+                    map.insert(
+                        crate::de::from_content::<K, D::Error>(k)?,
+                        crate::de::from_content::<V, D::Error>(v)?,
+                    );
+                }
+                Ok(map)
+            }
+            c => Err(de::Error::custom(format!("expected map, got {}", c.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            entries.push((
+                crate::ser::to_content::<K, S::Error>(k)?,
+                crate::ser::to_content::<V, S::Error>(v)?,
+            ));
+        }
+        s.serialize_content(Content::Map(entries))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Map(entries) => {
+                let mut map = BTreeMap::new();
+                for (k, v) in entries {
+                    map.insert(
+                        crate::de::from_content::<K, D::Error>(k)?,
+                        crate::de::from_content::<V, D::Error>(v)?,
+                    );
+                }
+                Ok(map)
+            }
+            c => Err(de::Error::custom(format!("expected map, got {}", c.kind()))),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments without crates.io access, so the
+//! external serialization dependency is replaced by this minimal local
+//! implementation exposing the subset of serde's API the workspace uses:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits with the generic
+//!   [`Serializer`] / [`Deserializer`] parameter signatures (so manual
+//!   impls and `#[serde(with = "...")]` modules written against real serde
+//!   compile unchanged);
+//! * derive macros for structs and enums (re-exported from
+//!   `serde_derive`);
+//! * impls for the primitive, collection and array types the workspace
+//!   serializes.
+//!
+//! Internally everything funnels through a self-describing [`Content`]
+//! tree (the moral equivalent of `serde_json::Value`); format crates like
+//! the local `serde_json` stand-in consume and produce that tree.
+
+pub mod de;
+pub mod ser;
+
+mod content;
+mod impls;
+
+pub use content::Content;
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in their own proc-macro crate; re-export them under
+// the trait names, exactly as real serde does.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Private helpers the derive macros expand to. Not a stable API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::content::Content;
+    pub use crate::de::{from_content, take_entry, ContentDeserializer};
+    pub use crate::ser::{to_content, ContentSerializer};
+}

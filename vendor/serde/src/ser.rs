@@ -1,0 +1,77 @@
+//! Serialization traits.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+use crate::content::Content;
+
+/// Error trait every serializer error type implements.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can accept a serialized value tree.
+pub trait Serializer: Sized {
+    /// The output of a successful serialization.
+    type Ok;
+    /// The error type.
+    type Error: Error;
+
+    /// Consumes a fully-built [`Content`] tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value serializable into the [`Content`] data model.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+/// The canonical collector: a serializer whose output *is* the content
+/// tree. Generic over the error type so `with`-style helper modules can
+/// be invoked from any outer serializer.
+pub struct ContentSerializer<E> {
+    _marker: PhantomData<E>,
+}
+
+impl<E> ContentSerializer<E> {
+    /// Creates a collector.
+    pub fn new() -> Self {
+        Self {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<E> Default for ContentSerializer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Error> Serializer for ContentSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_content(self, content: Content) -> Result<Content, E> {
+        Ok(content)
+    }
+}
+
+/// Serializes a value into its [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized, E: Error>(value: &T) -> Result<Content, E> {
+    value.serialize(ContentSerializer::<E>::new())
+}

@@ -1,0 +1,612 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace uses — structs with named fields (including
+//! const-generic and bounded type parameters and `#[serde(with = "...")]`
+//! field attributes), tuple structs, and enums with unit or tuple
+//! variants — by walking the raw token stream directly (no `syn`/`quote`,
+//! which are unavailable offline) and emitting impls of the local `serde`
+//! facade's content-tree traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// item model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(n)` for tuple variants of arity n.
+    arity: Option<usize>,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+enum ParamKind {
+    Lifetime,
+    Const,
+    Type,
+}
+
+struct GenericParam {
+    kind: ParamKind,
+    name: String,
+    /// Full declaration minus any `= default` part.
+    decl: String,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------
+// token-level parsing
+// ---------------------------------------------------------------------
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    // Let proc_macro's own Display handle spacing (it keeps joint puncts
+    // like the `'` of a lifetime attached to the following ident).
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Skips attributes (`#[...]`) starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Extracts the `with = "path"` target from a field's attributes, if any.
+fn field_with_attr(tokens: &[TokenTree], mut i: usize) -> Option<String> {
+    let mut with = None;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                            // look for: with = "literal"
+                            let mut j = 0;
+                            while j < args.len() {
+                                if let TokenTree::Ident(a) = &args[j] {
+                                    if a.to_string() == "with" && j + 2 < args.len() {
+                                        let lit = args[j + 2].to_string();
+                                        with = Some(lit.trim_matches('"').to_string());
+                                    }
+                                }
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    with
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(...)`) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas (angle-bracket and group
+/// nesting respected; groups nest automatically as single trees).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips a trailing `= default` (top level) from a parameter declaration.
+fn strip_default(tokens: &[TokenTree]) -> Vec<TokenTree> {
+    let mut angle: i32 = 0;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                '=' if angle == 0 => {
+                    // `=` of an associated-type binding sits inside angle
+                    // brackets, so a top-level `=` is the default value.
+                    return tokens[..i].to_vec();
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.to_vec()
+}
+
+fn parse_generic_param(tokens: &[TokenTree]) -> GenericParam {
+    let stripped = strip_default(tokens);
+    let decl = tokens_to_string(&stripped);
+    match stripped.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            let name = format!(
+                "'{}",
+                stripped.get(1).map(|t| t.to_string()).unwrap_or_default()
+            );
+            GenericParam {
+                kind: ParamKind::Lifetime,
+                name,
+                decl,
+            }
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            let name = stripped
+                .get(1)
+                .map(|t| t.to_string())
+                .expect("const parameter name");
+            GenericParam {
+                kind: ParamKind::Const,
+                name,
+                decl,
+            }
+        }
+        Some(TokenTree::Ident(id)) => GenericParam {
+            kind: ParamKind::Type,
+            name: id.to_string(),
+            decl,
+        },
+        other => panic!("unsupported generic parameter start: {other:?}"),
+    }
+}
+
+/// Parses named-struct fields out of the brace group's token stream.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let with = field_with_attr(&tokens, i);
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        // skip `:` then the type, up to the next top-level comma.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    for var in split_top_level(&tokens) {
+        let mut i = skip_attrs(&var, 0);
+        let Some(TokenTree::Ident(id)) = var.get(i) else {
+            continue; // trailing comma
+        };
+        let name = id.to_string();
+        i += 1;
+        let arity = match var.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Some(split_top_level(&inner).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("struct enum variants are not supported by the offline serde derive")
+            }
+            _ => None, // unit variant (any `= discriminant` was split off already)
+        };
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let is_enum = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("derive target must be a struct or enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    // generics
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            let start = i + 1;
+            let mut end = start;
+            for (j, t) in tokens.iter().enumerate().skip(i) {
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = j;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for param in split_top_level(&tokens[start..end]) {
+                if !param.is_empty() {
+                    generics.push(parse_generic_param(&param));
+                }
+            }
+            i = end + 1;
+        }
+    }
+
+    // optional where clause: skip until the body group / semicolon.
+    let data = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if is_enum {
+                    Data::Enum(parse_variants(g.stream()))
+                } else {
+                    Data::NamedStruct(parse_named_fields(g.stream()))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                break Data::TupleStruct(split_top_level(&inner).len());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Data::UnitStruct,
+            Some(_) => i += 1,
+            None => panic!("unexpected end of derive input"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------
+// code generation
+// ---------------------------------------------------------------------
+
+/// Builds the `impl<...>` parameter list and the `Type<...>` argument
+/// list. `extra_bound` is appended to every type parameter; `prefix`
+/// prepends parameters (the `'de` lifetime for Deserialize).
+fn generics_for_impl(item: &Item, extra_bound: &str, prefix: &str) -> (String, String) {
+    let mut decls: Vec<String> = Vec::new();
+    if !prefix.is_empty() {
+        decls.push(prefix.to_string());
+    }
+    let mut args: Vec<String> = Vec::new();
+    for p in &item.generics {
+        match p.kind {
+            ParamKind::Type => {
+                let has_bounds = p.decl.contains(':');
+                let joiner = if has_bounds { " + " } else { ": " };
+                decls.push(format!("{}{}{}", p.decl, joiner, extra_bound));
+            }
+            _ => decls.push(p.decl.clone()),
+        }
+        args.push(p.name.clone());
+    }
+    let impl_generics = if decls.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decls.join(", "))
+    };
+    let type_args = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+    (impl_generics, type_args)
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    let (impl_generics, type_args) = generics_for_impl(item, ":: serde :: Serialize", "");
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let n = &f.name;
+                let value = match &f.with {
+                    None => format!(
+                        "::serde::__private::to_content::<_, __S::Error>(&self.{n})?"
+                    ),
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{n}, ::serde::__private::ContentSerializer::<__S::Error>::new())?"
+                    ),
+                };
+                pushes.push_str(&format!(
+                    "__entries.push((::serde::Content::Str(\"{n}\".to_string()), {value}));\n"
+                ));
+            }
+            format!(
+                "let mut __entries: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 __s.serialize_content(::serde::Content::Map(__entries))"
+            )
+        }
+        Data::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::__private::to_content::<_, __S::Error>(&self.{i})?"))
+                .collect();
+            format!(
+                "__s.serialize_content(::serde::Content::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => "__s.serialize_content(::serde::Content::Null)".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match v.arity {
+                    None => arms.push_str(&format!(
+                        "{name}::{vn} => __s.serialize_content(::serde::Content::Str(\"{vn}\".to_string())),\n"
+                    )),
+                    Some(arity) => {
+                        let binds: Vec<String> = (0..arity).map(|i| format!("__f{i}")).collect();
+                        let contents: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::__private::to_content::<_, __S::Error>({b})?"))
+                            .collect();
+                        let payload = if arity == 1 {
+                            contents[0].clone()
+                        } else {
+                            format!("::serde::Content::Seq(::std::vec![{}])", contents.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let __payload = {payload};\n\
+                             __s.serialize_content(::serde::Content::Map(::std::vec![\
+                             (::serde::Content::Str(\"{vn}\".to_string()), __payload)]))\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl {impl_generics} ::serde::Serialize for {name} {type_args} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    let (impl_generics, type_args) =
+        generics_for_impl(item, "for<'__de2> :: serde :: Deserialize<'__de2>", "'de");
+    let name = &item.name;
+    let err = "<__D::Error as ::serde::de::Error>";
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let n = &f.name;
+                let value = match &f.with {
+                    None => "::serde::__private::from_content::<_, __D::Error>(__v)?".to_string(),
+                    Some(path) => format!(
+                        "{path}::deserialize(::serde::__private::ContentDeserializer::<__D::Error>::new(__v))?"
+                    ),
+                };
+                inits.push_str(&format!(
+                    "{n}: {{\n\
+                     let __v = ::serde::__private::take_entry(&mut __entries, \"{n}\")\
+                     .ok_or_else(|| {err}::custom(\"missing field `{n}`\"))?;\n\
+                     {value}\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "let mut __entries = match ::serde::Deserializer::take_content(__d)? {{\n\
+                 ::serde::Content::Map(__m) => __m,\n\
+                 __c => return ::core::result::Result::Err({err}::custom(\
+                 ::std::format!(\"expected map for struct {name}, got {{}}\", __c.kind()))),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Data::TupleStruct(arity) => {
+            let fields: Vec<String> = (0..*arity)
+                .map(|_| {
+                    "::serde::__private::from_content::<_, __D::Error>(__it.next().unwrap())?"
+                        .to_string()
+                })
+                .collect();
+            format!(
+                "let __items = match ::serde::Deserializer::take_content(__d)? {{\n\
+                 ::serde::Content::Seq(__v) => __v,\n\
+                 __c => return ::core::result::Result::Err({err}::custom(\
+                 ::std::format!(\"expected sequence for {name}, got {{}}\", __c.kind()))),\n\
+                 }};\n\
+                 if __items.len() != {arity} {{\n\
+                 return ::core::result::Result::Err({err}::custom(\"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({fields}))",
+                fields = fields.join(", ")
+            )
+        }
+        Data::UnitStruct => format!(
+            "match ::serde::Deserializer::take_content(__d)? {{\n\
+             ::serde::Content::Null => ::core::result::Result::Ok({name}),\n\
+             __c => ::core::result::Result::Err({err}::custom(\
+             ::std::format!(\"expected null for {name}, got {{}}\", __c.kind()))),\n\
+             }}"
+        ),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match v.arity {
+                    None => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Some(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::__private::from_content::<_, __D::Error>(__v)?)),\n"
+                    )),
+                    Some(arity) => {
+                        let fields: Vec<String> = (0..arity)
+                            .map(|_| {
+                                "::serde::__private::from_content::<_, __D::Error>(__it.next().unwrap())?"
+                                    .to_string()
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = match __v {{\n\
+                             ::serde::Content::Seq(__v) => __v,\n\
+                             __c => return ::core::result::Result::Err({err}::custom(\
+                             ::std::format!(\"expected sequence for variant {vn}, got {{}}\", __c.kind()))),\n\
+                             }};\n\
+                             if __items.len() != {arity} {{\n\
+                             return ::core::result::Result::Err({err}::custom(\"wrong arity for variant {vn}\"));\n\
+                             }}\n\
+                             let mut __it = __items.into_iter();\n\
+                             ::core::result::Result::Ok({name}::{vn}({fields}))\n\
+                             }}\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match ::serde::Deserializer::take_content(__d)? {{\n\
+                 ::serde::Content::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err({err}::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = __m.pop().unwrap();\n\
+                 let __tag = match __k {{\n\
+                 ::serde::Content::Str(__s) => __s,\n\
+                 __c => return ::core::result::Result::Err({err}::custom(\
+                 ::std::format!(\"expected string variant tag, got {{}}\", __c.kind()))),\n\
+                 }};\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err({err}::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 __c => ::core::result::Result::Err({err}::custom(\
+                 ::std::format!(\"expected enum content for {name}, got {{}}\", __c.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl {impl_generics} ::serde::Deserialize<'de> for {name} {type_args} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` via the local content-tree data model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` via the local content-tree data model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

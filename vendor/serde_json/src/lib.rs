@@ -1,0 +1,377 @@
+//! Offline stand-in for `serde_json`: JSON text to and from the local
+//! serde facade's content tree. Supports everything the workspace
+//! serializes — numbers (including `u128`), strings, sequences, maps with
+//! stringified integer keys (matching real serde_json's convention) —
+//! with a hand-written recursive-descent parser.
+
+use serde::{Content, Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = serde::__private::to_content::<T, Error>(value)?;
+    let mut out = String::new();
+    write_content(&content, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes a value to a JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let content = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error("trailing characters after JSON value".to_string()));
+    }
+    serde::__private::from_content::<T, Error>(content)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<'de, T: Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------
+// writer
+// ---------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) -> Result<(), Error> {
+    if !v.is_finite() {
+        return Err(Error("non-finite float cannot be serialized".to_string()));
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    // `{}` prints integral floats without a fraction; that is fine since
+    // the reader widens integers back to floats on demand.
+    Ok(())
+}
+
+fn write_key(key: &Content, out: &mut String) -> Result<(), Error> {
+    match key {
+        Content::Str(s) => write_escaped(s, out),
+        Content::U64(v) => write_escaped(&v.to_string(), out),
+        Content::I64(v) => write_escaped(&v.to_string(), out),
+        Content::U128(v) => write_escaped(&v.to_string(), out),
+        Content::Bool(v) => write_escaped(&v.to_string(), out),
+        other => {
+            return Err(Error(format!(
+                "map key must be a string or integer, got {}",
+                other.kind()
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn write_content(content: &Content, out: &mut String) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U128(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out)?,
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_key(k, out)?;
+                out.push(':');
+                write_content(v, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Content::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(Error(format!(
+                "unexpected input {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error("unterminated string".to_string()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error("unterminated escape".to_string()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: decode a following \uXXXX.
+                            if (0xD800..0xDC00).contains(&code) {
+                                if self.eat_keyword("\\u") {
+                                    let low = self.hex4()?;
+                                    let c = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00));
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| Error("bad surrogate pair".into()))?,
+                                    );
+                                } else {
+                                    return Err(Error("lone surrogate".to_string()));
+                                }
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error("bad unicode escape".into()))?,
+                                );
+                            }
+                        }
+                        other => return Err(Error(format!("bad escape '\\{}'", other as char))),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte slice.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|e| Error(e.to_string()))?;
+                    let c = s.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error("truncated unicode escape".to_string()))?;
+        let s = std::str::from_utf8(slice).map_err(|e| Error(e.to_string()))?;
+        let code = u32::from_str_radix(s, 16).map_err(|e| Error(e.to_string()))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u128>() {
+                return Ok(Content::U128(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|e| Error(format!("bad number {text:?}: {e}")))
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error("expected ',' or ']' in array".to_string())),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((Content::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(Error("expected ',' or '}' in object".to_string())),
+            }
+        }
+    }
+}
