@@ -5,7 +5,7 @@
 //! queries cost O(s) / O(s) / O(s2). These benches sweep s so the
 //! scaling shapes are visible in the report.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use ams_bench::Workload;
 use ams_core::{
@@ -13,6 +13,9 @@ use ams_core::{
     TugOfWarSketch,
 };
 use ams_datagen::DatasetId;
+use ams_hash::lanes::PlaneScratch;
+use ams_hash::plane::SignPlane;
+use ams_hash::{PolySignPlane, SplitMix64};
 use ams_stream::{value_blocks, OpBlock};
 
 const UPDATE_BATCH: usize = 10_000;
@@ -215,11 +218,51 @@ fn bench_scalar_vs_block(c: &mut Criterion) {
     group.finish();
 }
 
+/// The plane kernels head to head, outside the sketch machinery: the
+/// retired serial u128 Horner kernel vs the split-limb lane/tile kernel
+/// (which is the auto-vectorized scalar path in a default build and the
+/// runtime-dispatched `std::arch` AVX2 path when this bench is compiled
+/// with `--features simd` — the label records which). One 256-key block
+/// of Zipf keys, s ∈ {256, 4096} plane rows.
+fn bench_kernels(c: &mut Criterion) {
+    const BLOCK: usize = 256;
+    let workload = Workload::from_dataset(DatasetId::Zipf10, Some(BLOCK));
+    let deltas = vec![1i64; workload.values.len()];
+    let lane_label = if cfg!(feature = "simd") {
+        "lane-simd"
+    } else {
+        "lane"
+    };
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(BLOCK as u64));
+    for s in [256usize, 4_096] {
+        let mut rng = SplitMix64::new(11);
+        let plane = PolySignPlane::draw(s, &mut rng);
+        let mut counters = vec![0i64; s];
+        group.bench_with_input(BenchmarkId::new("serial-u128", s), &s, |b, _| {
+            b.iter(|| {
+                plane.accumulate_block_serial(&workload.values, &deltas, &mut counters);
+                black_box(counters[0])
+            });
+        });
+        let mut scratch = PlaneScratch::new();
+        group.bench_with_input(BenchmarkId::new(lane_label, s), &s, |b, _| {
+            b.iter(|| {
+                plane.accumulate_block_into(&workload.values, &deltas, &mut counters, &mut scratch);
+                black_box(counters[0])
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_updates,
     bench_deletes,
     bench_queries,
-    bench_scalar_vs_block
+    bench_scalar_vs_block,
+    bench_kernels
 );
 criterion_main!(benches);

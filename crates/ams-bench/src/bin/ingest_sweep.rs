@@ -1,0 +1,147 @@
+//! Machine-readable ingest sweep: the perf-trajectory probe run after
+//! every PR that touches the sketch hot path.
+//!
+//! Pushes the zipf1.0 throughput workload through the per-item path,
+//! the block path at several block sizes, and the raw plane kernels
+//! (serial u128 reference vs the split-limb lane/tile kernel), then
+//! writes the numbers as JSON — by default to `BENCH_ingest.json` in
+//! the current directory (the repository root when invoked via
+//! `cargo run` from the root), or to the path given as the first
+//! argument.
+//!
+//! Compile with `--features simd` to measure the `std::arch` AVX2
+//! kernel path; the output records which configuration ran.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ams_bench::Workload;
+use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
+use ams_datagen::DatasetId;
+use ams_hash::lanes::PlaneScratch;
+use ams_hash::plane::SignPlane;
+use ams_hash::{PolySignPlane, SplitMix64};
+use ams_stream::{value_blocks, OpBlock};
+use serde::Serialize;
+
+const UPDATES: usize = 10_000;
+const SKETCH_S: usize = 256;
+const SAMPLES: usize = 9;
+
+#[derive(Serialize)]
+struct Report {
+    workload: &'static str,
+    updates: usize,
+    s: usize,
+    simd_feature: bool,
+    scalar_melem_s: f64,
+    block_melem_s: BTreeMap<usize, f64>,
+    kernels: Vec<KernelPoint>,
+}
+
+#[derive(Serialize)]
+struct KernelPoint {
+    s: usize,
+    block_len: usize,
+    serial_u128_melem_s: f64,
+    lane_melem_s: f64,
+}
+
+/// Median wall-clock seconds of `SAMPLES` runs (after one warm-up).
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Rounded to 4 decimals for a stable, diff-friendly report file.
+fn melem_per_s(elems: usize, secs: f64) -> f64 {
+    (elems as f64 / secs / 1e6 * 1e4).round() / 1e4
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+    let workload = Workload::from_dataset(DatasetId::Zipf10, Some(UPDATES));
+    let params = SketchParams::single_group(SKETCH_S).unwrap();
+
+    // Per-item path.
+    let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, 1);
+    let scalar = melem_per_s(
+        UPDATES,
+        median_secs(|| {
+            for &v in &workload.values {
+                tw.insert(v);
+            }
+        }),
+    );
+    eprintln!("scalar: {scalar:.3} Melem/s");
+
+    // Block path (adaptive coalescing + lane kernels) at several block
+    // sizes.
+    let mut block_melem_s = BTreeMap::new();
+    for block_size in [64usize, 256, 1024] {
+        let blocks: Vec<OpBlock> = value_blocks(&workload.values, block_size).collect();
+        let mut tw: TugOfWarSketch = TugOfWarSketch::new(params, 1);
+        let rate = melem_per_s(
+            UPDATES,
+            median_secs(|| {
+                for block in &blocks {
+                    tw.apply_block(block);
+                }
+            }),
+        );
+        eprintln!("block/{block_size}: {rate:.3} Melem/s");
+        block_melem_s.insert(block_size, rate);
+    }
+
+    // Raw kernels on one 256-key block, outside the sketch machinery.
+    let kernel_block = 256.min(UPDATES);
+    let kvalues = &workload.values[..kernel_block];
+    let kdeltas = vec![1i64; kernel_block];
+    let mut kernels = Vec::new();
+    for s in [256usize, 4_096] {
+        let mut rng = SplitMix64::new(11);
+        let plane = PolySignPlane::draw(s, &mut rng);
+        let mut counters = vec![0i64; s];
+        let serial = melem_per_s(
+            kernel_block,
+            median_secs(|| plane.accumulate_block_serial(kvalues, &kdeltas, &mut counters)),
+        );
+        let mut scratch = PlaneScratch::new();
+        let lane = melem_per_s(
+            kernel_block,
+            median_secs(|| {
+                plane.accumulate_block_into(kvalues, &kdeltas, &mut counters, &mut scratch)
+            }),
+        );
+        eprintln!("kernel s={s}: serial-u128 {serial:.3} vs lane {lane:.3} Melem/s");
+        kernels.push(KernelPoint {
+            s,
+            block_len: kernel_block,
+            serial_u128_melem_s: serial,
+            lane_melem_s: lane,
+        });
+    }
+
+    let report = Report {
+        workload: "zipf1.0",
+        updates: UPDATES,
+        s: SKETCH_S,
+        simd_feature: cfg!(feature = "simd"),
+        scalar_melem_s: scalar,
+        block_melem_s,
+        kernels,
+    };
+    let json = serde_json::to_string(&report).expect("serialize bench report");
+    std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {out_path}");
+}

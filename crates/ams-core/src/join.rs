@@ -21,6 +21,7 @@
 //!   equality joins `Σ_v f_v·g_v·h_v`, via two independent sign families
 //!   with role-dependent signatures.
 
+use ams_hash::lanes::PlaneScratch;
 use ams_hash::plane::{PolySignPlane, SignPlane};
 use ams_hash::rng::SplitMix64;
 use ams_hash::sign::PolySign;
@@ -344,6 +345,7 @@ impl ThreeWayFamily {
             counters: vec![0; self.k],
             xi: PolySignPlane::draw(self.k, &mut xi_rng),
             psi: PolySignPlane::draw(self.k, &mut psi_rng),
+            scratch: PlaneScratch::new(),
         }
     }
 
@@ -388,13 +390,71 @@ impl ThreeWayFamily {
 
 /// A per-relation three-way join signature (k signed counters, sign
 /// banks stored as columnar planes).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThreeWaySignature {
     family: ThreeWayFamily,
     role: ThreeWayRole,
     counters: Vec<i64>,
     xi: PolySignPlane,
     psi: PolySignPlane,
+    /// Reusable kernel scratch (transient — not serialized).
+    scratch: PlaneScratch,
+}
+
+/// Borrowed wire form of [`ThreeWaySignature`] (the serde
+/// representation omits the transient kernel scratch).
+#[derive(Serialize)]
+struct ThreeWayWire<'a> {
+    family: &'a ThreeWayFamily,
+    role: ThreeWayRole,
+    counters: &'a [i64],
+    xi: &'a PolySignPlane,
+    psi: &'a PolySignPlane,
+}
+
+/// Owned wire form for decoding.
+#[derive(Deserialize)]
+struct ThreeWayWireOwned {
+    family: ThreeWayFamily,
+    role: ThreeWayRole,
+    counters: Vec<i64>,
+    xi: PolySignPlane,
+    psi: PolySignPlane,
+}
+
+impl Serialize for ThreeWaySignature {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ThreeWayWire {
+            family: &self.family,
+            role: self.role,
+            counters: &self.counters,
+            xi: &self.xi,
+            psi: &self.psi,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for ThreeWaySignature {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = ThreeWayWireOwned::deserialize(deserializer)?;
+        if wire.counters.len() != wire.family.k
+            || wire.xi.rows() != wire.family.k
+            || wire.psi.rows() != wire.family.k
+        {
+            return Err(serde::de::Error::custom(
+                "three-way wire shape does not match its family",
+            ));
+        }
+        Ok(Self {
+            family: wire.family,
+            role: wire.role,
+            counters: wire.counters,
+            xi: wire.xi,
+            psi: wire.psi,
+            scratch: PlaneScratch::new(),
+        })
+    }
 }
 
 impl ThreeWaySignature {
@@ -422,18 +482,25 @@ impl ThreeWaySignature {
     pub fn update_block(&mut self, block: &OpBlock) {
         let (values, deltas) = (block.values(), block.deltas());
         match self.role {
-            ThreeWayRole::Left => self.xi.accumulate_block(values, deltas, &mut self.counters),
-            ThreeWayRole::Right => self
-                .psi
-                .accumulate_block(values, deltas, &mut self.counters),
+            ThreeWayRole::Left => {
+                self.xi
+                    .accumulate_block_into(values, deltas, &mut self.counters, &mut self.scratch)
+            }
+            ThreeWayRole::Right => self.psi.accumulate_block_into(
+                values,
+                deltas,
+                &mut self.counters,
+                &mut self.scratch,
+            ),
             ThreeWayRole::Center => {
                 // Fused two-plane kernel: keys reduced once, both sign
-                // banks evaluated branch-free per row.
-                self.xi.accumulate_block_signed_product(
+                // banks evaluated branch-free per row tile.
+                self.xi.accumulate_block_signed_product_into(
                     &self.psi,
                     values,
                     deltas,
                     &mut self.counters,
+                    &mut self.scratch,
                 )
             }
         }

@@ -21,12 +21,13 @@
 //! this is exactly the §4.3 k-TW join signature, so
 //! [`crate::join::TwJoinSignature`] is built on this type.
 
+use ams_hash::lanes::PlaneScratch;
 use ams_hash::plane::SignPlane;
 use ams_hash::rng::SplitMix64;
 use ams_hash::sign::{PolySign, SignFamily};
 use serde::{Deserialize, Serialize};
 
-use ams_stream::{OpBlock, SelfJoinEstimator, Value};
+use ams_stream::{CoalesceBuffer, OpBlock, SelfJoinEstimator, Value};
 
 use crate::error::SketchError;
 use crate::estimator::median_of_means;
@@ -68,7 +69,54 @@ pub struct TugOfWarSketch<H: SignFamily = PolySign> {
     /// The ±1 hash functions as a columnar bank, row `i` aligned with
     /// `counters[i]`.
     plane: H::Plane,
+    /// Reusable block-ingestion workspace (not part of the sketch's
+    /// logical state: never serialized, never compared).
+    scratch: IngestScratch,
 }
+
+/// Transient per-sketch ingestion state: the kernel scratch, the
+/// coalescing buffers, and the running workload-skew estimate that
+/// decides whether coalescing pays. Steady-state block ingestion
+/// touches only these reused buffers — zero heap allocations.
+#[derive(Debug, Clone)]
+struct IngestScratch {
+    /// Padded key/delta columns for the plane kernels.
+    plane: PlaneScratch,
+    /// Reusable net-coalescing map + output block.
+    coalesce: CoalesceBuffer,
+    /// EWMA of the observed duplicate ratio `1 − distinct/len` over
+    /// coalesced blocks. Starts at 1.0 ("assume skewed") so the first
+    /// blocks coalesce and the estimate converges from observations.
+    dup_ratio: f32,
+    /// Blocks ingested without coalescing since the last observation;
+    /// drives the periodic probe that lets the estimate recover if the
+    /// stream turns skewed again.
+    skipped: u32,
+}
+
+impl Default for IngestScratch {
+    fn default() -> Self {
+        Self {
+            plane: PlaneScratch::new(),
+            coalesce: CoalesceBuffer::new(),
+            dup_ratio: 1.0,
+            skipped: 0,
+        }
+    }
+}
+
+/// EWMA smoothing for the duplicate-ratio estimate (new observations
+/// weigh ¼ — a few blocks to adapt, jitter-tolerant).
+const DUP_EWMA_ALPHA: f32 = 0.25;
+
+/// Coalescing pays when the expected duplicate savings exceed the
+/// hash-map pass's cost: one map op costs about this many lane-kernel
+/// row evaluations, so coalesce iff `dup_ratio · rows > THRESHOLD`.
+const COALESCE_THRESHOLD: f32 = 12.0;
+
+/// While skipping, re-run the coalescing pass every this many blocks to
+/// refresh the duplicate-ratio estimate (skew can return at any time).
+const PROBE_EVERY: u32 = 32;
 
 impl<H: SignFamily> TugOfWarSketch<H> {
     /// Creates a zeroed sketch whose `params.total()` hash functions are
@@ -81,6 +129,7 @@ impl<H: SignFamily> TugOfWarSketch<H> {
             seed,
             counters: vec![0; s],
             plane: H::Plane::draw(s, &mut rng),
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -133,8 +182,12 @@ impl<H: SignFamily> TugOfWarSketch<H> {
         if block.is_coalesced() {
             // Already net deltas (histogram bulk loads, pre-coalesced
             // batches): straight to the plane sweep.
-            self.plane
-                .accumulate_block(block.values(), block.deltas(), &mut self.counters);
+            self.plane.accumulate_block_into(
+                block.values(),
+                block.deltas(),
+                &mut self.counters,
+                &mut self.scratch.plane,
+            );
         } else {
             self.ingest_columns(block.values(), block.deltas());
         }
@@ -152,17 +205,35 @@ impl<H: SignFamily> TugOfWarSketch<H> {
     fn ingest_columns(&mut self, values: &[Value], deltas: &[i64]) {
         // Net-delta coalescing before the plane sweep: linearity makes
         // it exact, and every duplicate removed saves a full per-row
-        // hash evaluation. A hash-map pass over the block costs a few ns
-        // per entry, so it amortizes once the plane is more than a few
-        // rows tall and the block is big enough to hold duplicates.
-        if self.counters.len() >= 8 && values.len() >= 16 {
-            let net = OpBlock::from_columns_coalesced(values, deltas);
-            self.plane
-                .accumulate_block(net.values(), net.deltas(), &mut self.counters);
-        } else {
-            self.plane
-                .accumulate_block(values, deltas, &mut self.counters);
+        // hash evaluation. Whether the hash-map pass pays off depends on
+        // the workload's skew, so the decision is *adaptive*: a running
+        // EWMA of the duplicate ratio observed on coalesced blocks,
+        // compared against the pass's cost in row-evaluation units.
+        // Skewed streams coalesce aggressively; duplicate-free streams
+        // skip straight to the lane sweep (with a periodic probe so the
+        // estimate tracks workload shifts). Either path yields
+        // bit-identical counters (linearity), only the cost differs.
+        let rows = self.counters.len();
+        let scratch = &mut self.scratch;
+        if rows >= 4 && values.len() >= 16 {
+            let probe = scratch.skipped >= PROBE_EVERY;
+            if probe || scratch.dup_ratio * rows as f32 > COALESCE_THRESHOLD {
+                let net = scratch.coalesce.coalesce(values, deltas);
+                let observed = 1.0 - net.len() as f32 / values.len() as f32;
+                scratch.dup_ratio += DUP_EWMA_ALPHA * (observed - scratch.dup_ratio);
+                scratch.skipped = 0;
+                self.plane.accumulate_block_into(
+                    net.values(),
+                    net.deltas(),
+                    &mut self.counters,
+                    &mut scratch.plane,
+                );
+                return;
+            }
+            scratch.skipped += 1;
         }
+        self.plane
+            .accumulate_block_into(values, deltas, &mut self.counters, &mut scratch.plane);
     }
 
     /// The atomic estimates `X_{i,j} = Z_{i,j}²`, group-major.
@@ -311,6 +382,7 @@ impl<'de, H: SignFamily> Deserialize<'de> for TugOfWarSketch<H> {
             seed: wire.seed,
             counters: wire.counters,
             plane: wire.plane,
+            scratch: IngestScratch::default(),
         })
     }
 }

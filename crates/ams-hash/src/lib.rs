@@ -40,7 +40,11 @@
 //! # let _ = FourWisePoly::from_seed(1);
 //! ```
 
-#![forbid(unsafe_code)]
+// The only unsafe in this crate is the runtime-dispatched `std::arch`
+// AVX2 kernel path of `lanes`, which exists only under the `simd`
+// feature; without it the whole crate is forbidden from unsafe.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![deny(missing_docs)]
 
 pub mod bch;
@@ -48,6 +52,7 @@ pub mod fast;
 pub mod field;
 pub mod gf2;
 pub mod kwise;
+pub mod lanes;
 pub mod plane;
 pub mod rng;
 pub mod sign;
@@ -56,6 +61,7 @@ pub mod universal;
 
 pub use fast::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kwise::{FourWisePoly, PolyHash, TwoWisePoly};
+pub use lanes::PlaneScratch;
 pub use plane::{PolyPlane, PolySignPlane, RowPlane, SignPlane, TwoWiseSignPlane};
 pub use rng::SplitMix64;
 pub use sign::{BchSignHash, PolySign, SignFamily, SignHash, TabulationSign, TwoWiseSign};

@@ -16,10 +16,20 @@
 //!
 //! * [`PolyPlane`] — the SoA fast path for polynomial families
 //!   ([`PolySign`]/[`TwoWiseSign`]): `K` coefficient columns over
-//!   GF(2⁶¹−1), Horner kernel with block-hoisted key reduction.
+//!   GF(2⁶¹−1), swept by the lane-parallel split-limb tile kernels of
+//!   [`crate::lanes`] (auto-vectorizing on stable Rust, explicit AVX2
+//!   under the `simd` feature; the retired serial u128 Horner kernel
+//!   survives as [`PolyPlane::accumulate_block_serial`], the
+//!   equivalence-test and benchmark reference).
 //! * [`RowPlane`] — the generic fallback for any [`SignFamily`]: keeps
 //!   the AoS struct per row but still gains the inverted loop nest (each
 //!   hash struct is loaded once per block, not once per item).
+//!
+//! Every block kernel has two entry points: `accumulate_block`
+//! (self-contained, allocates a transient scratch) and the
+//! `*_into` variant taking a caller-owned
+//! [`PlaneScratch`](crate::lanes::PlaneScratch) — the zero-allocation
+//! path sketches use for steady-state ingestion.
 //!
 //! Drawing a plane consumes the seed stream *identically* to drawing the
 //! same number of individual functions with [`SignFamily::draw`], so a
@@ -31,6 +41,7 @@ use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
 use crate::field;
+use crate::lanes::{self, PlaneScratch};
 use crate::rng::SplitMix64;
 use crate::sign::SignFamily;
 
@@ -59,11 +70,29 @@ pub trait SignPlane: std::fmt::Debug + Clone + Serialize + DeserializeOwned {
     }
 
     /// Block update: adds `Σ_j ε_row(values[j]) · deltas[j]` to each
-    /// counter, sweeping the block once per row.
+    /// counter, sweeping the block once per row. Convenience wrapper
+    /// around [`Self::accumulate_block_into`] with a transient scratch;
+    /// steady-state callers should hold a scratch and use the `_into`
+    /// variant to keep ingestion allocation-free.
     ///
     /// # Panics
     /// Panics if the slice lengths disagree with the plane shape.
-    fn accumulate_block(&self, values: &[u64], deltas: &[i64], counters: &mut [i64]);
+    fn accumulate_block(&self, values: &[u64], deltas: &[i64], counters: &mut [i64]) {
+        self.accumulate_block_into(values, deltas, counters, &mut PlaneScratch::new());
+    }
+
+    /// Block update through a caller-provided reusable scratch: the
+    /// zero-allocation form of [`Self::accumulate_block`].
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree with the plane shape.
+    fn accumulate_block_into(
+        &self,
+        values: &[u64],
+        deltas: &[i64],
+        counters: &mut [i64],
+        scratch: &mut PlaneScratch,
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -108,13 +137,93 @@ impl<const K: usize> PolyPlane<K> {
     /// Accumulates the *product* of two planes' signs over a block:
     /// `counters[row] += Σ_j ξ_row(values[j]) · ψ_row(values[j]) ·
     /// deltas[j]` with `self` as ξ and `other` as ψ — the center-role
-    /// kernel of three-way join signatures. Keys are reduced once for
-    /// both planes and each row runs two fused branch-free Horner
-    /// chains (the sign product is `−1` iff the two parities differ).
+    /// kernel of three-way join signatures. Convenience wrapper around
+    /// [`Self::accumulate_block_signed_product_into`] with a transient
+    /// scratch.
     ///
     /// # Panics
     /// Panics if the plane or column shapes disagree.
     pub fn accumulate_block_signed_product(
+        &self,
+        other: &Self,
+        values: &[u64],
+        deltas: &[i64],
+        counters: &mut [i64],
+    ) {
+        self.accumulate_block_signed_product_into(
+            other,
+            values,
+            deltas,
+            counters,
+            &mut PlaneScratch::new(),
+        );
+    }
+
+    /// The zero-allocation form of
+    /// [`Self::accumulate_block_signed_product`]: keys are reduced once
+    /// into the caller's scratch and each row tile runs two fused
+    /// split-limb lane chains (the sign product is `−1` iff the two
+    /// parities differ).
+    ///
+    /// # Panics
+    /// Panics if the plane or column shapes disagree.
+    pub fn accumulate_block_signed_product_into(
+        &self,
+        other: &Self,
+        values: &[u64],
+        deltas: &[i64],
+        counters: &mut [i64],
+        scratch: &mut PlaneScratch,
+    ) {
+        assert_eq!(self.rows, other.rows, "plane shape mismatch");
+        assert_eq!(counters.len(), self.rows, "counter/plane shape mismatch");
+        scratch.load(values, deltas);
+        lanes::product_sweep::<K>(
+            &self.cols,
+            &other.cols,
+            self.rows,
+            scratch.xs(),
+            scratch.ds(),
+            counters,
+        );
+    }
+
+    /// The retired serial u128 Horner kernel (one
+    /// [`field::lazy_mul_add`] widening multiply per step), kept as the
+    /// bit-for-bit reference the lane/tile kernels are property-tested
+    /// and benchmarked against.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree with the plane shape.
+    pub fn accumulate_block_serial(&self, values: &[u64], deltas: &[i64], counters: &mut [i64]) {
+        assert_eq!(values.len(), deltas.len(), "values/deltas length mismatch");
+        assert_eq!(counters.len(), self.rows, "counter/plane shape mismatch");
+        // Reduce each key into the field once for the whole plane.
+        let xs: Vec<u64> = values.iter().map(|&v| field::reduce64(v)).collect();
+        for (row, z) in counters.iter_mut().enumerate() {
+            // Row coefficients hoisted into registers; the Horner chain
+            // runs in the branch-free redundant representation with one
+            // canonicalization per key.
+            let coeffs: [u64; K] = std::array::from_fn(|c| self.cols[c][row]);
+            let mut acc = 0i64;
+            for (&x, &d) in xs.iter().zip(deltas.iter()) {
+                let mut h = coeffs[K - 1];
+                for &c in coeffs[..K - 1].iter().rev() {
+                    h = field::lazy_mul_add(h, x, c);
+                }
+                let parity_mask = ((field::reduce64(h) & 1) as i64).wrapping_neg();
+                acc += (d ^ parity_mask) - parity_mask;
+            }
+            *z += acc;
+        }
+    }
+
+    /// Serial u128 reference for the fused two-plane product kernel
+    /// (see [`Self::accumulate_block_serial`]).
+    ///
+    /// # Panics
+    /// Panics if the plane or column shapes disagree.
+    pub fn accumulate_block_signed_product_serial(
         &self,
         other: &Self,
         values: &[u64],
@@ -179,30 +288,19 @@ impl<const K: usize> SignPlane for PolyPlane<K> {
         }
     }
 
-    fn accumulate_block(&self, values: &[u64], deltas: &[i64], counters: &mut [i64]) {
-        assert_eq!(values.len(), deltas.len(), "values/deltas length mismatch");
+    fn accumulate_block_into(
+        &self,
+        values: &[u64],
+        deltas: &[i64],
+        counters: &mut [i64],
+        scratch: &mut PlaneScratch,
+    ) {
         assert_eq!(counters.len(), self.rows, "counter/plane shape mismatch");
-        // Reduce each key into the field once for the whole plane.
-        let xs: Vec<u64> = values.iter().map(|&v| field::reduce64(v)).collect();
-        for (row, z) in counters.iter_mut().enumerate() {
-            // Hoist the row's coefficients out of the columns; the inner
-            // loop then touches only the shared block arrays, runs the
-            // Horner chain in the branch-free redundant representation
-            // (one canonicalization per key instead of one conditional
-            // subtraction per step — those branches are 50/50 on random
-            // field values), and folds the ±1 branchlessly.
-            let coeffs: [u64; K] = std::array::from_fn(|c| self.cols[c][row]);
-            let mut acc = 0i64;
-            for (&x, &d) in xs.iter().zip(deltas.iter()) {
-                let mut h = coeffs[K - 1];
-                for &c in coeffs[..K - 1].iter().rev() {
-                    h = field::lazy_mul_add(h, x, c);
-                }
-                let parity_mask = ((field::reduce64(h) & 1) as i64).wrapping_neg();
-                acc += (d ^ parity_mask) - parity_mask;
-            }
-            *z += acc;
-        }
+        // Keys are reduced into the field once for the whole plane (and
+        // padded to a lane multiple) by the scratch load; the tile
+        // kernel then sweeps TILE_ROWS rows per loaded key vector.
+        scratch.load(values, deltas);
+        lanes::poly_sweep::<K>(&self.cols, self.rows, scratch.xs(), scratch.ds(), counters);
     }
 }
 
@@ -244,7 +342,13 @@ where
         self.rows[row].sign(v)
     }
 
-    fn accumulate_block(&self, values: &[u64], deltas: &[i64], counters: &mut [i64]) {
+    fn accumulate_block_into(
+        &self,
+        values: &[u64],
+        deltas: &[i64],
+        counters: &mut [i64],
+        scratch: &mut PlaneScratch,
+    ) {
         assert_eq!(values.len(), deltas.len(), "values/deltas length mismatch");
         assert_eq!(
             counters.len(),
@@ -253,10 +357,11 @@ where
         );
         // Route through the family's `sign_block` so any per-family
         // batch specialization applies here too; one scratch row of
-        // signs is reused across all plane rows.
-        let mut signs = vec![0i64; values.len()];
+        // signs is reused across all plane rows (and across blocks, via
+        // the caller's scratch).
+        let signs = scratch.signs(values.len());
         for (h, z) in self.rows.iter().zip(counters.iter_mut()) {
-            h.sign_block(values, &mut signs);
+            h.sign_block(values, signs);
             let mut acc = 0i64;
             for (&s, &d) in signs.iter().zip(deltas.iter()) {
                 acc += s * d;
@@ -324,6 +429,71 @@ mod tests {
             plane.accumulate_one(v, 1, &mut scalar);
         }
         assert_eq!(block, scalar);
+    }
+
+    /// The lane/tile kernel must match the serial u128 reference for
+    /// every block/row alignment: block lengths around the LANES
+    /// boundary and row counts hitting every tile-tail case.
+    #[test]
+    fn lane_kernel_equals_serial_kernel_for_all_alignments() {
+        use crate::lanes::{LANES, TILE_ROWS};
+        let mut rng = SplitMix64::new(4242);
+        let lens = [0, 1, LANES - 1, LANES, LANES + 1, 3 * LANES + 5, 257];
+        for rows in 1..=2 * TILE_ROWS + 1 {
+            let plane = PolySignPlane::draw(rows, &mut rng);
+            let two = TwoWiseSignPlane::draw(rows, &mut rng);
+            for &len in &lens {
+                let values: Vec<u64> = (0..len as u64).map(|i| rng.next_u64() ^ i).collect();
+                let deltas: Vec<i64> = (0..len).map(|i| (i % 11) as i64 - 5).collect();
+                let mut lane = vec![3i64; rows];
+                let mut serial = vec![3i64; rows];
+                plane.accumulate_block(&values, &deltas, &mut lane);
+                plane.accumulate_block_serial(&values, &deltas, &mut serial);
+                assert_eq!(lane, serial, "poly rows={rows} len={len}");
+                let mut lane2 = vec![-1i64; rows];
+                let mut serial2 = vec![-1i64; rows];
+                two.accumulate_block(&values, &deltas, &mut lane2);
+                two.accumulate_block_serial(&values, &deltas, &mut serial2);
+                assert_eq!(lane2, serial2, "twowise rows={rows} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_lane_kernel_equals_serial_for_all_alignments() {
+        use crate::lanes::{LANES, TILE_ROWS};
+        let mut rng = SplitMix64::new(77);
+        for rows in 1..=2 * TILE_ROWS + 1 {
+            let xi = PolySignPlane::draw(rows, &mut rng);
+            let psi = PolySignPlane::draw(rows, &mut rng);
+            for len in [0, 1, LANES - 1, LANES, LANES + 1, 2 * LANES + 3, 100] {
+                let values: Vec<u64> = (0..len as u64).map(|i| rng.next_u64() ^ i).collect();
+                let deltas: Vec<i64> = (0..len).map(|i| 2 - (i % 5) as i64).collect();
+                let mut lane = vec![0i64; rows];
+                let mut serial = vec![0i64; rows];
+                xi.accumulate_block_signed_product(&psi, &values, &deltas, &mut lane);
+                xi.accumulate_block_signed_product_serial(&psi, &values, &deltas, &mut serial);
+                assert_eq!(lane, serial, "rows={rows} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_blocks_is_bit_identical() {
+        let mut rng = SplitMix64::new(9);
+        let plane = PolySignPlane::draw(6, &mut rng);
+        let mut scratch = crate::lanes::PlaneScratch::new();
+        let mut reused = vec![0i64; 6];
+        let mut fresh = vec![0i64; 6];
+        // Shrinking then growing block sizes exercise the pad/clear
+        // logic on a dirty scratch.
+        for len in [40usize, 7, 0, 13, 64] {
+            let values: Vec<u64> = (0..len as u64).map(|i| rng.next_u64() ^ i).collect();
+            let deltas: Vec<i64> = (0..len).map(|i| 1 - (i % 3) as i64).collect();
+            plane.accumulate_block_into(&values, &deltas, &mut reused, &mut scratch);
+            plane.accumulate_block(&values, &deltas, &mut fresh);
+        }
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -19,7 +19,6 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bch::BchSign;
-use crate::field;
 use crate::kwise::{FourWisePoly, TwoWisePoly};
 use crate::plane::{PolySignPlane, RowPlane, SignPlane, TwoWiseSignPlane};
 use crate::rng::SplitMix64;
@@ -92,17 +91,11 @@ impl SignHash for PolySign {
     }
 
     fn sign_block(&self, values: &[u64], out: &mut [i64]) {
-        assert_eq!(values.len(), out.len(), "sign_block shape mismatch");
-        // Coefficients in registers for the whole block; the Horner
-        // chain runs in the branch-free redundant representation with a
-        // single canonicalization per key.
-        let [c0, c1, c2, c3] = *self.poly.coeffs();
-        for (o, &v) in out.iter_mut().zip(values.iter()) {
-            let x = field::reduce64(v);
-            let h = field::lazy_mul_add(field::lazy_mul_add(c3, x, c2), x, c1);
-            let h = field::reduce64(field::lazy_mul_add(h, x, c0));
-            *o = 1 - 2 * ((h & 1) as i64);
-        }
+        // Coefficients in registers for the whole block; full lane
+        // chunks run the split-limb tile kernel (data-parallel across
+        // keys), the tail the scalar split-limb step — allocation-free
+        // either way.
+        crate::lanes::poly_sign_block::<4>(self.poly.coeffs(), values, out);
     }
 }
 
@@ -143,12 +136,7 @@ impl SignHash for TwoWiseSign {
     }
 
     fn sign_block(&self, values: &[u64], out: &mut [i64]) {
-        assert_eq!(values.len(), out.len(), "sign_block shape mismatch");
-        let [c0, c1] = *self.poly.coeffs();
-        for (o, &v) in out.iter_mut().zip(values.iter()) {
-            let h = field::reduce64(field::lazy_mul_add(c1, field::reduce64(v), c0));
-            *o = 1 - 2 * ((h & 1) as i64);
-        }
+        crate::lanes::poly_sign_block::<2>(self.poly.coeffs(), values, out);
     }
 }
 

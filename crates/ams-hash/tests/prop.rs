@@ -3,7 +3,8 @@
 use ams_hash::field;
 use ams_hash::gf2;
 use ams_hash::kwise::{FourWisePoly, TwoWisePoly};
-use ams_hash::plane::SignPlane;
+use ams_hash::lanes::{self, PlaneScratch, LANES};
+use ams_hash::plane::{PolySignPlane, SignPlane, TwoWiseSignPlane};
 use ams_hash::rng::SplitMix64;
 use ams_hash::sign::{BchSignHash, PolySign, SignFamily, SignHash, TabulationSign, TwoWiseSign};
 use ams_hash::universal::BucketHash;
@@ -162,6 +163,85 @@ proptest! {
             c0,
         );
         prop_assert_eq!(lazy, canon);
+    }
+
+    /// The split-limb lane step must agree with canonical field
+    /// arithmetic on arbitrary *canonical* operands.
+    #[test]
+    fn split_mul_add_matches_field_on_canonical_inputs(
+        a in field_elem(), x in field_elem(), c in field_elem(),
+    ) {
+        let split = lanes::split_mul_add(a, x, c);
+        prop_assert!((split as u128) < (1 << 62), "redundant bound violated");
+        prop_assert_eq!(field::reduce64(split), field::add(field::mul(a, x), c));
+    }
+
+    /// …and on arbitrary *redundant-representation* accumulators (any
+    /// value < 2⁶², the chain invariant), including chained steps.
+    #[test]
+    fn split_mul_add_matches_field_on_redundant_inputs(
+        raw_acc in any::<u64>(), x in field_elem(), c in field_elem(), c2 in field_elem(),
+    ) {
+        let acc = raw_acc & ((1u64 << 62) - 1);
+        let split = lanes::split_mul_add(acc, x, c);
+        prop_assert!((split as u128) < (1 << 62));
+        let canon = field::add(field::mul(field::reduce64(acc), x), c);
+        prop_assert_eq!(field::reduce64(split), canon);
+        // One more chained step from the redundant output.
+        let split2 = lanes::split_mul_add(split, x, c2);
+        prop_assert_eq!(field::reduce64(split2), field::add(field::mul(canon, x), c2));
+    }
+
+    /// The lane/tile kernel must produce bit-identical counters to the
+    /// serial u128 reference kernel for arbitrary shapes (the generated
+    /// lengths straddle the LANES boundary and the row counts every
+    /// tile-tail case), through a dirty reused scratch.
+    #[test]
+    fn lane_tile_kernel_equals_serial_kernel(
+        seed in any::<u64>(),
+        rows in 1usize..24,
+        keys in proptest::collection::vec(any::<u64>(), 0..3 * LANES + 2),
+        raw_deltas in proptest::collection::vec(-4i64..5, 0..3 * LANES + 2),
+    ) {
+        let len = keys.len().min(raw_deltas.len());
+        let (keys, deltas) = (&keys[..len], &raw_deltas[..len]);
+        let mut rng = SplitMix64::new(seed);
+        let plane = PolySignPlane::draw(rows, &mut rng);
+        let two = TwoWiseSignPlane::draw(rows, &mut rng);
+        let mut scratch = PlaneScratch::new();
+        // Dirty the scratch with an unrelated block first.
+        plane.accumulate_block_into(&[7, 7, 9], &[1, -1, 2], &mut vec![0; rows], &mut scratch);
+
+        let mut lane = vec![1i64; rows];
+        let mut serial = vec![1i64; rows];
+        plane.accumulate_block_into(keys, deltas, &mut lane, &mut scratch);
+        plane.accumulate_block_serial(keys, deltas, &mut serial);
+        prop_assert_eq!(&lane, &serial, "PolySignPlane rows={} len={}", rows, len);
+
+        let mut lane2 = vec![-2i64; rows];
+        let mut serial2 = vec![-2i64; rows];
+        two.accumulate_block_into(keys, deltas, &mut lane2, &mut scratch);
+        two.accumulate_block_serial(keys, deltas, &mut serial2);
+        prop_assert_eq!(&lane2, &serial2, "TwoWiseSignPlane rows={} len={}", rows, len);
+    }
+
+    /// Same equivalence for the fused two-plane signed-product kernel.
+    #[test]
+    fn product_tile_kernel_equals_serial_kernel(
+        seed in any::<u64>(),
+        rows in 1usize..12,
+        keys in proptest::collection::vec(any::<u64>(), 0..2 * LANES + 2),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let xi = PolySignPlane::draw(rows, &mut rng);
+        let psi = PolySignPlane::draw(rows, &mut rng);
+        let deltas: Vec<i64> = (0..keys.len()).map(|i| (i % 9) as i64 - 4).collect();
+        let mut scratch = PlaneScratch::new();
+        let mut lane = vec![0i64; rows];
+        let mut serial = vec![0i64; rows];
+        xi.accumulate_block_signed_product_into(&psi, &keys, &deltas, &mut lane, &mut scratch);
+        xi.accumulate_block_signed_product_serial(&psi, &keys, &deltas, &mut serial);
+        prop_assert_eq!(&lane, &serial, "rows={} len={}", rows, keys.len());
     }
 
     #[test]

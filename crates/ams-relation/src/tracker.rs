@@ -154,6 +154,17 @@ pub struct RelationTracker {
     config: TrackerConfig,
     attributes: Vec<AttributeState>,
     rows: u64,
+    /// Reusable columnar-ingest workspace (shared delta column +
+    /// net-coalescing buffers), so steady-state `insert_rows` /
+    /// `delete_rows` batches allocate nothing.
+    ingest: IngestBuffers,
+}
+
+/// Transient columnar-ingest buffers of a [`RelationTracker`].
+#[derive(Debug, Clone, Default)]
+struct IngestBuffers {
+    deltas: Vec<i64>,
+    coalesce: ams_stream::CoalesceBuffer,
 }
 
 impl RelationTracker {
@@ -179,6 +190,7 @@ impl RelationTracker {
             config,
             attributes: states,
             rows: 0,
+            ingest: IngestBuffers::default(),
         })
     }
 
@@ -312,17 +324,19 @@ impl RelationTracker {
             return Ok(0);
         }
         // One shared delta column, net-coalesced once per attribute and
-        // shared by both of its synopses (signature + skew sketch).
-        let deltas = vec![sign; n];
+        // shared by both of its synopses (signature + skew sketch) —
+        // all through the tracker's reused ingest buffers.
+        self.ingest.deltas.clear();
+        self.ingest.deltas.resize(n, sign);
         for (name, col) in columns {
             let state = self
                 .attributes
                 .iter_mut()
                 .find(|a| &a.name == name)
                 .expect("validated above");
-            let net = ams_stream::OpBlock::from_columns_coalesced(col, &deltas);
-            state.signature.update_block(&net);
-            state.skew.update_block(&net);
+            let net = self.ingest.coalesce.coalesce(col, &self.ingest.deltas);
+            state.signature.update_block(net);
+            state.skew.update_block(net);
         }
         if sign > 0 {
             self.rows += n as u64;

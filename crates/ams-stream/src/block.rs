@@ -207,15 +207,51 @@ impl OpBlock {
     /// # Panics
     /// Panics if the column lengths differ.
     pub fn from_columns_coalesced(values: &[Value], deltas: &[i64]) -> OpBlock {
+        let mut buffer = CoalesceBuffer::new();
+        buffer.coalesce(values, deltas);
+        buffer.block
+    }
+}
+
+/// A reusable net-coalescing workspace: the value→slot index map and
+/// output block of [`OpBlock::from_columns_coalesced`], retained across
+/// calls so steady-state coalescing performs no heap allocations once
+/// the buffers reach the high-water block size.
+///
+/// Holders: `ams-core`'s tug-of-war sketch (the adaptive-coalescing
+/// ingest path) and `ams-relation`'s tracker (the per-attribute column
+/// path).
+#[derive(Debug, Clone, Default)]
+pub struct CoalesceBuffer {
+    index: FxHashMap<Value, usize>,
+    block: OpBlock,
+}
+
+impl CoalesceBuffer {
+    /// An empty buffer; maps and columns grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fully coalesces the columns into the internal block (one entry
+    /// per distinct value, net delta, zeros dropped, entry order = first
+    /// appearance) and returns it. The result is valid until the next
+    /// call on this buffer.
+    ///
+    /// # Panics
+    /// Panics if the column lengths differ.
+    pub fn coalesce(&mut self, values: &[Value], deltas: &[i64]) -> &OpBlock {
         assert_eq!(values.len(), deltas.len(), "ragged columns");
-        let mut index: FxHashMap<Value, usize> =
-            FxHashMap::with_capacity_and_hasher(values.len(), Default::default());
-        let mut out = OpBlock::with_capacity(values.len());
+        self.index.clear();
+        let out = &mut self.block;
+        out.clear();
+        out.values.reserve(values.len());
+        out.deltas.reserve(values.len());
         for (&v, &d) in values.iter().zip(deltas.iter()) {
-            match index.get(&v) {
+            match self.index.get(&v) {
                 Some(&i) => out.deltas[i] += d,
                 None => {
-                    index.insert(v, out.values.len());
+                    self.index.insert(v, out.values.len());
                     out.values.push(v);
                     out.deltas.push(d);
                 }
@@ -233,7 +269,7 @@ impl OpBlock {
         out.values.truncate(w);
         out.deltas.truncate(w);
         out.net = true;
-        out
+        &self.block
     }
 }
 
