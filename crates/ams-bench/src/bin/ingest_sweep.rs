@@ -2,15 +2,20 @@
 //! every PR that touches the sketch hot path.
 //!
 //! Pushes the zipf1.0 throughput workload through the per-item path,
-//! the block path at several block sizes, and the raw plane kernels
-//! (serial u128 reference vs the split-limb lane/tile kernel), then
-//! writes the numbers as JSON — by default to `BENCH_ingest.json` in
-//! the current directory (the repository root when invoked via
-//! `cargo run` from the root), or to the path given as the first
-//! argument.
+//! the block path at several block sizes, the raw plane kernels
+//! (serial u128 reference vs the split-limb lane/tile kernel), the
+//! net-coalescing pass (whose cost in row-eval units calibrates the
+//! sketch's adaptive-coalescing threshold), and the sharded ingest
+//! service at several shard counts, then writes the numbers as JSON —
+//! by default to `BENCH_ingest.json` in the current directory (the
+//! repository root when invoked via `cargo run` from the root), or to
+//! the path given as the first argument.
 //!
 //! Compile with `--features simd` to measure the `std::arch` AVX2
-//! kernel path; the output records which configuration ran.
+//! kernel path; the output records which configuration ran, and
+//! `cores` records how much hardware parallelism the sharded series
+//! had available (on a single-core host the multi-shard rows measure
+//! coordination overhead, not scaling).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -21,12 +26,15 @@ use ams_datagen::DatasetId;
 use ams_hash::lanes::PlaneScratch;
 use ams_hash::plane::SignPlane;
 use ams_hash::{PolySignPlane, SplitMix64};
-use ams_stream::{value_blocks, OpBlock};
+use ams_service::{AmsService, RouterPolicy, ServiceConfig};
+use ams_stream::{value_blocks, CoalesceBuffer, OpBlock};
 use serde::Serialize;
 
 const UPDATES: usize = 10_000;
 const SKETCH_S: usize = 256;
 const SAMPLES: usize = 9;
+/// Block size of the sharded-service series (the acceptance workload).
+const SHARD_BLOCK: usize = 256;
 
 #[derive(Serialize)]
 struct Report {
@@ -34,9 +42,27 @@ struct Report {
     updates: usize,
     s: usize,
     simd_feature: bool,
+    /// Hardware parallelism the process could use.
+    cores: usize,
     scalar_melem_s: f64,
     block_melem_s: BTreeMap<usize, f64>,
     kernels: Vec<KernelPoint>,
+    /// Net-coalescing pass throughput on the block-256 zipf workload
+    /// (duplicate-heavy: mostly map hits).
+    coalesce_melem_s: f64,
+    /// Net-coalescing pass throughput on duplicate-free 256-blocks
+    /// (all map misses — the regime where the adaptive gate's skip
+    /// matters).
+    coalesce_distinct_melem_s: f64,
+    /// Measured cost of one coalescing-map element in lane-kernel
+    /// row-evaluation units, taken from the slower of the two pass
+    /// measurements (= lane rate at s=256 × 256 / min coalesce rate):
+    /// the calibration behind `COALESCE_THRESHOLD` in `ams-core`'s
+    /// tug-of-war sketch.
+    implied_coalesce_threshold: f64,
+    /// Sharded ingest service (round-robin, block-256, queue cap 64):
+    /// shard count → aggregate ingest+drain throughput.
+    sharded_melem_s: BTreeMap<usize, f64>,
 }
 
 #[derive(Serialize)]
@@ -132,14 +158,88 @@ fn main() {
         });
     }
 
+    // One 256-block materialization of the workload, shared by the
+    // coalesce calibration and the sharded-service series below.
+    let blocks_256: Vec<OpBlock> = value_blocks(&workload.values, SHARD_BLOCK).collect();
+
+    // Net-coalescing pass on the block-256 workload: what one element
+    // of the hash-map pass costs relative to a lane-kernel row eval —
+    // the measurement behind the sketch's adaptive-coalescing gate.
+    let mut buffer = CoalesceBuffer::new();
+    let coalesce = melem_per_s(
+        UPDATES,
+        median_secs(|| {
+            for block in &blocks_256 {
+                buffer.coalesce(block.values(), block.deltas());
+            }
+        }),
+    );
+    let distinct_values: Vec<u64> = (0..UPDATES as u64).collect();
+    let distinct_blocks: Vec<OpBlock> = value_blocks(&distinct_values, SHARD_BLOCK).collect();
+    let coalesce_distinct = melem_per_s(
+        UPDATES,
+        median_secs(|| {
+            for block in &distinct_blocks {
+                buffer.coalesce(block.values(), block.deltas());
+            }
+        }),
+    );
+    // lane rate counts block elements each costing s row evals, so one
+    // map element costs (lane_rate · s / coalesce_rate) row evals; the
+    // slower of the two pass measurements is the conservative case.
+    let lane_256 = kernels
+        .iter()
+        .find(|k| k.s == SKETCH_S)
+        .map_or(0.0, |k| k.lane_melem_s);
+    let implied_threshold = lane_256 * SKETCH_S as f64 / coalesce.min(coalesce_distinct);
+    eprintln!(
+        "coalesce pass: {coalesce:.3} Melem/s zipf, {coalesce_distinct:.3} distinct \
+         (implied threshold {implied_threshold:.1} row evals/map element)"
+    );
+
+    // Sharded ingest service: aggregate throughput of ingest+drain on
+    // the same workload, round-robin over block-256 submissions.
+    let mut sharded_melem_s = BTreeMap::new();
+    for shards in [1usize, 2, 4, 8] {
+        let config = ServiceConfig::builder()
+            .shards(shards)
+            .queue_capacity(64)
+            .sketch_params(params)
+            .seed(1)
+            .router(RouterPolicy::RoundRobin)
+            .publish_every(u64::MAX / 2)
+            .build()
+            .expect("valid service config");
+        let service = AmsService::start(config, &["v"]).expect("start service");
+        let rate = melem_per_s(
+            UPDATES,
+            median_secs(|| {
+                for block in &blocks_256 {
+                    service
+                        .ingest_block("v", block.clone())
+                        .expect("service accepts while running");
+                }
+                service.drain();
+            }),
+        );
+        eprintln!("sharded/{shards}: {rate:.3} Melem/s");
+        sharded_melem_s.insert(shards, rate);
+        drop(service);
+    }
+
     let report = Report {
         workload: "zipf1.0",
         updates: UPDATES,
         s: SKETCH_S,
         simd_feature: cfg!(feature = "simd"),
+        cores: std::thread::available_parallelism().map_or(1, usize::from),
         scalar_melem_s: scalar,
         block_melem_s,
         kernels,
+        coalesce_melem_s: coalesce,
+        coalesce_distinct_melem_s: coalesce_distinct,
+        implied_coalesce_threshold: (implied_threshold * 10.0).round() / 10.0,
+        sharded_melem_s,
     };
     let json = serde_json::to_string(&report).expect("serialize bench report");
     std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");

@@ -26,12 +26,28 @@
 mod table;
 
 use ams_hash::FxHashMap;
-use ams_stream::{SelfJoinEstimator, Value};
+use ams_stream::{OpBlock, SelfJoinEstimator, Value};
 
 use crate::estimator::{median, median_of_present_means};
 use crate::params::SketchParams;
 
 use self::table::{AggHook, NoAgg, SampleTable};
+
+/// The shared columnar ingestion loop of both variants: insert entries
+/// go through the batch-skipping run path, delete entries replay in
+/// order — exactly the [`OpBlock::for_each_op`] expansion order, so
+/// run-coalesced blocks stay bit-identical to the scalar stream.
+fn apply_block_with<A: AggHook>(table: &mut SampleTable, agg: &mut A, block: &OpBlock) {
+    for (v, delta) in block.entries() {
+        if delta > 0 {
+            table.insert_run(v, delta as u64, agg);
+        } else {
+            for _ in 0..delta.unsigned_abs() {
+                table.delete(v, agg);
+            }
+        }
+    }
+}
 
 /// Sample-count with O(1) amortized updates and O(s) queries.
 ///
@@ -128,10 +144,16 @@ impl SelfJoinEstimator for SampleCount {
         self.table.memory_words()
     }
 
-    // `apply_block` is inherited: the positional reservoirs are
-    // order-sensitive, so the default in-order expansion IS the block
-    // path — bit-identical to the scalar stream on run-coalesced
-    // blocks (pinned by the block≡scalar property tests).
+    /// Columnar batch skipping: each `(v, +k)` entry advances the
+    /// positional reservoirs segment-at-a-time between firings
+    /// ([`table`]'s `insert_run`), so a whole block costs
+    /// O(entries + firings) instead of O(ops) on the O(1)-amortized
+    /// path; delete entries replay in order. Bit-identical to the
+    /// default in-order expansion on run-coalesced blocks (pinned by
+    /// the order-faithfulness property test).
+    fn apply_block(&mut self, block: &OpBlock) {
+        apply_block_with(&mut self.table, &mut NoAgg, block);
+    }
 }
 
 /// Per-group aggregates for the fast-query variant: `Σ r` and live counts
@@ -184,6 +206,17 @@ impl AggHook for GroupAggregates {
         if let Some(list) = self.kv.get(&v) {
             for &(g, c) in list {
                 self.r_sum[g as usize] += c as i64;
+            }
+        }
+    }
+
+    fn tracked_insert_run(&mut self, v: Value, k: u64) {
+        // `k` inserts with no firing in between: the live point counts
+        // `k_{v,j}` are constant across the run, so the k sequential
+        // `tracked_insert` updates collapse to one multiply-add.
+        if let Some(list) = self.kv.get(&v) {
+            for &(g, c) in list {
+                self.r_sum[g as usize] += (k as i64) * (c as i64);
             }
         }
     }
@@ -304,7 +337,13 @@ impl SelfJoinEstimator for SampleCountFastQuery {
             + 2 * self.agg.kv.values().map(Vec::len).sum::<usize>()
     }
 
-    // `apply_block` is inherited; see the note on `SampleCount`.
+    /// Columnar batch skipping; see [`SampleCount`]'s `apply_block`.
+    /// The group aggregates ride along through
+    /// `AggHook::tracked_insert_run`, which collapses each skipped
+    /// segment to one multiply-add per affected group.
+    fn apply_block(&mut self, block: &OpBlock) {
+        apply_block_with(&mut self.table, &mut self.agg, block);
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,21 @@
 //! fast-query variant ([`crate::samplecount::SampleCountFastQuery`])
 //! maintain its per-group aggregates without duplicating any of this
 //! logic; the base variant plugs in the no-op hook.
+//!
+//! **Columnar batch skipping** ([`SampleTable::insert_run`]): a
+//! run-coalesced block entry `(v, +k)` represents `k` consecutive
+//! inserts of `v`. The only per-position work the scalar loop does is
+//! (a) probing `pending` for a reservoir firing and (b) bumping `N_v`
+//! when `v` is tracked. A min-heap over the pending positions answers
+//! "where is the next firing?" in O(1) amortized, so the run advances
+//! segment-at-a-time: everything strictly between two firings collapses
+//! to one `N_v += segment` bump (tracking membership cannot change
+//! without a firing), and only the firing positions themselves execute
+//! the full Figure 1 replacement step — bit-identical to the scalar
+//! replay, since the firing body is shared.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use ams_hash::rng::SplitMix64;
 use ams_hash::FxHashMap;
@@ -47,6 +62,16 @@ const NIL: u32 = u32::MAX;
 pub(crate) trait AggHook {
     /// Every in-sample point with value `v` gains one occurrence.
     fn tracked_insert(&mut self, v: Value);
+    /// Every in-sample point with value `v` gains `k` occurrences — a
+    /// run of `k` inserts with no reservoir firing in between, so the
+    /// sample membership is constant across the run and the default
+    /// (`k` repeated [`Self::tracked_insert`] calls) can be collapsed
+    /// to one arithmetic update by incremental implementations.
+    fn tracked_insert_run(&mut self, v: Value, k: u64) {
+        for _ in 0..k {
+            self.tracked_insert(v);
+        }
+    }
     /// A point entered group `group` with value `v` (initial `r = 1`).
     fn enter(&mut self, group: usize, v: Value);
     /// A point left group `group`; its value was `v`, its final count `r`.
@@ -63,6 +88,8 @@ pub(crate) struct NoAgg;
 impl AggHook for NoAgg {
     #[inline]
     fn tracked_insert(&mut self, _v: Value) {}
+    #[inline]
+    fn tracked_insert_run(&mut self, _v: Value, _k: u64) {}
     #[inline]
     fn enter(&mut self, _group: usize, _v: Value) {}
     #[inline]
@@ -99,6 +126,11 @@ pub(crate) struct SampleTable {
     nv: FxHashMap<Value, u64>,
     /// Future position → sample points waiting on it (`P_m` of Fig. 1).
     pending: FxHashMap<u64, Vec<u32>>,
+    /// Min-heap over the pending positions (with lazy deletion:
+    /// entries ≤ `inserts_seen` are stale and popped on access), so
+    /// [`Self::insert_run`] finds the next reservoir firing without
+    /// probing `pending` position by position.
+    fires: BinaryHeap<Reverse<u64>>,
 }
 
 impl SampleTable {
@@ -122,6 +154,7 @@ impl SampleTable {
             head: FxHashMap::default(),
             nv: FxHashMap::default(),
             pending: FxHashMap::default(),
+            fires: BinaryHeap::from([Reverse(1u64)]),
         }
         .with_initial_pending(pending)
     }
@@ -176,6 +209,7 @@ impl SampleTable {
             + 3 * self.nv.len()      // nv + head entries (key + count / key + id)
             + self.pending.len()
             + self.pending.values().map(Vec::len).sum::<usize>()
+            + self.fires.len()
     }
 
     /// Draws the next accepting position after `m`:
@@ -237,7 +271,15 @@ impl SampleTable {
             agg.tracked_insert(v);
         }
 
-        // Reservoir replacements scheduled for this position (steps 10–17).
+        self.fire_at(m, v, agg);
+    }
+
+    /// Executes the reservoir replacements scheduled for position `m`
+    /// (Fig. 1 steps 10–17), where the insert at `m` carried value `v`.
+    /// No-op when no reservoir selected `m`. Shared by the scalar
+    /// [`Self::insert`] and the batched [`Self::insert_run`], which is
+    /// what makes the two paths bit-identical by construction.
+    fn fire_at<A: AggHook>(&mut self, m: u64, v: Value, agg: &mut A) {
         if let Some(waiters) = self.pending.remove(&m) {
             for i in waiters {
                 // Discard the point's previous sample, if any (steps 13–15).
@@ -265,6 +307,56 @@ impl SampleTable {
                 let next_pos = self.skip_from(m);
                 self.pos[i as usize] = next_pos;
                 self.pending.entry(next_pos).or_default().push(i);
+                self.fires.push(Reverse(next_pos));
+            }
+            // Drop stale heap entries (the just-fired position and any
+            // older duplicates) so the heap tracks `pending`'s size.
+            while matches!(self.fires.peek(), Some(&Reverse(p)) if p <= m) {
+                self.fires.pop();
+            }
+        }
+    }
+
+    /// The next position at which some reservoir will fire, if any is
+    /// scheduled (lazily discarding heap entries the stream has already
+    /// passed).
+    fn next_fire(&mut self) -> Option<u64> {
+        while matches!(self.fires.peek(), Some(&Reverse(p)) if p <= self.inserts_seen) {
+            self.fires.pop();
+        }
+        self.fires.peek().map(|&Reverse(p)| p)
+    }
+
+    /// Processes a run of `k` consecutive `insert(v)` operations —
+    /// the batched equivalent of calling [`Self::insert`] `k` times,
+    /// bit for bit, in O(#firings in the run) instead of O(k): the
+    /// segments between reservoir firings collapse to a single `N_v`
+    /// bump (and one [`AggHook::tracked_insert_run`] notification),
+    /// because sample membership only changes at firing positions.
+    pub(crate) fn insert_run<A: AggHook>(&mut self, v: Value, k: u64, agg: &mut A) {
+        let end = self.inserts_seen + k;
+        while self.inserts_seen < end {
+            // Furthest position this segment reaches: the next firing,
+            // or the end of the run when no reservoir fires within it.
+            let fire = match self.next_fire() {
+                Some(p) if p <= end => Some(p),
+                _ => None,
+            };
+            let stop = fire.unwrap_or(end);
+            let step = stop - self.inserts_seen;
+            self.inserts_seen = stop;
+            self.n += step;
+            // Steps 19 for the whole segment at once; tracking
+            // membership of `v` is constant across it (no firings
+            // strictly inside). When a firing lands on `stop`, this
+            // correctly counts the occurrence *at* `stop` before the
+            // replacement executes — exactly the scalar order.
+            if let Some(count) = self.nv.get_mut(&v) {
+                *count += step;
+                agg.tracked_insert_run(v, step);
+            }
+            if let Some(p) = fire {
+                self.fire_at(p, v, agg);
             }
         }
     }
@@ -366,6 +458,21 @@ impl SampleTable {
             }
         }
         assert_eq!(pending_points.len(), s, "every point has a future position");
+        // 4. The firing heap covers every pending position (stale
+        //    entries ≤ inserts_seen are allowed until lazily popped),
+        //    and carries nothing else.
+        for &pos in self.pending.keys() {
+            assert!(
+                self.fires.iter().any(|&Reverse(p)| p == pos),
+                "pending position {pos} missing from the firing heap"
+            );
+        }
+        for &Reverse(p) in &self.fires {
+            assert!(
+                p <= self.inserts_seen || self.pending.contains_key(&p),
+                "live heap entry {p} has no pending waiters"
+            );
+        }
     }
 }
 
@@ -595,6 +702,72 @@ mod tests {
         }
         t.validate();
         assert_eq!(t.n() as usize, live.len());
+    }
+
+    /// `insert_run(v, k)` must be bit-identical to `k` scalar inserts —
+    /// every per-point array, the tracked counts, and the RNG
+    /// trajectory (compared implicitly through the sampled state).
+    #[test]
+    fn insert_run_equals_repeated_inserts_bit_for_bit() {
+        let mut rng = SplitMix64::new(77);
+        for trial in 0..12u64 {
+            let mut scalar = table(4, 2, 1_000 + trial);
+            let mut batched = table(4, 2, 1_000 + trial);
+            let mut live: Vec<(Value, u64)> = Vec::new(); // (value, multiplicity)
+            for _ in 0..250 {
+                if !live.is_empty() && rng.next_f64() < 0.2 {
+                    // Delete one occurrence of a random live value on
+                    // both tables (scalar path on each — deletes are
+                    // not batched).
+                    let idx = rng.next_below(live.len() as u64) as usize;
+                    let v = live[idx].0;
+                    live[idx].1 -= 1;
+                    if live[idx].1 == 0 {
+                        live.swap_remove(idx);
+                    }
+                    scalar.delete(v, &mut NoAgg);
+                    batched.delete(v, &mut NoAgg);
+                } else {
+                    let v = rng.next_below(12);
+                    let k = 1 + rng.next_below(9);
+                    for _ in 0..k {
+                        scalar.insert(v, &mut NoAgg);
+                    }
+                    batched.insert_run(v, k, &mut NoAgg);
+                    match live.iter_mut().find(|(lv, _)| *lv == v) {
+                        Some(entry) => entry.1 += k,
+                        None => live.push((v, k)),
+                    }
+                }
+                batched.validate();
+                assert_eq!(scalar.inserts_seen, batched.inserts_seen);
+                assert_eq!(scalar.n, batched.n);
+                assert_eq!(scalar.pos, batched.pos);
+                assert_eq!(scalar.val, batched.val);
+                assert_eq!(scalar.entry, batched.entry);
+                assert_eq!(scalar.in_sample, batched.in_sample);
+                assert_eq!(scalar.nv, batched.nv);
+                assert_eq!(scalar.head, batched.head);
+            }
+            scalar.validate();
+        }
+    }
+
+    /// A run with no firing inside must cost no reservoir work at all:
+    /// the pending map is untouched and only `N_v`/counters move.
+    #[test]
+    fn insert_run_skips_whole_segments() {
+        let mut t = table(2, 1, 5);
+        t.insert(3, &mut NoAgg); // consume the position-1 firing
+        let next = t.next_fire().expect("reservoirs re-armed");
+        let gap = next - t.inserts_seen - 1;
+        if gap > 0 {
+            let pending_before: Vec<u64> = t.pending.keys().copied().collect();
+            t.insert_run(3, gap, &mut NoAgg);
+            let pending_after: Vec<u64> = t.pending.keys().copied().collect();
+            assert_eq!(pending_before, pending_after, "no firing, no redraws");
+        }
+        t.validate();
     }
 
     #[test]

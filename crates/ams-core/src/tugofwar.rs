@@ -112,7 +112,19 @@ const DUP_EWMA_ALPHA: f32 = 0.25;
 /// Coalescing pays when the expected duplicate savings exceed the
 /// hash-map pass's cost: one map op costs about this many lane-kernel
 /// row evaluations, so coalesce iff `dup_ratio · rows > THRESHOLD`.
-const COALESCE_THRESHOLD: f32 = 12.0;
+///
+/// Re-measured after the split-limb lane/SIMD kernels landed (the
+/// `ingest_sweep` bench records the calibration as
+/// `implied_coalesce_threshold`): with the reusable `CoalesceBuffer`
+/// the map pass runs at ~66–126 Melem/s on 256-entry blocks (zipf1.0
+/// duplicate-heavy and duplicate-free, across runs), while the AVX2
+/// lane kernel evaluates ~300 M rows/s at s = 256 — one map element
+/// costs ≈ 2.4–4.6 row evals, not the 12 assumed before the kernels
+/// sped up. Set to 4, the middle of the measured band (the gate is
+/// insensitive to small shifts: for any realistic s ≥ 64, `dup·rows`
+/// crosses 4 at under 7 % duplicates); the default non-SIMD kernel
+/// makes row evals dearer, pushing the true break-even lower still.
+const COALESCE_THRESHOLD: f32 = 4.0;
 
 /// While skipping, re-run the coalescing pass every this many blocks to
 /// refresh the duplicate-ratio estimate (skew can return at any time).

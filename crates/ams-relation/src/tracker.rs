@@ -59,7 +59,17 @@ impl std::fmt::Display for TrackerError {
     }
 }
 
-impl std::error::Error for TrackerError {}
+impl std::error::Error for TrackerError {
+    /// Sketch-layer failures keep their cause reachable through the
+    /// standard error chain, so callers can use `?` with boxed errors
+    /// and still inspect the root [`SketchError`].
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrackerError::Sketch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SketchError> for TrackerError {
     fn from(e: SketchError) -> Self {
@@ -472,6 +482,26 @@ mod tests {
     fn duplicate_attribute_rejected() {
         let err = RelationTracker::new(config(), &["a", "a"]).unwrap_err();
         assert!(matches!(err, TrackerError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn error_source_chains_to_sketch_error() {
+        use std::error::Error;
+        let inner = SketchError::Incompatible { reason: "seed" };
+        let err = TrackerError::from(inner);
+        let source = err.source().expect("sketch errors chain");
+        assert_eq!(source.to_string(), inner.to_string());
+        assert!(TrackerError::UnknownAttribute { name: "x".into() }
+            .source()
+            .is_none());
+        // Boxed `?` propagation works end to end.
+        fn fallible() -> Result<(), Box<dyn Error>> {
+            let mut t = RelationTracker::new(config(), &["a"])?;
+            t.insert_row(&[("a", 1)])?;
+            t.insert_row(&[("b", 2)])?; // unknown attribute
+            Ok(())
+        }
+        assert!(fallible().is_err());
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Service configuration: shard count, queue bounds, sketch shape,
+//! routing policy — assembled through a validating builder.
+
+use ams_core::SketchParams;
+
+use crate::error::ServiceError;
+use crate::router::RouterPolicy;
+
+/// Validated configuration of an [`AmsService`](crate::AmsService).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    shards: usize,
+    queue_capacity: usize,
+    params: SketchParams,
+    seed: u64,
+    router: RouterPolicy,
+    publish_every: u64,
+}
+
+impl ServiceConfig {
+    /// Starts a builder with the defaults: 4 shards, 32 blocks of queue
+    /// capacity per shard, the default sketch shape, seed 0, round-robin
+    /// routing, snapshots published every 8 blocks.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder::default()
+    }
+
+    /// Number of ingest shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Bound on each shard queue, in blocks. A producer hitting a full
+    /// queue blocks ([`AmsService::ingest_block`](crate::AmsService::ingest_block))
+    /// or gets [`ServiceError::WouldBlock`]
+    /// ([`AmsService::try_ingest_block`](crate::AmsService::try_ingest_block)).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Shape of every shard sketch.
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Master seed. All shards of all attributes draw the **same** hash
+    /// functions from it, which is what makes shard sketches mergeable
+    /// and attribute pairs joinable.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The sharding policy.
+    pub fn router(&self) -> RouterPolicy {
+        self.router
+    }
+
+    /// How many blocks a shard worker applies between snapshot
+    /// publishes. Workers additionally publish whenever their queue
+    /// momentarily drains and on shutdown, so queries converge to the
+    /// full stream regardless of this cadence.
+    pub fn publish_every(&self) -> u64 {
+        self.publish_every
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::builder()
+            .build()
+            .expect("defaults are valid")
+    }
+}
+
+/// Builder for [`ServiceConfig`]; every setter overrides one default.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfigBuilder {
+    shards: usize,
+    queue_capacity: usize,
+    params: SketchParams,
+    seed: u64,
+    router: RouterPolicy,
+    publish_every: u64,
+}
+
+impl Default for ServiceConfigBuilder {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 32,
+            params: SketchParams::default(),
+            seed: 0,
+            router: RouterPolicy::RoundRobin,
+            publish_every: 8,
+        }
+    }
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the number of ingest shards (worker threads).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard queue bound, in blocks.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the sketch shape shared by every shard.
+    pub fn sketch_params(mut self, params: SketchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the master hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the sharding policy.
+    pub fn router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Sets the snapshot-publish cadence in blocks.
+    pub fn publish_every(mut self, blocks: u64) -> Self {
+        self.publish_every = blocks;
+        self
+    }
+
+    /// Validates and freezes the configuration.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidConfig`] if any dimension is zero.
+    pub fn build(self) -> Result<ServiceConfig, ServiceError> {
+        if self.shards == 0 {
+            return Err(ServiceError::InvalidConfig {
+                reason: "shard count must be positive",
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServiceError::InvalidConfig {
+                reason: "queue capacity must be positive",
+            });
+        }
+        if self.publish_every == 0 {
+            return Err(ServiceError::InvalidConfig {
+                reason: "publish cadence must be positive",
+            });
+        }
+        Ok(ServiceConfig {
+            shards: self.shards,
+            queue_capacity: self.queue_capacity,
+            params: self.params,
+            seed: self.seed,
+            router: self.router,
+            publish_every: self.publish_every,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_overridable() {
+        let config = ServiceConfig::default();
+        assert_eq!(config.shards(), 4);
+        assert_eq!(config.queue_capacity(), 32);
+        let config = ServiceConfig::builder()
+            .shards(2)
+            .queue_capacity(7)
+            .seed(9)
+            .router(RouterPolicy::HashPartition)
+            .publish_every(1)
+            .build()
+            .unwrap();
+        assert_eq!(config.shards(), 2);
+        assert_eq!(config.queue_capacity(), 7);
+        assert_eq!(config.seed(), 9);
+        assert_eq!(config.router(), RouterPolicy::HashPartition);
+        assert_eq!(config.publish_every(), 1);
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(matches!(
+            ServiceConfig::builder().shards(0).build(),
+            Err(ServiceError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ServiceConfig::builder().queue_capacity(0).build(),
+            Err(ServiceError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ServiceConfig::builder().publish_every(0).build(),
+            Err(ServiceError::InvalidConfig { .. })
+        ));
+    }
+}

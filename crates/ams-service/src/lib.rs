@@ -1,0 +1,49 @@
+//! Sharded parallel ingest service for join/self-join size tracking.
+//!
+//! The paper's estimators are *linear* in the frequency vector, so a
+//! relation ingested by many threads can be tracked contention-free
+//! with one shard sketch per thread and merged only at query time.
+//! This crate promotes that insight (previously a standalone example)
+//! into a library component, the layer above hash → sketch → stream →
+//! relation:
+//!
+//! ```text
+//!  producers ──routed blocks──▶ bounded shard queues ──▶ worker threads
+//!      │        (Router:           (backpressure:          (one TugOfWar
+//!      │         round-robin /      blocking push or        sketch per
+//!      │         hash-partition)    WouldBlock)             attribute each)
+//!      │                                                        │ publish
+//!      ▼                                                        ▼
+//!   try_ingest / ingest                            epoch-stamped ShardCells
+//!                                                               │
+//!                               snapshot() ── merge_from ───────┘
+//!                               (ServiceSnapshot: self-join + join queries)
+//! ```
+//!
+//! * [`ServiceConfig`] — validating builder: shard count, queue bound,
+//!   sketch shape, seed, routing policy, publish cadence.
+//! * [`AmsService`] — registration, routed ingestion (blocking and
+//!   non-blocking), drain, graceful shutdown, [`ServiceStats`].
+//! * [`ServiceSnapshot`] — the merge-on-query view answering self-join
+//!   and two-way join estimates; bit-identical to single-sketch
+//!   ingestion of the same stream (pinned by property tests).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod queue;
+pub mod router;
+mod shard;
+pub mod snapshot;
+pub mod stats;
+
+mod service;
+
+pub use config::{ServiceConfig, ServiceConfigBuilder};
+pub use error::ServiceError;
+pub use router::{Router, RouterPolicy};
+pub use service::AmsService;
+pub use snapshot::ServiceSnapshot;
+pub use stats::{ServiceStats, ShardStats};

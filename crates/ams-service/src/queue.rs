@@ -1,0 +1,306 @@
+//! Bounded block queues with real backpressure.
+//!
+//! One queue per shard carries columnar [`OpBlock`] tasks from
+//! producers to the shard's worker thread. Capacity is a hard bound:
+//! a blocking push waits on a condition variable until space frees (the
+//! backpressure that keeps service memory bounded under a fast
+//! producer), and a non-blocking push fails with `Full`.
+//!
+//! For all-or-nothing submission across several queues (the
+//! hash-partition router splits one block over many shards), producers
+//! first *reserve* a slot on every target queue; a reservation counts
+//! against capacity, so the subsequent `push_reserved` calls cannot
+//! block or fail, and a failed reservation on any queue releases the
+//! others without having enqueued anything.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use ams_stream::OpBlock;
+
+/// A unit of shard work: one block destined for one attribute's shard
+/// sketch.
+#[derive(Debug)]
+pub struct ShardTask {
+    /// Index of the attribute within the service's registration order.
+    pub attr: usize,
+    /// The updates to apply.
+    pub block: OpBlock,
+}
+
+/// Why a non-blocking push failed; the task is handed back.
+#[derive(Debug)]
+pub enum PushError {
+    /// The queue was at capacity.
+    Full(ShardTask),
+    /// The queue was closed for shutdown.
+    Closed(ShardTask),
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    tasks: VecDeque<ShardTask>,
+    /// Slots promised to producers holding a reservation; counted
+    /// against capacity alongside `tasks.len()`.
+    reserved: usize,
+    closed: bool,
+    /// High-water mark of `tasks.len() + reserved`, the bounded-memory
+    /// witness (never exceeds capacity by construction).
+    max_depth: usize,
+}
+
+impl QueueState {
+    fn occupied(&self) -> usize {
+        self.tasks.len() + self.reserved
+    }
+}
+
+/// A bounded multi-producer single-consumer task queue.
+#[derive(Debug)]
+pub struct BlockQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    /// Signalled when space frees or the queue closes.
+    not_full: Condvar,
+    /// Signalled when a task arrives or the queue closes.
+    not_empty: Condvar,
+    /// Blocks successfully enqueued over the queue's lifetime.
+    pushed: AtomicU64,
+    /// Push attempts that found the queue full (non-blocking failures
+    /// and blocking waits alike): the backpressure event counter.
+    backpressure_events: AtomicU64,
+}
+
+impl BlockQueue {
+    /// Creates an empty queue bounded at `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        debug_assert!(capacity > 0);
+        Self {
+            capacity,
+            state: Mutex::new(QueueState::default()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            pushed: AtomicU64::new(0),
+            backpressure_events: AtomicU64::new(0),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued blocks (excluding reservations).
+    pub fn depth(&self) -> usize {
+        self.lock().tasks.len()
+    }
+
+    /// High-water mark of occupancy (queued + reserved) over the
+    /// queue's lifetime; bounded by [`Self::capacity`] by construction.
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+
+    /// Blocks successfully enqueued so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Acquire)
+    }
+
+    /// Number of times a producer found the queue full.
+    pub fn backpressure_events(&self) -> u64 {
+        self.backpressure_events.load(Ordering::Acquire)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn note_push(&self, state: &mut QueueState) {
+        state.max_depth = state.max_depth.max(state.occupied());
+        self.pushed.fetch_add(1, Ordering::Release);
+        self.not_empty.notify_one();
+    }
+
+    /// Enqueues, blocking while the queue is full.
+    ///
+    /// # Errors
+    /// `Err(task)` (the task handed back) if the queue is closed.
+    pub fn push(&self, task: ShardTask) -> Result<(), ShardTask> {
+        let mut state = self.lock();
+        if state.occupied() >= self.capacity && !state.closed {
+            self.backpressure_events.fetch_add(1, Ordering::Relaxed);
+        }
+        while state.occupied() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        if state.closed {
+            return Err(task);
+        }
+        state.tasks.push_back(task);
+        self.note_push(&mut state);
+        Ok(())
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// close; the task is handed back either way.
+    pub fn try_push(&self, task: ShardTask) -> Result<(), PushError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(task));
+        }
+        if state.occupied() >= self.capacity {
+            self.backpressure_events.fetch_add(1, Ordering::Relaxed);
+            return Err(PushError::Full(task));
+        }
+        state.tasks.push_back(task);
+        self.note_push(&mut state);
+        Ok(())
+    }
+
+    /// Reserves one slot without blocking: on success the slot counts
+    /// against capacity until [`Self::push_reserved`] or
+    /// [`Self::release_reserved`]. Returns whether the reservation was
+    /// granted (`false` when full) — closed queues also refuse.
+    pub fn try_reserve(&self) -> bool {
+        let mut state = self.lock();
+        if state.closed || state.occupied() >= self.capacity {
+            if !state.closed {
+                self.backpressure_events.fetch_add(1, Ordering::Relaxed);
+            }
+            return false;
+        }
+        state.reserved += 1;
+        state.max_depth = state.max_depth.max(state.occupied());
+        true
+    }
+
+    /// Fills a previously granted reservation; never blocks or fails.
+    pub fn push_reserved(&self, task: ShardTask) {
+        let mut state = self.lock();
+        debug_assert!(state.reserved > 0, "push without reservation");
+        state.reserved -= 1;
+        state.tasks.push_back(task);
+        self.note_push(&mut state);
+    }
+
+    /// Releases an unused reservation.
+    pub fn release_reserved(&self) {
+        let mut state = self.lock();
+        debug_assert!(state.reserved > 0, "release without reservation");
+        state.reserved -= 1;
+        self.not_full.notify_one();
+    }
+
+    /// Dequeues, blocking while the queue is empty. Returns `None` once
+    /// the queue is closed **and** drained — the consumer's shutdown
+    /// signal.
+    pub fn pop(&self) -> Option<ShardTask> {
+        let mut state = self.lock();
+        loop {
+            if let Some(task) = state.tasks.pop_front() {
+                self.not_full.notify_one();
+                return Some(task);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending tasks remain poppable, further pushes
+    /// fail, blocked producers and the consumer wake.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(attr: usize) -> ShardTask {
+        ShardTask {
+            attr,
+            block: OpBlock::from_values([attr as u64]),
+        }
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound_for_try_push() {
+        let q = BlockQueue::new(2);
+        q.try_push(task(0)).unwrap();
+        q.try_push(task(1)).unwrap();
+        assert!(matches!(q.try_push(task(2)), Err(PushError::Full(_))));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.backpressure_events(), 1);
+        // Popping frees a slot.
+        let t = q.pop().unwrap();
+        assert_eq!(t.attr, 0);
+        q.try_push(task(2)).unwrap();
+        assert_eq!(q.max_depth(), 2, "never exceeded capacity");
+    }
+
+    #[test]
+    fn reservations_count_against_capacity() {
+        let q = BlockQueue::new(2);
+        assert!(q.try_reserve());
+        assert!(q.try_reserve());
+        assert!(!q.try_reserve(), "full by reservation alone");
+        assert!(matches!(q.try_push(task(9)), Err(PushError::Full(_))));
+        q.push_reserved(task(0));
+        q.release_reserved();
+        assert_eq!(q.depth(), 1);
+        // The released slot is usable again.
+        assert!(q.try_reserve());
+        q.push_reserved(task(1));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_consumer() {
+        let q = BlockQueue::new(4);
+        q.push(task(0)).unwrap();
+        q.push(task(1)).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(task(2)), Err(PushError::Closed(_))));
+        assert!(q.push(task(3)).is_err());
+        assert_eq!(q.pop().unwrap().attr, 0);
+        assert_eq!(q.pop().unwrap().attr, 1);
+        assert!(q.pop().is_none(), "closed + drained");
+        assert_eq!(q.pushed(), 2);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        use std::sync::Arc;
+        let q = Arc::new(BlockQueue::new(1));
+        q.push(task(0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(task(1)));
+        // Give the producer a moment to block, then free a slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop().unwrap().attr, 0);
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.depth(), 1);
+        assert!(q.backpressure_events() >= 1);
+        assert_eq!(q.max_depth(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Deterministic sharding of update blocks.
+//!
+//! The tug-of-war sketch is linear in the frequency vector, so *any*
+//! partition of the stream across shard sketches merges back to the
+//! counters of single-sketch ingestion, bit for bit. The router
+//! therefore only decides *load placement*:
+//!
+//! * [`RouterPolicy::RoundRobin`] — each submitted block goes whole to
+//!   the next shard in cyclic order. Cheapest (no per-value work) and
+//!   evenly spreads block counts.
+//! * [`RouterPolicy::HashPartition`] — each *value* is hashed to a
+//!   shard, splitting a submitted block into per-shard sub-blocks.
+//!   Every occurrence of a value lands on the same shard, so per-shard
+//!   counters are themselves meaningful sub-stream sketches (e.g. for
+//!   per-shard skew monitoring) and duplicate coalescing concentrates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ams_stream::{OpBlock, Value};
+
+/// The sharding policy of a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Whole blocks, cyclic shard order (deterministic in submission
+    /// order).
+    RoundRobin,
+    /// Per-value hash partitioning: `shard = mix(value ^ salt) % shards`.
+    HashPartition,
+}
+
+/// A deterministic router over `shards` shards.
+#[derive(Debug)]
+pub struct Router {
+    policy: RouterPolicy,
+    shards: usize,
+    /// Cyclic cursor for round-robin placement; atomic so concurrent
+    /// producers share one deterministic-in-arrival-order cycle.
+    cursor: AtomicUsize,
+    /// Salt for the hash partitioner, derived from the service seed so
+    /// re-runs shard identically.
+    salt: u64,
+}
+
+/// One routed submission: the (shard, block) placements of one input
+/// block. Round-robin yields exactly one placement; hash partitioning
+/// yields up to one per shard.
+pub type RoutedBlocks = Vec<(usize, OpBlock)>;
+
+impl Router {
+    /// Creates a router for `shards` shards.
+    pub fn new(policy: RouterPolicy, shards: usize, salt: u64) -> Self {
+        debug_assert!(shards > 0);
+        Self {
+            policy,
+            shards,
+            cursor: AtomicUsize::new(0),
+            salt,
+        }
+    }
+
+    /// The routing policy.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// The shard a single value maps to under hash partitioning.
+    #[inline]
+    pub fn shard_of_value(&self, v: Value) -> usize {
+        (mix64(v ^ self.salt) % self.shards as u64) as usize
+    }
+
+    /// Routes one submitted block into per-shard placements, in shard
+    /// order. Entry order within each placement preserves the input
+    /// block's entry order.
+    pub fn route(&self, block: OpBlock) -> RoutedBlocks {
+        if self.shards == 1 {
+            return vec![(0, block)];
+        }
+        match self.policy {
+            RouterPolicy::RoundRobin => {
+                let shard = self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards;
+                vec![(shard, block)]
+            }
+            RouterPolicy::HashPartition => {
+                // The per-shard blocks are handed to the queues (the
+                // consumer frees them), so their column allocations
+                // cannot be pooled here; a balanced-split capacity hint
+                // at least avoids growth reallocations.
+                let hint = block.len() / self.shards + 1;
+                let mut parts: Vec<OpBlock> = (0..self.shards)
+                    .map(|_| OpBlock::with_capacity(hint))
+                    .collect();
+                for (v, d) in block.entries() {
+                    parts[self.shard_of_value(v)].push(v, d);
+                }
+                parts
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, part)| !part.is_empty())
+                    .collect()
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_deterministically() {
+        let router = Router::new(RouterPolicy::RoundRobin, 3, 0);
+        let shards: Vec<usize> = (0..7)
+            .map(|_| router.route(OpBlock::from_values([1u64]))[0].0)
+            .collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn hash_partition_is_deterministic_and_total() {
+        let router = Router::new(RouterPolicy::HashPartition, 4, 99);
+        let block = OpBlock::from_ops(
+            (0..200u64).flat_map(|i| [ams_stream::Op::Insert(i % 37), ams_stream::Op::Insert(i)]),
+        );
+        let total_ops = block.ops();
+        let routed = router.route(block.clone());
+        // Same value always lands on the same shard.
+        for (shard, part) in &routed {
+            for (v, _) in part.entries() {
+                assert_eq!(router.shard_of_value(v), *shard);
+            }
+        }
+        // No update is lost or duplicated.
+        let routed_ops: u64 = routed.iter().map(|(_, part)| part.ops()).sum();
+        assert_eq!(routed_ops, total_ops);
+        // Routing the same block twice is identical.
+        assert_eq!(router.route(block.clone()), routed);
+    }
+
+    #[test]
+    fn single_shard_short_circuits() {
+        let router = Router::new(RouterPolicy::HashPartition, 1, 5);
+        let block = OpBlock::from_values([9u64, 9, 7]);
+        let routed = router.route(block.clone());
+        assert_eq!(routed, vec![(0, block)]);
+    }
+
+    #[test]
+    fn hash_partition_spreads_distinct_values() {
+        let router = Router::new(RouterPolicy::HashPartition, 4, 1);
+        let block = OpBlock::from_values(0..1_000u64);
+        let routed = router.route(block);
+        assert_eq!(routed.len(), 4, "1000 distinct values hit all 4 shards");
+        for (_, part) in &routed {
+            let share = part.len() as f64 / 1_000.0;
+            assert!((0.15..0.35).contains(&share), "uneven split: {share}");
+        }
+    }
+}

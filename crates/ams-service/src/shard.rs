@@ -1,0 +1,74 @@
+//! The shard worker loop: drain the shard's bounded queue through the
+//! zero-allocation block kernels, publish snapshots on a cadence.
+
+use std::sync::Arc;
+
+use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
+
+use crate::queue::BlockQueue;
+use crate::snapshot::{ShardCell, ShardSnapshot};
+
+/// Everything one worker thread needs; constructed by the service,
+/// consumed by [`run`].
+pub(crate) struct ShardWorker {
+    pub queue: Arc<BlockQueue>,
+    pub cell: Arc<ShardCell>,
+    pub params: SketchParams,
+    pub seed: u64,
+    pub attrs: usize,
+    pub publish_every: u64,
+}
+
+impl ShardWorker {
+    /// The worker loop: pop → apply → publish every `publish_every`
+    /// blocks and whenever the queue momentarily drains, with a final
+    /// publish after the queue closes. Returns when the queue is closed
+    /// and fully drained.
+    pub(crate) fn run(self) {
+        // The shard's sketches live on the worker's stack: the hot path
+        // touches no shared state, and the reusable ingest scratch
+        // inside each sketch makes steady-state application
+        // allocation-free.
+        let mut sketches: Vec<TugOfWarSketch> = (0..self.attrs)
+            .map(|_| TugOfWarSketch::new(self.params, self.seed))
+            .collect();
+        let mut blocks = 0u64;
+        let mut ops = 0u64;
+        let mut epoch = 0u64;
+        let mut published_blocks = 0u64;
+        let publish = |sketches: &[TugOfWarSketch], epoch: u64, blocks: u64, ops: u64| {
+            // Only the counter columns travel — the hash planes are
+            // shard-invariant and live in the service's template — so a
+            // publish is one i64 column copy per attribute and can
+            // safely fire every time the queue drains.
+            self.cell.publish(ShardSnapshot {
+                epoch,
+                blocks,
+                ops,
+                counters: sketches.iter().map(|s| s.counters().to_vec()).collect(),
+            });
+        };
+        while let Some(task) = self.queue.pop() {
+            ops += task.block.ops();
+            sketches[task.attr].apply_block(&task.block);
+            blocks += 1;
+            // Publish on cadence, opportunistically whenever the queue
+            // drains (so an idle service converges to fresh snapshots
+            // without waiting out the cadence), and on demand when a
+            // drainer asked (so `drain()` never waits out a large
+            // cadence behind a busy producer).
+            if blocks - published_blocks >= self.publish_every
+                || self.queue.depth() == 0
+                || self.cell.take_publish_request()
+            {
+                epoch += 1;
+                published_blocks = blocks;
+                publish(&sketches, epoch, blocks, ops);
+            }
+        }
+        if published_blocks < blocks || epoch == 0 {
+            epoch += 1;
+            publish(&sketches, epoch, blocks, ops);
+        }
+    }
+}

@@ -1,165 +1,92 @@
-//! Concurrent tracking by sketch merging: the linearity dividend, fed
-//! through per-shard block queues.
+//! Concurrent tracking via the sharded ingest service.
 //!
-//! Tug-of-war sketches (and k-TW signatures) are linear in the frequency
-//! vector, so a relation ingested by many threads can be tracked with
-//! one *shard sketch per thread* — zero contention on the hot path — and
-//! merged only when someone asks. This example stages a 500k-value
-//! stream through the columnar pipeline: a producer shards the stream
-//! round-robin into per-shard **block queues** (columnar `OpBlock`
-//! batches, duplicates run-coalesced), one ingestor thread per shard
-//! drains its queue with the block-at-a-time plane kernel and publishes
-//! snapshots through a `parking_lot::RwLock` register, while a reader
-//! concurrently snapshots the merged estimate.
+//! This used to be a hand-rolled demo of per-shard block queues; that
+//! machinery now lives in the `ams-service` crate, and this example is
+//! a thin tour of it: an [`AmsService`] with four ingest shards behind
+//! **bounded** block queues (real backpressure), a producer thread
+//! streaming 500k zipf values through the columnar pipeline, and a
+//! concurrent reader taking epoch-stamped **merge-on-query** snapshots
+//! while ingestion runs. Because tug-of-war sketches are linear, the
+//! merged shard counters equal single-threaded per-item sketching bit
+//! for bit — asserted at the end.
 //!
 //! ```text
 //! cargo run --release --example concurrent_tracking
 //! ```
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use ams::stream::value_blocks;
+use ams::{
+    AmsService, DatasetId, Multiset, RouterPolicy, SelfJoinEstimator, ServiceConfig, SketchParams,
+    TugOfWarSketch,
+};
 
-use ams::stream::OpBlock;
-use ams::{DatasetId, Multiset, SelfJoinEstimator, SketchParams, TugOfWarSketch};
-
-const WORKERS: usize = 4;
-/// Source values per queued block (before run coalescing).
+const SHARDS: usize = 4;
+/// Source values per submitted block.
 const BLOCK: usize = 4096;
 
-/// A single-producer single-consumer block queue for one shard.
-#[derive(Default)]
-struct BlockQueue {
-    blocks: Mutex<VecDeque<OpBlock>>,
-    closed: AtomicBool,
-}
-
-impl BlockQueue {
-    fn push(&self, block: OpBlock) {
-        self.blocks.lock().push_back(block);
-    }
-
-    fn pop(&self) -> Option<OpBlock> {
-        self.blocks.lock().pop_front()
-    }
-
-    fn close(&self) {
-        self.closed.store(true, Ordering::Release);
-    }
-
-    fn is_drained(&self) -> bool {
-        self.closed.load(Ordering::Acquire) && self.blocks.lock().is_empty()
-    }
-}
-
-fn merge_shards(shards: &[TugOfWarSketch], params: SketchParams, seed: u64) -> TugOfWarSketch {
-    let mut merged: TugOfWarSketch = TugOfWarSketch::new(params, seed);
-    for shard in shards {
-        merged.merge_from(shard).expect("same family");
-    }
-    merged
-}
-
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let values = DatasetId::Zipf10.generate(2026);
     let exact = Multiset::from_values(values.iter().copied());
     let exact_sj = exact.self_join_size() as f64;
     println!(
-        "stream: n = {}, exact SJ = {:.4e}; block-queue ingest on {WORKERS} shards\n",
+        "stream: n = {}, exact SJ = {:.4e}; {SHARDS}-shard service, block-{BLOCK} ingest\n",
         exact.len(),
         exact_sj
     );
 
-    // All shards share (params, seed) so they merge exactly.
-    let params = SketchParams::new(64, 4).expect("valid shape");
-    let seed = 0xC0_FFEE;
-
-    let queues: Vec<BlockQueue> = (0..WORKERS).map(|_| BlockQueue::default()).collect();
-
-    // Shard register: ingestors publish snapshots, the reader merges them.
-    let published: RwLock<Vec<TugOfWarSketch>> = RwLock::new(
-        (0..WORKERS)
-            .map(|_| TugOfWarSketch::new(params, seed))
-            .collect(),
-    );
-    let finished = AtomicUsize::new(0);
+    // Small queues on purpose: the stats below show backpressure doing
+    // its job (bounded memory) if the producer outruns the shards.
+    let config = ServiceConfig::builder()
+        .shards(SHARDS)
+        .queue_capacity(8)
+        .sketch_params(SketchParams::new(64, 4)?)
+        .seed(0xC0_FFEE)
+        .router(RouterPolicy::RoundRobin)
+        .publish_every(4)
+        .build()?;
+    let service = AmsService::start(config, &["v"])?;
 
     thread::scope(|scope| {
-        // Producer: shard the stream round-robin, batch each shard's
-        // values into columnar blocks, enqueue when full.
-        let queues_ref = &queues;
+        // Producer: submit columnar blocks; `ingest_block` blocks when
+        // the routed shard's queue is full (use `try_ingest_block` for
+        // a non-blocking WouldBlock instead).
+        let service_ref = &service;
         let values_ref = &values;
         scope.spawn(move || {
-            let mut pending: Vec<OpBlock> = (0..WORKERS).map(|_| OpBlock::new()).collect();
-            let mut sizes = [0usize; WORKERS];
-            for (i, &v) in values_ref.iter().enumerate() {
-                let shard = i % WORKERS;
-                pending[shard].push(v, 1);
-                sizes[shard] += 1;
-                if sizes[shard] == BLOCK {
-                    queues_ref[shard].push(std::mem::take(&mut pending[shard]));
-                    sizes[shard] = 0;
-                }
-            }
-            for (shard, block) in pending.into_iter().enumerate() {
-                if !block.is_empty() {
-                    queues_ref[shard].push(block);
-                }
-                queues_ref[shard].close();
+            for block in value_blocks(values_ref, BLOCK) {
+                service_ref
+                    .ingest_block("v", block)
+                    .expect("service is running");
             }
         });
 
-        // Ingestors: one per shard, draining that shard's block queue
-        // with the columnar plane kernel.
-        for (worker, queue) in queues.iter().enumerate() {
-            let published = &published;
-            let finished = &finished;
-            scope.spawn(move || {
-                let mut shard: TugOfWarSketch = TugOfWarSketch::new(params, seed);
-                let mut drained_blocks = 0usize;
-                loop {
-                    match queue.pop() {
-                        Some(block) => {
-                            shard.apply_block(&block);
-                            drained_blocks += 1;
-                            // Publish a snapshot every few blocks so the
-                            // reader sees progress mid-stream.
-                            if drained_blocks.is_multiple_of(8) {
-                                published.write()[worker] = shard.clone();
-                            }
-                        }
-                        None if queue.is_drained() => break,
-                        None => thread::sleep(Duration::from_micros(50)),
-                    }
-                }
-                published.write()[worker] = shard;
-                finished.fetch_add(1, Ordering::Release);
-            });
-        }
-
-        // Reader: concurrent merged snapshots until all ingestors finish.
-        let published = &published;
-        let finished = &finished;
+        // Reader: concurrent merged snapshots while ingestion runs.
         scope.spawn(move || loop {
-            let all_done = finished.load(Ordering::Acquire) == WORKERS;
-            let merged = merge_shards(&published.read(), params, seed);
+            let snapshot = service_ref.snapshot();
+            let est = snapshot.self_join("v").expect("registered attribute");
             println!(
-                "  live estimate: {:.4e}  ({:+6.2}% vs final exact)",
-                merged.estimate(),
-                100.0 * (merged.estimate() - exact_sj) / exact_sj
+                "  live estimate: {est:.4e}  ({:+6.2}% vs final exact; \
+                 {} ops reflected, shard epochs {}..={})",
+                100.0 * (est - exact_sj) / exact_sj,
+                snapshot.ops(),
+                snapshot.epoch_min(),
+                snapshot.epoch_max(),
             );
-            if all_done {
+            if snapshot.ops() == values_ref.len() as u64 {
                 break;
             }
             thread::sleep(Duration::from_millis(20));
         });
     });
 
-    let merged = merge_shards(&published.read(), params, seed);
-    let est = merged.estimate();
+    // Drain, then query: the snapshot now reflects every submitted
+    // block exactly.
+    service.drain();
+    let snapshot = service.snapshot();
+    let est = snapshot.self_join("v")?;
     println!(
         "\nfinal merged estimate: {est:.4e}  (exact {exact_sj:.4e}, error {:+.2}%)",
         100.0 * (est - exact_sj) / exact_sj
@@ -167,16 +94,33 @@ fn main() {
     let rel = (est - exact_sj).abs() / exact_sj;
     assert!(rel < 0.25, "merged estimate off by {rel}");
 
-    // Linearity, verified end to end: merging the block-ingested shards
-    // equals sketching the whole stream one value at a time on one
-    // thread — the block path and the scalar path are bit-identical.
-    let mut single: TugOfWarSketch = TugOfWarSketch::new(params, seed);
+    // Linearity, verified end to end: the merged shard sketches equal
+    // sketching the whole stream one value at a time on one thread.
+    let mut single: TugOfWarSketch =
+        TugOfWarSketch::new(service.config().params(), service.config().seed());
     for &v in &values {
         single.insert(v);
     }
-    assert_eq!(single.counters(), merged.counters());
+    assert_eq!(single.counters(), snapshot.sketch("v")?.counters());
     println!(
-        "verified: merge of {WORKERS} block-queue shard sketches == single-threaded \
-         per-item sketch, counter for counter."
+        "verified: merge of {SHARDS} service shards == single-threaded per-item \
+         sketch, counter for counter."
     );
+
+    let (_final_snapshot, stats) = service.shutdown();
+    println!("\nservice stats at shutdown:");
+    for shard in &stats.shards {
+        println!(
+            "  shard {}: {} blocks ingested, queue high-water {}/{} blocks, \
+             {} backpressure events, epoch {}",
+            shard.shard,
+            shard.blocks_ingested,
+            shard.max_queue_depth,
+            shard.queue_capacity,
+            shard.backpressure_events,
+            shard.epoch,
+        );
+    }
+    assert!(stats.max_queue_depth() <= 8, "bounded queues held");
+    Ok(())
 }

@@ -10,6 +10,8 @@
 //!   sequences and replay drivers.
 //! * [`datagen`] — the Table 1 workload generators.
 //! * [`hash`] — the k-wise independent hashing substrate.
+//! * [`service`] — the sharded parallel ingest service (bounded block
+//!   queues, per-shard worker threads, merge-on-query snapshots).
 //!
 //! See the repository README for a guided tour and the `examples/`
 //! directory for runnable scenarios.
@@ -21,6 +23,7 @@ pub use ams_core as core;
 pub use ams_datagen as datagen;
 pub use ams_hash as hash;
 pub use ams_relation as relation;
+pub use ams_service as service;
 pub use ams_stream as stream;
 
 pub use ams_core::{
@@ -30,4 +33,7 @@ pub use ams_core::{
 };
 pub use ams_datagen::DatasetId;
 pub use ams_relation::{Catalog, RelationTracker, TrackerConfig};
+pub use ams_service::{
+    AmsService, RouterPolicy, ServiceConfig, ServiceError, ServiceSnapshot, ServiceStats,
+};
 pub use ams_stream::{DeletePattern, ExactTracker, Multiset, Op, StreamBuilder, Value};
