@@ -26,6 +26,7 @@ use ams_datagen::DatasetId;
 use ams_hash::lanes::PlaneScratch;
 use ams_hash::plane::SignPlane;
 use ams_hash::{PolySignPlane, SplitMix64};
+use ams_net::{AmsClient, IngestOutcome, NetServer};
 use ams_service::{AmsService, RouterPolicy, ServiceConfig};
 use ams_stream::{value_blocks, CoalesceBuffer, OpBlock};
 use serde::Serialize;
@@ -63,6 +64,11 @@ struct Report {
     /// Sharded ingest service (round-robin, block-256, queue cap 64):
     /// shard count → aggregate ingest+drain throughput.
     sharded_melem_s: BTreeMap<usize, f64>,
+    /// Same workload pushed through the `ams-net` loopback TCP path
+    /// (pipelined framed ingest + wire drain): shard count → aggregate
+    /// throughput. The gap to `sharded_melem_s` is the wire tax
+    /// (framing + checksum + loopback socket hops).
+    net_melem_s: BTreeMap<usize, f64>,
 }
 
 #[derive(Serialize)]
@@ -227,6 +233,44 @@ fn main() {
         drop(service);
     }
 
+    // The same series through the framed TCP loopback path: pipelined
+    // client ingest (Busy answers resubmitted) + a wire-level drain.
+    let mut net_melem_s = BTreeMap::new();
+    for shards in [1usize, 4] {
+        let config = ServiceConfig::builder()
+            .shards(shards)
+            .queue_capacity(64)
+            .sketch_params(params)
+            .seed(1)
+            .router(RouterPolicy::RoundRobin)
+            .publish_every(u64::MAX / 2)
+            .build()
+            .expect("valid service config");
+        let service = AmsService::start(config, &["v"]).expect("start service");
+        let server = NetServer::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr();
+        let handle = server.spawn(service);
+        let mut client = AmsClient::connect(addr).expect("connect loopback");
+        let rate = melem_per_s(
+            UPDATES,
+            median_secs(|| {
+                let outcomes = client
+                    .ingest_blocks("v", &blocks_256)
+                    .expect("pipelined ingest");
+                for (block, outcome) in blocks_256.iter().zip(&outcomes) {
+                    if matches!(outcome, IngestOutcome::Busy { .. }) {
+                        client.ingest_block("v", block).expect("retried ingest");
+                    }
+                }
+                client.drain().expect("wire drain");
+            }),
+        );
+        eprintln!("net/{shards}: {rate:.3} Melem/s");
+        net_melem_s.insert(shards, rate);
+        drop(client);
+        handle.stop();
+    }
+
     let report = Report {
         workload: "zipf1.0",
         updates: UPDATES,
@@ -240,6 +284,7 @@ fn main() {
         coalesce_distinct_melem_s: coalesce_distinct,
         implied_coalesce_threshold: (implied_threshold * 10.0).round() / 10.0,
         sharded_melem_s,
+        net_melem_s,
     };
     let json = serde_json::to_string(&report).expect("serialize bench report");
     std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");

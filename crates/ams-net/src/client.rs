@@ -1,0 +1,391 @@
+//! The blocking client library: one connection, request/response
+//! calls, automatic retry on `Busy`, and windowed-pipelined batch
+//! helpers.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ams_service::{ServiceSnapshot, ServiceStats};
+use ams_stream::{OpBlock, Value};
+
+use crate::codec::{encode_ingest_frame, FrameDecoder, Request, Response};
+use crate::error::NetError;
+
+/// How batch helpers overlap requests and responses: this many
+/// requests are written ahead of the responses being read, keeping the
+/// pipe full without risking a both-sides-writing deadlock.
+const PIPELINE_WINDOW: usize = 32;
+
+/// How an auto-retrying ingest behaves under sustained `Busy` answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Submissions attempted before giving up with
+    /// [`NetError::Saturated`].
+    pub max_attempts: usize,
+    /// Upper bound on one backoff sleep (the server's hint is capped
+    /// to this).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 64,
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome of one non-retrying ingest submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The block landed in the service's shard queues.
+    Ingested,
+    /// The block was load-shed; nothing was applied.
+    Busy {
+        /// The saturated shard.
+        shard: usize,
+        /// The server's suggested backoff.
+        retry_hint: Duration,
+    },
+}
+
+/// A blocking client over one TCP connection to a [`crate::NetServer`].
+///
+/// ```no_run
+/// use ams_net::AmsClient;
+///
+/// let mut client = AmsClient::connect("127.0.0.1:4100")?;
+/// client.ingest_values("clicks", &[1, 2, 2, 3])?;
+/// client.drain()?;
+/// println!("self-join ≈ {}", client.self_join("clicks")?);
+/// # Ok::<(), ams_net::NetError>(())
+/// ```
+#[derive(Debug)]
+pub struct AmsClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    retry: RetryPolicy,
+}
+
+impl AmsClient {
+    /// Connects with the default [`RetryPolicy`].
+    ///
+    /// # Errors
+    /// [`NetError::Io`] when the connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), NetError> {
+        let frame = request.encode()?;
+        self.stream.write_all(&frame)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, NetError> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            if let Some(body) = self.decoder.next_frame()? {
+                return Ok(Response::decode(&body)?);
+            }
+            let n = self.stream.read(&mut scratch)?;
+            if n == 0 {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.decoder.feed(&scratch[..n]);
+        }
+    }
+
+    /// One request/response round trip, mapping protocol-level error
+    /// responses to [`NetError::Remote`].
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        self.send(request)?;
+        match self.recv()? {
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Submits one block without retrying: a load-shed submission
+    /// surfaces as [`IngestOutcome::Busy`].
+    ///
+    /// # Errors
+    /// Transport or server errors ([`NetError`]); `Busy` is **not** an
+    /// error on this path.
+    pub fn try_ingest_block(
+        &mut self,
+        attribute: &str,
+        block: &OpBlock,
+    ) -> Result<IngestOutcome, NetError> {
+        // Borrowed encoding: the block is serialized straight into the
+        // frame, never cloned into an owned request.
+        let frame = encode_ingest_frame(attribute, block)?;
+        self.stream.write_all(&frame)?;
+        match self.recv()? {
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            Response::Ingested => Ok(IngestOutcome::Ingested),
+            Response::Busy {
+                shard,
+                retry_hint_micros,
+            } => Ok(IngestOutcome::Busy {
+                shard: shard as usize,
+                retry_hint: Duration::from_micros(retry_hint_micros as u64),
+            }),
+            _ => Err(NetError::UnexpectedResponse {
+                expected: "Ingested or Busy",
+            }),
+        }
+    }
+
+    /// Submits one block, sleeping out the server's `Busy` hints and
+    /// resubmitting until it lands (bounded by the retry policy).
+    ///
+    /// # Errors
+    /// [`NetError::Saturated`] after exhausting the attempt budget;
+    /// transport or server errors as usual.
+    pub fn ingest_block(&mut self, attribute: &str, block: &OpBlock) -> Result<(), NetError> {
+        let policy = self.retry;
+        for attempt in 1..=policy.max_attempts {
+            match self.try_ingest_block(attribute, block)? {
+                IngestOutcome::Ingested => return Ok(()),
+                IngestOutcome::Busy { retry_hint, .. } => {
+                    if attempt < policy.max_attempts {
+                        std::thread::sleep(retry_hint.min(policy.max_backoff));
+                    }
+                }
+            }
+        }
+        Err(NetError::Saturated {
+            attempts: policy.max_attempts,
+        })
+    }
+
+    /// Convenience: run-coalesces a value slice into a block and
+    /// submits it with [`Self::ingest_block`].
+    ///
+    /// # Errors
+    /// As for [`Self::ingest_block`].
+    pub fn ingest_values(&mut self, attribute: &str, values: &[Value]) -> Result<(), NetError> {
+        self.ingest_block(attribute, &OpBlock::from_values(values.iter().copied()))
+    }
+
+    /// Pipelined batch ingest **without retry**: all blocks are
+    /// streamed down the socket (a bounded window ahead of the
+    /// responses), and each block's outcome is returned in order. The
+    /// caller decides what to do with the `Busy` ones — resubmit, shed
+    /// load, or back off.
+    ///
+    /// # Errors
+    /// Transport or server errors; outcomes are only returned when the
+    /// whole batch exchanged cleanly.
+    pub fn ingest_blocks(
+        &mut self,
+        attribute: &str,
+        blocks: &[OpBlock],
+    ) -> Result<Vec<IngestOutcome>, NetError> {
+        let frames = blocks
+            .iter()
+            .map(|block| encode_ingest_frame(attribute, block))
+            .collect::<Result<Vec<_>, _>>()?;
+        let responses = self.pipeline_frames(&frames)?;
+        responses
+            .into_iter()
+            .map(|response| match response {
+                Response::Ingested => Ok(IngestOutcome::Ingested),
+                Response::Busy {
+                    shard,
+                    retry_hint_micros,
+                } => Ok(IngestOutcome::Busy {
+                    shard: shard as usize,
+                    retry_hint: Duration::from_micros(retry_hint_micros as u64),
+                }),
+                Response::Error { code, message } => Err(NetError::Remote { code, message }),
+                _ => Err(NetError::UnexpectedResponse {
+                    expected: "Ingested or Busy",
+                }),
+            })
+            .collect()
+    }
+
+    /// Windowed pipelining over pre-encoded frames: keeps up to
+    /// [`PIPELINE_WINDOW`] requests in flight, reading responses in
+    /// lockstep so neither side's buffers grow without bound.
+    fn pipeline_frames(&mut self, frames: &[Vec<u8>]) -> Result<Vec<Response>, NetError> {
+        let mut responses = Vec::with_capacity(frames.len());
+        for (i, frame) in frames.iter().enumerate() {
+            self.stream.write_all(frame)?;
+            // After writing frame i there are i+1 - |responses| in
+            // flight; read one back whenever the window is full so the
+            // bound is exactly PIPELINE_WINDOW.
+            if i + 1 >= PIPELINE_WINDOW {
+                responses.push(self.recv()?);
+            }
+        }
+        while responses.len() < frames.len() {
+            responses.push(self.recv()?);
+        }
+        Ok(responses)
+    }
+
+    /// [`Self::pipeline_frames`] over owned requests (the query batch
+    /// helpers' path, where requests are small).
+    fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, NetError> {
+        let frames = requests
+            .iter()
+            .map(Request::encode)
+            .collect::<Result<Vec<_>, _>>()?;
+        self.pipeline_frames(&frames)
+    }
+
+    /// Self-join size estimate of one attribute.
+    ///
+    /// # Errors
+    /// [`NetError::Remote`] with
+    /// [`ErrorCode::UnknownAttribute`](crate::ErrorCode::UnknownAttribute)
+    /// for unregistered names; transport errors as usual.
+    pub fn self_join(&mut self, attribute: &str) -> Result<f64, NetError> {
+        match self.call(&Request::QuerySelfJoin {
+            attribute: attribute.to_string(),
+        })? {
+            Response::SelfJoin { estimate } => Ok(estimate),
+            _ => Err(NetError::UnexpectedResponse {
+                expected: "SelfJoin",
+            }),
+        }
+    }
+
+    /// Two-way join size estimate between two attributes.
+    ///
+    /// # Errors
+    /// As for [`Self::self_join`].
+    pub fn join(&mut self, left: &str, right: &str) -> Result<f64, NetError> {
+        match self.call(&Request::QueryTwoWayJoin {
+            left: left.to_string(),
+            right: right.to_string(),
+        })? {
+            Response::TwoWayJoin { estimate } => Ok(estimate),
+            _ => Err(NetError::UnexpectedResponse {
+                expected: "TwoWayJoin",
+            }),
+        }
+    }
+
+    /// Batched self-join queries, pipelined; one estimate per
+    /// attribute, in order.
+    ///
+    /// # Errors
+    /// The first failing query fails the call.
+    pub fn self_joins(&mut self, attributes: &[&str]) -> Result<Vec<f64>, NetError> {
+        let requests: Vec<Request> = attributes
+            .iter()
+            .map(|a| Request::QuerySelfJoin {
+                attribute: a.to_string(),
+            })
+            .collect();
+        self.pipeline(&requests)?
+            .into_iter()
+            .map(|response| match response {
+                Response::SelfJoin { estimate } => Ok(estimate),
+                Response::Error { code, message } => Err(NetError::Remote { code, message }),
+                _ => Err(NetError::UnexpectedResponse {
+                    expected: "SelfJoin",
+                }),
+            })
+            .collect()
+    }
+
+    /// Batched two-way join queries, pipelined; one estimate per pair,
+    /// in order.
+    ///
+    /// # Errors
+    /// The first failing query fails the call.
+    pub fn joins(&mut self, pairs: &[(&str, &str)]) -> Result<Vec<f64>, NetError> {
+        let requests: Vec<Request> = pairs
+            .iter()
+            .map(|(l, r)| Request::QueryTwoWayJoin {
+                left: l.to_string(),
+                right: r.to_string(),
+            })
+            .collect();
+        self.pipeline(&requests)?
+            .into_iter()
+            .map(|response| match response {
+                Response::TwoWayJoin { estimate } => Ok(estimate),
+                Response::Error { code, message } => Err(NetError::Remote { code, message }),
+                _ => Err(NetError::UnexpectedResponse {
+                    expected: "TwoWayJoin",
+                }),
+            })
+            .collect()
+    }
+
+    /// The full merged service snapshot, shipped over the wire.
+    ///
+    /// # Errors
+    /// Transport or server errors.
+    pub fn snapshot(&mut self) -> Result<ServiceSnapshot, NetError> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshot { snapshot } => Ok(snapshot),
+            _ => Err(NetError::UnexpectedResponse {
+                expected: "Snapshot",
+            }),
+        }
+    }
+
+    /// The per-shard service statistics.
+    ///
+    /// # Errors
+    /// Transport or server errors.
+    pub fn stats(&mut self) -> Result<ServiceStats, NetError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            _ => Err(NetError::UnexpectedResponse { expected: "Stats" }),
+        }
+    }
+
+    /// Waits (server-side) until every block this server accepted
+    /// before the request is reflected in snapshots; returns the epoch
+    /// of the cut (see [`ams_service::AmsService::drain`]).
+    ///
+    /// # Errors
+    /// Transport or server errors.
+    pub fn drain(&mut self) -> Result<u64, NetError> {
+        match self.call(&Request::Drain)? {
+            Response::Drained { epoch } => Ok(epoch),
+            _ => Err(NetError::UnexpectedResponse {
+                expected: "Drained",
+            }),
+        }
+    }
+
+    /// Gracefully shuts the server down, consuming the client, and
+    /// returns the service's final snapshot and lifetime statistics.
+    ///
+    /// # Errors
+    /// Transport or server errors.
+    pub fn shutdown(mut self) -> Result<(ServiceSnapshot, ServiceStats), NetError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Goodbye { snapshot, stats } => Ok((snapshot, stats)),
+            _ => Err(NetError::UnexpectedResponse {
+                expected: "Goodbye",
+            }),
+        }
+    }
+}

@@ -1,0 +1,824 @@
+//! The framed binary wire protocol: request/response enums, the frame
+//! header, and an incremental frame decoder.
+//!
+//! Every message travels as one frame (all integers little-endian):
+//!
+//! ```text
+//! [0..4)   u32   payload length L (bytes after this field); 9 ≤ L ≤ 2^24
+//! [4..8)   magic b"AMSN"
+//! [8..9)   u8    protocol version (currently 1)
+//! [9..13)  u32   CRC-32 (IEEE) of the body
+//! [13..13+L-9) body: kind byte + kind-specific fields
+//! ```
+//!
+//! The length prefix is bounded by [`MAX_FRAME_PAYLOAD`] **before**
+//! anything is buffered, so a hostile peer cannot make the server
+//! allocate unboundedly; the checksum rejects corruption before any
+//! field is interpreted; and every body decoder validates lengths and
+//! UTF-8 before materializing values, so arbitrary bytes produce a
+//! clean [`FrameError`], never a panic. Blocks reuse the columnar
+//! [`OpBlock`] wire form from `ams-stream`; snapshots and stats reuse
+//! the service layer's serde wire impls (shipped as JSON documents
+//! inside the checksummed frame — self-describing, so they can also be
+//! archived and diffed offline).
+
+use bytes::{Buf, BufMut};
+
+use ams_service::{ServiceSnapshot, ServiceStats};
+use ams_stream::OpBlock;
+
+/// Frame magic: "AMS" + "N" for the network protocol.
+pub const MAGIC: [u8; 4] = *b"AMSN";
+
+/// Current protocol version, carried in every frame header.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard upper bound on a frame's payload (everything after the length
+/// prefix). Frames declaring more are rejected before buffering. Sized
+/// so a snapshot response of a large sketch configuration (~1M
+/// counters per attribute in the self-describing JSON wire form) still
+/// fits one frame; per-connection memory stays bounded at one frame
+/// plus one read burst.
+pub const MAX_FRAME_PAYLOAD: usize = 16 << 20;
+
+/// Bytes of header between the length prefix and the body
+/// (magic + version + checksum).
+const HEADER_LEN: usize = 9;
+
+/// Largest admissible body (kind byte + fields).
+pub const MAX_BODY: usize = MAX_FRAME_PAYLOAD - HEADER_LEN;
+
+// Request kinds occupy 0x01.., response kinds 0x81.. so a stray
+// response on the request path (or vice versa) fails loudly as an
+// unknown kind.
+const REQ_INGEST_BLOCK: u8 = 0x01;
+const REQ_QUERY_SELF_JOIN: u8 = 0x02;
+const REQ_QUERY_TWO_WAY_JOIN: u8 = 0x03;
+const REQ_SNAPSHOT: u8 = 0x04;
+const REQ_STATS: u8 = 0x05;
+const REQ_DRAIN: u8 = 0x06;
+const REQ_SHUTDOWN: u8 = 0x07;
+
+const RESP_INGESTED: u8 = 0x81;
+const RESP_BUSY: u8 = 0x82;
+const RESP_SELF_JOIN: u8 = 0x83;
+const RESP_TWO_WAY_JOIN: u8 = 0x84;
+const RESP_SNAPSHOT: u8 = 0x85;
+const RESP_STATS: u8 = 0x86;
+const RESP_DRAINED: u8 = 0x87;
+const RESP_GOODBYE: u8 = 0x88;
+const RESP_ERROR: u8 = 0xFF;
+
+/// Why a frame (or its body) failed to decode. The framing layer is
+/// byte-synchronous: after any error the stream position can no longer
+/// be trusted, so peers drop the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The length the peer declared.
+        declared: usize,
+    },
+    /// The declared payload length cannot even hold the header.
+    Undersized {
+        /// The length the peer declared.
+        declared: usize,
+    },
+    /// The frame does not start with the protocol magic.
+    BadMagic,
+    /// The peer speaks a protocol version this build does not.
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The body checksum did not match — corruption in transit.
+    ChecksumMismatch,
+    /// The body's kind byte names no known message.
+    UnknownKind {
+        /// The kind byte received.
+        kind: u8,
+    },
+    /// A body field was truncated, malformed, or left trailing bytes.
+    Malformed {
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { declared } => {
+                write!(f, "frame payload of {declared} bytes exceeds the limit")
+            }
+            FrameError::Undersized { declared } => {
+                write!(
+                    f,
+                    "frame payload of {declared} bytes is shorter than the header"
+                )
+            }
+            FrameError::BadMagic => write!(f, "bad frame magic (not an AMSN frame)"),
+            FrameError::BadVersion { got } => write!(f, "unsupported protocol version {got}"),
+            FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            FrameError::UnknownKind { kind } => write!(f, "unknown message kind {kind:#04x}"),
+            FrameError::Malformed { reason } => write!(f, "malformed message body: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Machine-readable class of a protocol-level [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request frame or body was malformed; the server will close
+    /// the connection after this response.
+    Protocol = 1,
+    /// The named attribute is not registered on the service.
+    UnknownAttribute = 2,
+    /// The service is shutting down; no further ingestion is accepted.
+    Closed = 3,
+    /// An internal service/sketch error.
+    Internal = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(ErrorCode::Protocol),
+            2 => Some(ErrorCode::UnknownAttribute),
+            3 => Some(ErrorCode::Closed),
+            4 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::UnknownAttribute => "unknown-attribute",
+            ErrorCode::Closed => "closed",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one columnar block of updates for one attribute.
+    IngestBlock {
+        /// The registered attribute the block belongs to.
+        attribute: String,
+        /// The updates.
+        block: OpBlock,
+    },
+    /// Ask for the self-join size estimate of one attribute.
+    QuerySelfJoin {
+        /// The attribute to estimate.
+        attribute: String,
+    },
+    /// Ask for the two-way equality-join size estimate of two
+    /// attributes.
+    QueryTwoWayJoin {
+        /// The left attribute.
+        left: String,
+        /// The right attribute.
+        right: String,
+    },
+    /// Ask for the full merged [`ServiceSnapshot`].
+    Snapshot,
+    /// Ask for the per-shard [`ServiceStats`].
+    Stats,
+    /// Wait (server-side, without blocking the reactor) until every
+    /// block accepted before this request is reflected in snapshots.
+    Drain,
+    /// Gracefully stop the server; answered with
+    /// [`Response::Goodbye`] carrying the final snapshot and stats.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The ingest landed in the service's shard queues.
+    Ingested,
+    /// The ingest was load-shed: a shard queue was full and the
+    /// connection's retry ring had no room. Nothing was applied —
+    /// resubmit after the hint.
+    Busy {
+        /// The shard whose queue was full.
+        shard: u32,
+        /// Suggested client backoff before resubmitting, in
+        /// microseconds (derived from the live queue depth).
+        retry_hint_micros: u32,
+    },
+    /// Answer to [`Request::QuerySelfJoin`].
+    SelfJoin {
+        /// The estimate.
+        estimate: f64,
+    },
+    /// Answer to [`Request::QueryTwoWayJoin`].
+    TwoWayJoin {
+        /// The estimate.
+        estimate: f64,
+    },
+    /// Answer to [`Request::Snapshot`].
+    Snapshot {
+        /// The merged service snapshot.
+        snapshot: ServiceSnapshot,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// The per-shard statistics.
+        stats: ServiceStats,
+    },
+    /// Answer to [`Request::Drain`]: the drain cut was reached.
+    Drained {
+        /// The epoch the drain reached (see
+        /// [`ams_service::AmsService::drain`]).
+        epoch: u64,
+    },
+    /// Final answer to [`Request::Shutdown`], sent after the service
+    /// stopped.
+    Goodbye {
+        /// The final merged snapshot.
+        snapshot: ServiceSnapshot,
+        /// The lifetime statistics.
+        stats: ServiceStats,
+    },
+    /// The request failed; the connection stays usable unless the code
+    /// is [`ErrorCode::Protocol`].
+    Error {
+        /// What class of failure.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
+/// compile time.
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of a byte slice — the frame checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Wraps an encoded body into a full frame (length prefix + header +
+/// checksum + body).
+///
+/// # Errors
+/// [`FrameError::Oversized`] when the body exceeds [`MAX_BODY`].
+fn encode_frame(body: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if body.len() > MAX_BODY {
+        return Err(FrameError::Oversized {
+            declared: body.len() + HEADER_LEN,
+        });
+    }
+    let mut frame = Vec::with_capacity(4 + HEADER_LEN + body.len());
+    frame.put_u32_le((HEADER_LEN + body.len()) as u32);
+    frame.put_slice(&MAGIC);
+    frame.put_u8(PROTOCOL_VERSION);
+    frame.put_u32_le(crc32(body));
+    frame.put_slice(body);
+    Ok(frame)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), FrameError> {
+    if s.len() > u16::MAX as usize {
+        return Err(FrameError::Malformed {
+            reason: "string field longer than 64 KiB",
+        });
+    }
+    out.put_u16_le(s.len() as u16);
+    out.put_slice(s.as_bytes());
+    Ok(())
+}
+
+fn get_str(data: &mut &[u8]) -> Result<String, FrameError> {
+    if data.remaining() < 2 {
+        return Err(FrameError::Malformed {
+            reason: "truncated string length",
+        });
+    }
+    let len = data.get_u16_le() as usize;
+    if data.remaining() < len {
+        return Err(FrameError::Malformed {
+            reason: "truncated string bytes",
+        });
+    }
+    let (head, tail) = data.split_at(len);
+    let s = std::str::from_utf8(head)
+        .map_err(|_| FrameError::Malformed {
+            reason: "string field is not UTF-8",
+        })?
+        .to_string();
+    *data = tail;
+    Ok(s)
+}
+
+fn put_json<T: serde::Serialize>(out: &mut Vec<u8>, value: &T) -> Result<(), FrameError> {
+    let json = serde_json::to_string(value).map_err(|_| FrameError::Malformed {
+        reason: "unserializable document",
+    })?;
+    if json.len() > u32::MAX as usize {
+        return Err(FrameError::Oversized {
+            declared: json.len(),
+        });
+    }
+    out.put_u32_le(json.len() as u32);
+    out.put_slice(json.as_bytes());
+    Ok(())
+}
+
+fn get_json<T: for<'de> serde::Deserialize<'de>>(data: &mut &[u8]) -> Result<T, FrameError> {
+    if data.remaining() < 4 {
+        return Err(FrameError::Malformed {
+            reason: "truncated document length",
+        });
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() < len {
+        return Err(FrameError::Malformed {
+            reason: "truncated document bytes",
+        });
+    }
+    let (head, tail) = data.split_at(len);
+    let text = std::str::from_utf8(head).map_err(|_| FrameError::Malformed {
+        reason: "document is not UTF-8",
+    })?;
+    let value = serde_json::from_str(text).map_err(|_| FrameError::Malformed {
+        reason: "document failed validation",
+    })?;
+    *data = tail;
+    Ok(value)
+}
+
+fn get_block(data: &mut &[u8]) -> Result<OpBlock, FrameError> {
+    OpBlock::decode_wire(data).map_err(|e| FrameError::Malformed { reason: e.reason })
+}
+
+fn finish(data: &[u8]) -> Result<(), FrameError> {
+    if data.is_empty() {
+        Ok(())
+    } else {
+        Err(FrameError::Malformed {
+            reason: "trailing bytes after message body",
+        })
+    }
+}
+
+/// Encodes an `IngestBlock` request as one complete frame from
+/// borrowed parts — the client's ingest hot path, avoiding the block
+/// clone an owned [`Request`] would need.
+///
+/// # Errors
+/// [`FrameError`] when the attribute or block exceeds the frame-size
+/// limits (split the block and resubmit).
+pub fn encode_ingest_frame(attribute: &str, block: &OpBlock) -> Result<Vec<u8>, FrameError> {
+    let mut body = Vec::with_capacity(3 + attribute.len() + block.wire_len());
+    body.put_u8(REQ_INGEST_BLOCK);
+    put_str(&mut body, attribute)?;
+    block.encode_wire(&mut body);
+    encode_frame(&body)
+}
+
+impl Request {
+    /// Encodes this request as one complete frame, ready to write.
+    ///
+    /// # Errors
+    /// [`FrameError`] when a field exceeds the frame-size limits (e.g.
+    /// a block too large for one frame — split it and resubmit).
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut body = Vec::with_capacity(16);
+        match self {
+            Request::IngestBlock { attribute, block } => {
+                return encode_ingest_frame(attribute, block);
+            }
+            Request::QuerySelfJoin { attribute } => {
+                body.put_u8(REQ_QUERY_SELF_JOIN);
+                put_str(&mut body, attribute)?;
+            }
+            Request::QueryTwoWayJoin { left, right } => {
+                body.put_u8(REQ_QUERY_TWO_WAY_JOIN);
+                put_str(&mut body, left)?;
+                put_str(&mut body, right)?;
+            }
+            Request::Snapshot => body.put_u8(REQ_SNAPSHOT),
+            Request::Stats => body.put_u8(REQ_STATS),
+            Request::Drain => body.put_u8(REQ_DRAIN),
+            Request::Shutdown => body.put_u8(REQ_SHUTDOWN),
+        }
+        encode_frame(&body)
+    }
+
+    /// Decodes a request from a verified frame body (as returned by
+    /// [`FrameDecoder::next_frame`]).
+    ///
+    /// # Errors
+    /// [`FrameError`] on unknown kinds or malformed fields; never
+    /// panics on arbitrary input.
+    pub fn decode(body: &[u8]) -> Result<Request, FrameError> {
+        let mut data = body;
+        if data.is_empty() {
+            return Err(FrameError::Malformed {
+                reason: "empty message body",
+            });
+        }
+        let kind = data.get_u8();
+        let request = match kind {
+            REQ_INGEST_BLOCK => {
+                let attribute = get_str(&mut data)?;
+                let block = get_block(&mut data)?;
+                Request::IngestBlock { attribute, block }
+            }
+            REQ_QUERY_SELF_JOIN => Request::QuerySelfJoin {
+                attribute: get_str(&mut data)?,
+            },
+            REQ_QUERY_TWO_WAY_JOIN => Request::QueryTwoWayJoin {
+                left: get_str(&mut data)?,
+                right: get_str(&mut data)?,
+            },
+            REQ_SNAPSHOT => Request::Snapshot,
+            REQ_STATS => Request::Stats,
+            REQ_DRAIN => Request::Drain,
+            REQ_SHUTDOWN => Request::Shutdown,
+            kind => return Err(FrameError::UnknownKind { kind }),
+        };
+        finish(data)?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes this response as one complete frame, ready to write.
+    ///
+    /// # Errors
+    /// [`FrameError`] when the response exceeds the frame-size limit
+    /// (e.g. a snapshot of a sketch too large for one frame).
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut body = Vec::with_capacity(16);
+        match self {
+            Response::Ingested => body.put_u8(RESP_INGESTED),
+            Response::Busy {
+                shard,
+                retry_hint_micros,
+            } => {
+                body.put_u8(RESP_BUSY);
+                body.put_u32_le(*shard);
+                body.put_u32_le(*retry_hint_micros);
+            }
+            Response::SelfJoin { estimate } => {
+                body.put_u8(RESP_SELF_JOIN);
+                body.put_u64_le(estimate.to_bits());
+            }
+            Response::TwoWayJoin { estimate } => {
+                body.put_u8(RESP_TWO_WAY_JOIN);
+                body.put_u64_le(estimate.to_bits());
+            }
+            Response::Snapshot { snapshot } => {
+                body.put_u8(RESP_SNAPSHOT);
+                put_json(&mut body, snapshot)?;
+            }
+            Response::Stats { stats } => {
+                body.put_u8(RESP_STATS);
+                put_json(&mut body, stats)?;
+            }
+            Response::Drained { epoch } => {
+                body.put_u8(RESP_DRAINED);
+                body.put_u64_le(*epoch);
+            }
+            Response::Goodbye { snapshot, stats } => {
+                body.put_u8(RESP_GOODBYE);
+                put_json(&mut body, snapshot)?;
+                put_json(&mut body, stats)?;
+            }
+            Response::Error { code, message } => {
+                body.put_u8(RESP_ERROR);
+                body.put_u8(*code as u8);
+                put_str(&mut body, message)?;
+            }
+        }
+        encode_frame(&body)
+    }
+
+    /// Decodes a response from a verified frame body.
+    ///
+    /// # Errors
+    /// [`FrameError`] on unknown kinds or malformed fields; never
+    /// panics on arbitrary input.
+    pub fn decode(body: &[u8]) -> Result<Response, FrameError> {
+        let mut data = body;
+        if data.is_empty() {
+            return Err(FrameError::Malformed {
+                reason: "empty message body",
+            });
+        }
+        let kind = data.get_u8();
+        let need = |n: usize, data: &&[u8]| {
+            if data.remaining() < n {
+                Err(FrameError::Malformed {
+                    reason: "truncated response fields",
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let response = match kind {
+            RESP_INGESTED => Response::Ingested,
+            RESP_BUSY => {
+                need(8, &data)?;
+                Response::Busy {
+                    shard: data.get_u32_le(),
+                    retry_hint_micros: data.get_u32_le(),
+                }
+            }
+            RESP_SELF_JOIN => {
+                need(8, &data)?;
+                Response::SelfJoin {
+                    estimate: f64::from_bits(data.get_u64_le()),
+                }
+            }
+            RESP_TWO_WAY_JOIN => {
+                need(8, &data)?;
+                Response::TwoWayJoin {
+                    estimate: f64::from_bits(data.get_u64_le()),
+                }
+            }
+            RESP_SNAPSHOT => Response::Snapshot {
+                snapshot: get_json(&mut data)?,
+            },
+            RESP_STATS => Response::Stats {
+                stats: get_json(&mut data)?,
+            },
+            RESP_DRAINED => {
+                need(8, &data)?;
+                Response::Drained {
+                    epoch: data.get_u64_le(),
+                }
+            }
+            RESP_GOODBYE => Response::Goodbye {
+                snapshot: get_json(&mut data)?,
+                stats: get_json(&mut data)?,
+            },
+            RESP_ERROR => {
+                need(1, &data)?;
+                let code = data.get_u8();
+                let code = ErrorCode::from_u8(code).ok_or(FrameError::Malformed {
+                    reason: "unknown error code",
+                })?;
+                Response::Error {
+                    code,
+                    message: get_str(&mut data)?,
+                }
+            }
+            kind => return Err(FrameError::UnknownKind { kind }),
+        };
+        finish(data)?;
+        Ok(response)
+    }
+}
+
+/// Incremental frame extractor: feed raw stream bytes in, take verified
+/// frame bodies out. Both sides of the protocol use it — the client
+/// over blocking reads, the server over non-blocking ones.
+///
+/// After [`next_frame`](Self::next_frame) returns an error the stream
+/// is no longer byte-synchronized; the connection must be dropped.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix before growing, so the buffer
+        // stays bounded by a few frames regardless of connection
+        // lifetime.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > MAX_FRAME_PAYLOAD) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes fed but not yet consumed by a returned frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame, verifying the header and
+    /// checksum, and returns its body. `Ok(None)` means more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    /// [`FrameError`] on any header, size, or checksum violation —
+    /// after which the stream must be abandoned.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if declared < HEADER_LEN {
+            return Err(FrameError::Undersized { declared });
+        }
+        if declared > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::Oversized { declared });
+        }
+        if avail.len() < 4 + declared {
+            return Ok(None);
+        }
+        let frame = &avail[4..4 + declared];
+        if frame[..4] != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        if frame[4] != PROTOCOL_VERSION {
+            return Err(FrameError::BadVersion { got: frame[4] });
+        }
+        let checksum = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+        let body = &frame[HEADER_LEN..];
+        if crc32(body) != checksum {
+            return Err(FrameError::ChecksumMismatch);
+        }
+        let body = body.to_vec();
+        self.pos += 4 + declared;
+        Ok(Some(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: &Request) -> Request {
+        let frame = request.encode().unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().expect("one whole frame");
+        assert!(decoder.next_frame().unwrap().is_none());
+        Request::decode(&body).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let requests = [
+            Request::IngestBlock {
+                attribute: "clicks".into(),
+                block: OpBlock::from_values([1u64, 1, 2, 9]),
+            },
+            Request::QuerySelfJoin {
+                attribute: "π-ratio".into(),
+            },
+            Request::QueryTwoWayJoin {
+                left: "l".into(),
+                right: "r".into(),
+            },
+            Request::Snapshot,
+            Request::Stats,
+            Request::Drain,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            assert_eq!(roundtrip_request(&request), request);
+        }
+    }
+
+    #[test]
+    fn scalar_responses_roundtrip() {
+        let responses = [
+            Response::Ingested,
+            Response::Busy {
+                shard: 3,
+                retry_hint_micros: 250,
+            },
+            Response::SelfJoin { estimate: 42.5 },
+            Response::TwoWayJoin {
+                estimate: f64::INFINITY,
+            },
+            Response::Drained { epoch: 77 },
+            Response::Error {
+                code: ErrorCode::UnknownAttribute,
+                message: "no such attribute: x".into(),
+            },
+        ];
+        for response in responses {
+            let frame = response.encode().unwrap();
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&frame);
+            let body = decoder.next_frame().unwrap().unwrap();
+            assert_eq!(Response::decode(&body).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn frames_resync_across_partial_feeds() {
+        let a = Request::QuerySelfJoin {
+            attribute: "a".into(),
+        }
+        .encode()
+        .unwrap();
+        let b = Request::Drain.encode().unwrap();
+        let stream: Vec<u8> = [a, b].concat();
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(3) {
+            decoder.feed(chunk);
+            while let Some(body) = decoder.next_frame().unwrap() {
+                decoded.push(Request::decode(&body).unwrap());
+            }
+        }
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[1], Request::Drain);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn corrupted_frames_rejected() {
+        let frame = Request::Stats.encode().unwrap();
+        // Body corruption → checksum mismatch.
+        let mut bad = frame.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bad);
+        assert_eq!(decoder.next_frame(), Err(FrameError::ChecksumMismatch));
+        // Magic corruption.
+        let mut bad = frame.clone();
+        bad[4] ^= 0xFF;
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bad);
+        assert_eq!(decoder.next_frame(), Err(FrameError::BadMagic));
+        // Version bump.
+        let mut bad = frame.clone();
+        bad[8] = 9;
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bad);
+        assert_eq!(decoder.next_frame(), Err(FrameError::BadVersion { got: 9 }));
+        // Oversized declaration is rejected before buffering the body.
+        let mut bad = frame;
+        bad[0..4].copy_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bad);
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_ingest_refused_at_encode_time() {
+        let block = OpBlock::from_ops((0..(MAX_BODY / 16 + 2) as u64).map(ams_stream::Op::Insert));
+        let request = Request::IngestBlock {
+            attribute: "v".into(),
+            block,
+        };
+        assert!(matches!(
+            request.encode(),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-connection read/write state machines.
+//!
+//! Each accepted socket gets one [`Connection`]: a non-blocking read
+//! side feeding the frame decoder, an ordered queue of response
+//! *slots*, and a non-blocking write side. Responses must leave in
+//! request order, but an ingest that hit service backpressure cannot
+//! be answered yet — so its slot *parks* (the connection's retry ring)
+//! while later requests are still processed, and the write side simply
+//! stops at the first unfinished slot. The ring is bounded: once
+//! `max_pending` ingests are parked, further backpressured ingests are
+//! answered `Busy` immediately, which is what keeps server memory
+//! bounded under a producer that outruns the shard workers.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use ams_service::DrainCut;
+use ams_stream::OpBlock;
+
+use crate::codec::FrameDecoder;
+
+/// Per-tick cap on bytes read from one connection; together with the
+/// reactor's decoder-backlog gate this bounds the decoder buffer at
+/// roughly one maximum frame plus one burst.
+const READ_BURST: usize = 256 * 1024;
+
+/// One in-order response slot.
+#[derive(Debug)]
+pub(crate) enum Slot {
+    /// The response frame is encoded and ready to flush.
+    Ready(Vec<u8>),
+    /// An ingest parked on the retry ring: the service said
+    /// `WouldBlock`, the reactor re-tries it every tick.
+    PendingIngest {
+        /// Attribute the block targets.
+        attribute: String,
+        /// The parked block; each attempt moves it into the service,
+        /// which hands it back on refusal (no cloning).
+        block: OpBlock,
+    },
+    /// A drain waiting for its cut; polled every tick. The cut is
+    /// `None` while parked ingests precede it (they are not in the
+    /// service yet, so recording the cut now would under-cover).
+    PendingDrain {
+        /// The recorded drain target, once every earlier parked ingest
+        /// has landed.
+        cut: Option<DrainCut>,
+    },
+}
+
+impl Slot {
+    fn is_pending(&self) -> bool {
+        !matches!(self, Slot::Ready(_))
+    }
+}
+
+/// One client connection's full state.
+#[derive(Debug)]
+pub(crate) struct Connection {
+    stream: TcpStream,
+    /// Incremental frame extraction over whatever bytes have arrived.
+    pub(crate) decoder: FrameDecoder,
+    /// In-order response slots (front = oldest request).
+    pub(crate) slots: VecDeque<Slot>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Reading has stopped for good (protocol error or shutdown); the
+    /// connection dies once the write buffer flushes.
+    pub(crate) closing: bool,
+    /// The peer closed its write side (EOF on read); responses may
+    /// still be deliverable on the half-open socket.
+    peer_gone: bool,
+    /// The socket failed hard (read or write error); nothing more can
+    /// move in either direction.
+    io_failed: bool,
+    /// This connection asked for server shutdown and is owed the final
+    /// `Goodbye`.
+    pub(crate) wants_goodbye: bool,
+}
+
+impl Connection {
+    /// Adopts an accepted socket, switching it to non-blocking mode.
+    pub(crate) fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        // Purely an ack-latency optimization; not load-bearing.
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            slots: VecDeque::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            closing: false,
+            peer_gone: false,
+            io_failed: false,
+            wants_goodbye: false,
+        })
+    }
+
+    /// Number of parked (non-ready) slots.
+    pub(crate) fn pending(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_pending()).count()
+    }
+
+    /// Number of parked ingests specifically (the retry-ring occupancy
+    /// the `max_pending` bound applies to).
+    pub(crate) fn pending_ingests(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::PendingIngest { .. }))
+            .count()
+    }
+
+    /// Unflushed response bytes.
+    pub(crate) fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Pulls bytes from the socket into the decoder — at most
+    /// [`READ_BURST`] per call, so one firehosing peer cannot grow the
+    /// decoder buffer faster than the dispatch loop drains it (the
+    /// reactor additionally stops calling this while the decoder
+    /// backlog exceeds a frame). Returns whether any bytes arrived.
+    pub(crate) fn fill_read(&mut self, scratch: &mut [u8]) -> bool {
+        let mut progress = false;
+        let mut budget = READ_BURST;
+        loop {
+            if budget == 0 {
+                break;
+            }
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.peer_gone = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.decoder.feed(&scratch[..n]);
+                    budget = budget.saturating_sub(n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.io_failed = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Moves leading ready slots into the write buffer and flushes as
+    /// much as the socket accepts. Returns whether any bytes moved.
+    pub(crate) fn pump_writes(&mut self) -> bool {
+        let mut progress = false;
+        while let Some(Slot::Ready(_)) = self.slots.front() {
+            let Some(Slot::Ready(frame)) = self.slots.pop_front() else {
+                unreachable!("front checked above");
+            };
+            self.write_buf.extend_from_slice(&frame);
+            progress = true;
+        }
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.io_failed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.write_pos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.io_failed = true;
+                    break;
+                }
+            }
+        }
+        if self.write_pos == self.write_buf.len() && self.write_pos > 0 {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+        progress
+    }
+
+    /// Whether everything owed to the peer has left the process.
+    pub(crate) fn flushed(&self) -> bool {
+        self.slots.is_empty() && self.write_backlog() == 0
+    }
+
+    /// Whether the connection can be dropped: the socket failed hard,
+    /// or everything owed has been delivered to a peer we will not
+    /// read from again (server-side close or client EOF).
+    pub(crate) fn dead(&self) -> bool {
+        self.io_failed || ((self.closing || self.peer_gone) && self.flushed())
+    }
+}

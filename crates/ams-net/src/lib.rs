@@ -1,0 +1,53 @@
+//! Framed TCP front-end for the sharded AMS ingest service.
+//!
+//! The sketches exist to track join sizes *online*, over update streams
+//! arriving from outside the process; this crate is the layer that lets
+//! them: a length-prefixed, checksummed binary protocol
+//! ([`codec`]), a single-threaded non-blocking **reactor**
+//! ([`server`]) that multiplexes every connection over std
+//! non-blocking sockets, and a blocking client library ([`client`])
+//! with automatic retry on backpressure.
+//!
+//! ```text
+//!  clients ──framed requests──▶ reactor (one thread, non-blocking I/O)
+//!     ▲                            │ try_ingest_block   ──▶ AmsService
+//!     │                            │   ├─ Ok        → Ingested         (shard queues,
+//!     │                            │   ├─ WouldBlock→ park on the       worker threads,
+//!     │                            │   │   per-connection retry ring,   merge-on-query
+//!     │                            │   │   serviced every tick          snapshots)
+//!     └──framed responses──────────┘   └─ ring full → Busy{retry_hint}
+//! ```
+//!
+//! The key property is that **service backpressure never parks the
+//! network thread**: a full shard queue turns into either a parked
+//! entry on that connection's bounded retry ring (retried every reactor
+//! tick, acknowledged once it lands) or an explicit
+//! [`Response::Busy`](codec::Response::Busy) answer carrying a retry
+//! hint — so a fast producer sees load-shedding, memory stays bounded
+//! by `queue capacity + ring capacity`, and every other connection
+//! keeps making progress. Queries (self-join, two-way join, full
+//! snapshot, stats) answer from the service's merge-on-query snapshot
+//! register; `Drain` uses the service's non-blocking drain cut and is
+//! polled to completion by the reactor, and `Shutdown` gracefully
+//! lands parked ingests, stops the service, and ships the final
+//! snapshot and lifetime stats back over the wire.
+//!
+//! No async executor is involved (the workspace vendors no runtime):
+//! the reactor is a readiness loop over `std::net` non-blocking
+//! sockets, which is exactly enough for a protocol whose hot path is
+//! CPU-bound sketch ingestion.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod codec;
+mod conn;
+pub mod error;
+mod reactor;
+pub mod server;
+
+pub use client::{AmsClient, IngestOutcome, RetryPolicy};
+pub use codec::{ErrorCode, FrameDecoder, FrameError, Request, Response};
+pub use error::NetError;
+pub use server::{NetServer, NetServerConfig, ServerHandle, StopHandle};

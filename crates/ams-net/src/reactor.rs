@@ -1,0 +1,350 @@
+//! The single-threaded readiness reactor.
+//!
+//! One loop multiplexes the listener and every connection over std
+//! non-blocking sockets — no executor, no epoll binding, just a tick
+//! that (1) accepts, (2) services each connection's parked retry ring,
+//! (3) reads + dispatches new frames, (4) flushes writes, and sleeps
+//! briefly only when an entire tick made no progress. The crucial
+//! invariant is that **nothing in the tick blocks**: service
+//! submission uses `try_ingest_block`, drains use the recorded-cut +
+//! poll pair, and socket I/O is non-blocking throughout, so one slow
+//! or saturated shard (or one stalled client) never parks the network
+//! thread.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ams_service::{AmsService, ServiceError, ServiceSnapshot, ServiceStats};
+
+use crate::codec::{ErrorCode, Request, Response, MAX_FRAME_PAYLOAD};
+use crate::conn::{Connection, Slot};
+use crate::server::NetServerConfig;
+
+/// Longest the finalizer keeps flushing farewell frames after the
+/// service stopped.
+const SHUTDOWN_FLUSH_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Encodes a response, demoting encode failures (e.g. a snapshot too
+/// large for one frame) to a small protocol-level error frame.
+fn encoded(response: Response) -> Vec<u8> {
+    match response.encode() {
+        Ok(frame) => frame,
+        Err(e) => Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("response exceeded frame limits: {e}"),
+        }
+        .encode()
+        .expect("error frames are tiny"),
+    }
+}
+
+/// Sizes a client's backoff after a `Busy`: deeper queues earn longer
+/// hints. Purely advisory — a client may retry sooner and simply be
+/// shed again.
+fn busy_hint_micros(service: &AmsService, shard: usize) -> u32 {
+    let depth = service.queue_depth(shard).unwrap_or(0) as u32;
+    (100 * (depth + 1)).min(10_000)
+}
+
+fn busy(service: &AmsService, shard: usize) -> Response {
+    Response::Busy {
+        shard: shard as u32,
+        retry_hint_micros: busy_hint_micros(service, shard),
+    }
+}
+
+/// Turns a service-side ingest failure into the matching wire answer.
+fn ingest_failure(service: &AmsService, error: ServiceError) -> Response {
+    match error {
+        ServiceError::WouldBlock { shard } => busy(service, shard),
+        ServiceError::UnknownAttribute { name } => Response::Error {
+            code: ErrorCode::UnknownAttribute,
+            message: format!("unknown attribute: {name}"),
+        },
+        ServiceError::Closed => Response::Error {
+            code: ErrorCode::Closed,
+            message: "service is shutting down".into(),
+        },
+        other => Response::Error {
+            code: ErrorCode::Internal,
+            message: other.to_string(),
+        },
+    }
+}
+
+/// Services one connection's parked slots: retries parked ingests in
+/// submission order (stopping the ingest sweep at the first shard that
+/// still refuses, to preserve per-connection ordering) and polls
+/// parked drains. A parked drain only records its cut once no parked
+/// ingest precedes it, so the `Drained` answer really covers every
+/// ingest acknowledged before it. Returns whether any slot resolved.
+fn service_parked(conn: &mut Connection, service: &AmsService) -> bool {
+    let mut progress = false;
+    let mut ingest_blocked = false;
+    let mut ingest_parked_before = false;
+    for slot in conn.slots.iter_mut() {
+        match slot {
+            Slot::Ready(_) => {}
+            Slot::PendingIngest { attribute, block } => {
+                if ingest_blocked {
+                    ingest_parked_before = true;
+                    continue;
+                }
+                // The service hands the block back on refusal, so a
+                // parked entry is submitted without cloning.
+                let attempt = std::mem::take(block);
+                match service.try_ingest_block_returning(attribute, attempt) {
+                    Ok(()) => {
+                        *slot = Slot::Ready(encoded(Response::Ingested));
+                        progress = true;
+                    }
+                    Err((returned, ServiceError::WouldBlock { .. })) => {
+                        *block = returned;
+                        ingest_blocked = true;
+                        ingest_parked_before = true;
+                    }
+                    Err((_, other)) => {
+                        *slot = Slot::Ready(encoded(ingest_failure(service, other)));
+                        progress = true;
+                    }
+                }
+            }
+            Slot::PendingDrain { cut } => {
+                if cut.is_none() && !ingest_parked_before {
+                    *cut = Some(service.drain_cut());
+                }
+                if let Some(recorded) = cut {
+                    if let Some(epoch) = service.poll_drained(recorded) {
+                        *slot = Slot::Ready(encoded(Response::Drained { epoch }));
+                        progress = true;
+                    }
+                }
+            }
+        }
+    }
+    progress
+}
+
+/// Handles one decoded request, appending the resulting slot(s) to the
+/// connection. Returns `true` when the request asked for server
+/// shutdown.
+fn dispatch(
+    conn: &mut Connection,
+    request: Request,
+    service: &AmsService,
+    config: &NetServerConfig,
+) -> bool {
+    match request {
+        Request::IngestBlock { attribute, block } => {
+            match service.try_ingest_block_returning(&attribute, block) {
+                Ok(()) => conn
+                    .slots
+                    .push_back(Slot::Ready(encoded(Response::Ingested))),
+                Err((block, ServiceError::WouldBlock { shard })) => {
+                    if conn.pending_ingests() < config.max_pending_per_conn {
+                        conn.slots
+                            .push_back(Slot::PendingIngest { attribute, block });
+                    } else {
+                        conn.slots
+                            .push_back(Slot::Ready(encoded(busy(service, shard))));
+                    }
+                }
+                Err((_, other)) => conn
+                    .slots
+                    .push_back(Slot::Ready(encoded(ingest_failure(service, other)))),
+            }
+        }
+        Request::QuerySelfJoin { attribute } => {
+            // Point queries merge only the queried attribute's shard
+            // counters — not a full every-attribute snapshot.
+            let response = match service.self_join(&attribute) {
+                Ok(estimate) => Response::SelfJoin { estimate },
+                Err(e) => Response::Error {
+                    code: ErrorCode::UnknownAttribute,
+                    message: e.to_string(),
+                },
+            };
+            conn.slots.push_back(Slot::Ready(encoded(response)));
+        }
+        Request::QueryTwoWayJoin { left, right } => {
+            let response = match service.join(&left, &right) {
+                Ok(estimate) => Response::TwoWayJoin { estimate },
+                Err(e) => Response::Error {
+                    code: ErrorCode::UnknownAttribute,
+                    message: e.to_string(),
+                },
+            };
+            conn.slots.push_back(Slot::Ready(encoded(response)));
+        }
+        Request::Snapshot => {
+            let snapshot = service.snapshot();
+            conn.slots
+                .push_back(Slot::Ready(encoded(Response::Snapshot { snapshot })));
+        }
+        Request::Stats => {
+            let stats = service.stats();
+            conn.slots
+                .push_back(Slot::Ready(encoded(Response::Stats { stats })));
+        }
+        Request::Drain => {
+            // The cut must cover every ingest this connection was (or
+            // will be) acknowledged for before the Drained answer —
+            // including ones still parked on the retry ring, which the
+            // service hasn't accepted yet. With parked ingests ahead,
+            // defer recording the cut until they land (`service_parked`
+            // records it once nothing pending precedes the drain).
+            if conn.pending_ingests() > 0 {
+                conn.slots.push_back(Slot::PendingDrain { cut: None });
+            } else {
+                let cut = service.drain_cut();
+                // Often already satisfied (idle service): answer inline.
+                match service.poll_drained(&cut) {
+                    Some(epoch) => conn
+                        .slots
+                        .push_back(Slot::Ready(encoded(Response::Drained { epoch }))),
+                    None => conn.slots.push_back(Slot::PendingDrain { cut: Some(cut) }),
+                }
+            }
+        }
+        Request::Shutdown => {
+            conn.wants_goodbye = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the reactor until a `Shutdown` frame arrives or the stop flag
+/// is raised, then gracefully stops the service and returns its final
+/// snapshot and lifetime statistics.
+pub(crate) fn run(
+    listener: TcpListener,
+    service: AmsService,
+    config: NetServerConfig,
+    stop: Arc<AtomicBool>,
+) -> (ServiceSnapshot, ServiceStats) {
+    let mut conns: Vec<Connection> = Vec::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut shutting_down = false;
+    loop {
+        let mut progress = false;
+        // 1. Accept whatever is waiting (unless closing up).
+        if !shutting_down {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Ok(conn) = Connection::new(stream) {
+                            conns.push(conn);
+                            progress = true;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        for conn in conns.iter_mut() {
+            // 2. Retry ring + parked drains.
+            progress |= service_parked(conn, &service);
+            // 3. Read and dispatch new requests, with per-connection
+            //    admission bounds so one peer cannot balloon server
+            //    memory: stop reading while too many responses are in
+            //    flight, responses sit unflushed, or undecoded bytes
+            //    already cover at least one full frame.
+            if !shutting_down && !conn.closing {
+                // The socket is only read while every bound holds; the
+                // decode loop below always runs, so a gated decoder
+                // backlog still drains.
+                if conn.slots.len() < config.max_inflight_per_conn
+                    && conn.write_backlog() < config.max_write_buffer
+                    && conn.decoder.buffered() <= MAX_FRAME_PAYLOAD
+                {
+                    progress |= conn.fill_read(&mut scratch);
+                }
+                while conn.slots.len() < config.max_inflight_per_conn {
+                    match conn.decoder.next_frame() {
+                        Ok(Some(body)) => {
+                            progress = true;
+                            match Request::decode(&body) {
+                                Ok(request) => {
+                                    if dispatch(conn, request, &service, &config) {
+                                        // Shutdown: stop decoding this
+                                        // connection so no pipelined
+                                        // later request is answered
+                                        // ahead of the Goodbye (the
+                                        // in-order invariant).
+                                        shutting_down = true;
+                                        break;
+                                    }
+                                }
+                                Err(e) => {
+                                    conn.slots.push_back(Slot::Ready(encoded(Response::Error {
+                                        code: ErrorCode::Protocol,
+                                        message: e.to_string(),
+                                    })));
+                                    conn.closing = true;
+                                    break;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            // Framing violation: answer once, then close
+                            // (the byte stream cannot be re-synchronized).
+                            conn.slots.push_back(Slot::Ready(encoded(Response::Error {
+                                code: ErrorCode::Protocol,
+                                message: e.to_string(),
+                            })));
+                            conn.closing = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            // 4. Flush.
+            progress |= conn.pump_writes();
+        }
+        conns.retain(|conn| !conn.dead());
+        if stop.load(Ordering::Acquire) {
+            shutting_down = true;
+        }
+        // Shutdown waits for every parked ingest/drain to land so no
+        // acknowledged-later work is silently dropped, then breaks to
+        // finalize.
+        if shutting_down && conns.iter().all(|c| c.pending() == 0) {
+            break;
+        }
+        if !progress {
+            std::thread::sleep(config.idle_sleep);
+        }
+    }
+    // Stop the service: closes the shard queues, drains the workers,
+    // joins them, and yields the final state.
+    let (snapshot, stats) = service.shutdown();
+    for conn in conns.iter_mut() {
+        if conn.wants_goodbye {
+            conn.slots.push_back(Slot::Ready(encoded(Response::Goodbye {
+                snapshot: snapshot.clone(),
+                stats: stats.clone(),
+            })));
+        }
+        conn.closing = true;
+    }
+    // Farewell flush with a deadline: a peer that stopped reading
+    // cannot wedge the shutdown.
+    let deadline = Instant::now() + SHUTDOWN_FLUSH_DEADLINE;
+    while Instant::now() < deadline {
+        let mut flushed = true;
+        for conn in conns.iter_mut() {
+            conn.pump_writes();
+            flushed &= conn.dead() || conn.flushed();
+        }
+        if flushed {
+            break;
+        }
+        std::thread::sleep(config.idle_sleep);
+    }
+    (snapshot, stats)
+}

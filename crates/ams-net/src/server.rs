@@ -1,0 +1,169 @@
+//! The server façade: bind, run (or spawn), stop.
+
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ams_service::{AmsService, ServiceSnapshot, ServiceStats};
+
+use crate::error::NetError;
+use crate::reactor;
+
+/// Tunables of the reactor's per-connection bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetServerConfig {
+    /// How many backpressured ingests one connection may park on its
+    /// retry ring before further ones are answered `Busy` immediately.
+    /// `0` disables parking entirely — every `WouldBlock` becomes an
+    /// immediate `Busy` (maximal load-shedding).
+    pub max_pending_per_conn: usize,
+    /// How many responses (ready or parked) one connection may have in
+    /// flight before the reactor stops reading more of its requests.
+    pub max_inflight_per_conn: usize,
+    /// Unflushed response bytes beyond which the reactor stops reading
+    /// more of a connection's requests.
+    pub max_write_buffer: usize,
+    /// How long the reactor sleeps after a tick in which nothing at
+    /// all progressed.
+    pub idle_sleep: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            max_pending_per_conn: 8,
+            max_inflight_per_conn: 64,
+            max_write_buffer: 256 * 1024,
+            idle_sleep: Duration::from_micros(200),
+        }
+    }
+}
+
+/// A handle that asks a running server to shut down gracefully (same
+/// path as a wire-level `Shutdown` request, minus the `Goodbye`).
+#[derive(Debug, Clone)]
+pub struct StopHandle(Arc<AtomicBool>);
+
+impl StopHandle {
+    /// Raises the stop flag; the reactor notices on its next tick.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// A bound, not-yet-running wire-protocol server.
+///
+/// ```no_run
+/// use ams_net::NetServer;
+/// use ams_service::{AmsService, ServiceConfig};
+///
+/// let service = AmsService::start(ServiceConfig::default(), &["clicks"])?;
+/// let server = NetServer::bind("127.0.0.1:0")?;
+/// println!("listening on {}", server.local_addr());
+/// let (final_snapshot, stats) = server.run(service); // until Shutdown
+/// # let _ = (final_snapshot, stats);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct NetServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: NetServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Binds a listener with the default [`NetServerConfig`]. Use port
+    /// 0 to let the OS pick (read it back with [`Self::local_addr`]).
+    ///
+    /// # Errors
+    /// [`NetError::Io`] when binding fails.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        Self::bind_with(addr, NetServerConfig::default())
+    }
+
+    /// Binds a listener with an explicit configuration.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] when binding fails.
+    pub fn bind_with<A: ToSocketAddrs>(addr: A, config: NetServerConfig) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            addr,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop the running server from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle(Arc::clone(&self.stop))
+    }
+
+    /// Runs the reactor on the calling thread until a wire `Shutdown`
+    /// request arrives or the stop handle fires, then returns the
+    /// service's final snapshot and lifetime statistics.
+    pub fn run(self, service: AmsService) -> (ServiceSnapshot, ServiceStats) {
+        reactor::run(self.listener, service, self.config, self.stop)
+    }
+
+    /// Spawns the reactor on a background thread and returns a handle
+    /// carrying the address, a stop handle, and the join point.
+    pub fn spawn(self, service: AmsService) -> ServerHandle {
+        let addr = self.addr;
+        let stop = self.stop_handle();
+        let thread = std::thread::Builder::new()
+            .name("ams-net-reactor".into())
+            .spawn(move || self.run(service))
+            .expect("spawn reactor thread");
+        ServerHandle { addr, stop, thread }
+    }
+}
+
+/// A running background server (from [`NetServer::spawn`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: StopHandle,
+    thread: std::thread::JoinHandle<(ServiceSnapshot, ServiceStats)>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clonable stop handle.
+    pub fn stop_handle(&self) -> StopHandle {
+        self.stop.clone()
+    }
+
+    /// Asks the server to stop and waits for it, returning the final
+    /// snapshot and statistics.
+    ///
+    /// # Panics
+    /// Propagates a panic from the reactor thread (none are expected;
+    /// the reactor is panic-free on arbitrary input by design).
+    pub fn stop(self) -> (ServiceSnapshot, ServiceStats) {
+        self.stop.stop();
+        self.thread.join().expect("reactor thread panicked")
+    }
+
+    /// Waits for the server to finish on its own (wire `Shutdown`).
+    ///
+    /// # Panics
+    /// Propagates a panic from the reactor thread.
+    pub fn join(self) -> (ServiceSnapshot, ServiceStats) {
+        self.thread.join().expect("reactor thread panicked")
+    }
+}

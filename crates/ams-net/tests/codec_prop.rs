@@ -1,0 +1,138 @@
+//! Property tests for the frame codec: encode ≡ decode round-trips for
+//! arbitrary blocks and queries, and clean (panic-free) rejection of
+//! truncated, corrupted, and arbitrary byte prefixes.
+
+use ams_net::codec::MAX_FRAME_PAYLOAD;
+use ams_net::{FrameDecoder, Request, Response};
+use ams_stream::OpBlock;
+use proptest::prelude::*;
+
+/// Arbitrary attribute names: short ASCII with an occasional
+/// multi-byte UTF-8 character.
+fn attr_name() -> impl Strategy<Value = String> {
+    (proptest::collection::vec(0u8..26, 0..12), any::<bool>()).prop_map(|(letters, unicode)| {
+        let mut name: String = letters.iter().map(|&l| (b'a' + l) as char).collect();
+        if unicode {
+            name.push('π');
+        }
+        name
+    })
+}
+
+/// Arbitrary columnar blocks (built through the push path, so the
+/// entries honour `OpBlock`'s run-coalescing invariants).
+fn block() -> impl Strategy<Value = OpBlock> {
+    proptest::collection::vec((0u64..500, -4i64..5), 0..40).prop_map(|entries| {
+        let mut block = OpBlock::new();
+        for (v, d) in entries {
+            block.push(v, d);
+        }
+        block
+    })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (0u8..7, attr_name(), attr_name(), block()).prop_map(|(kind, a, b, block)| match kind {
+        0 => Request::IngestBlock {
+            attribute: a,
+            block,
+        },
+        1 => Request::QuerySelfJoin { attribute: a },
+        2 => Request::QueryTwoWayJoin { left: a, right: b },
+        3 => Request::Snapshot,
+        4 => Request::Stats,
+        5 => Request::Drain,
+        _ => Request::Shutdown,
+    })
+}
+
+fn decode_one(bytes: &[u8]) -> Result<Option<Vec<u8>>, ams_net::FrameError> {
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(bytes);
+    decoder.next_frame()
+}
+
+proptest! {
+    #[test]
+    fn request_encode_decode_roundtrips(request in request()) {
+        let frame = request.encode().unwrap();
+        let body = decode_one(&frame).unwrap().expect("whole frame decodes");
+        prop_assert_eq!(Request::decode(&body).unwrap(), request);
+    }
+
+    #[test]
+    fn scalar_response_roundtrips(
+        shard in 0u32..64,
+        hint in 0u32..1_000_000,
+        bits in any::<u64>(),
+        epoch in any::<u64>(),
+    ) {
+        let responses = [
+            Response::Ingested,
+            Response::Busy { shard, retry_hint_micros: hint },
+            Response::SelfJoin { estimate: f64::from_bits(bits) },
+            Response::Drained { epoch },
+        ];
+        for response in responses {
+            let frame = response.encode().unwrap();
+            let body = decode_one(&frame).unwrap().expect("whole frame decodes");
+            let back = Response::decode(&body).unwrap();
+            // NaN payloads must survive bit-exactly, so compare the
+            // encodings rather than the (NaN-unequal) values.
+            prop_assert_eq!(back.encode().unwrap(), response.encode().unwrap());
+        }
+    }
+
+    /// A strict prefix of a valid frame never yields a frame (and
+    /// never panics): the decoder just waits for more bytes.
+    #[test]
+    fn truncated_prefixes_never_yield_frames(request in request(), cut in 0usize..4096) {
+        let frame = request.encode().unwrap();
+        let cut = cut % frame.len();
+        prop_assert!(matches!(decode_one(&frame[..cut]), Ok(None)));
+    }
+
+    /// Flipping any single byte of a valid frame is either detected
+    /// (error), leaves the decoder waiting (length grew), or — if it
+    /// produced a formally valid frame — still decodes without
+    /// panicking. No input may crash the decoder.
+    #[test]
+    fn corrupted_frames_never_panic(request in request(), at in 0usize..4096, flip in 1u8..255) {
+        let mut frame = request.encode().unwrap();
+        let at = at % frame.len();
+        frame[at] ^= flip;
+        if let Ok(Some(body)) = decode_one(&frame) {
+            let _ = Request::decode(&body);
+        }
+    }
+
+    /// Arbitrary byte soup: the decoder terminates with a clean
+    /// verdict (wait, frame, or error) and never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(body)) => {
+                    let _ = Request::decode(&body);
+                    let _ = Response::decode(&body);
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Oversized length declarations are refused before any buffering.
+    #[test]
+    fn oversized_declarations_rejected(extra in 1u32..1_000_000) {
+        let declared = (MAX_FRAME_PAYLOAD as u32).saturating_add(extra);
+        let mut bytes = declared.to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"AMSN");
+        prop_assert!(matches!(
+            decode_one(&bytes),
+            Err(ams_net::FrameError::Oversized { .. })
+        ));
+    }
+}

@@ -1,0 +1,419 @@
+//! End-to-end loopback tests: a real server and real sockets in one
+//! process.
+//!
+//! The two acceptance pins of the network layer live here:
+//! * a stream ingested through the client/server path yields sketch
+//!   counters **bit-identical** to in-process ingestion of the same
+//!   stream, and
+//! * a fast producer against a cap-1 queue observes `Busy` load
+//!   shedding (with queue occupancy provably bounded) instead of a
+//!   stalled connection — and malformed bytes never crash the reactor.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
+use ams_net::{AmsClient, IngestOutcome, NetError, NetServer, NetServerConfig, RetryPolicy};
+use ams_service::{RouterPolicy, ServiceConfig};
+use ams_stream::{value_blocks, OpBlock};
+
+fn service(
+    shards: usize,
+    queue_capacity: usize,
+    params: SketchParams,
+    attrs: &[&str],
+) -> ams_service::AmsService {
+    let config = ServiceConfig::builder()
+        .shards(shards)
+        .queue_capacity(queue_capacity)
+        .sketch_params(params)
+        .seed(0xBEEF)
+        .router(RouterPolicy::RoundRobin)
+        .build()
+        .unwrap();
+    ams_service::AmsService::start(config, attrs).unwrap()
+}
+
+/// Streams every block, resubmitting any that were load-shed, until
+/// all have landed.
+fn ingest_all(client: &mut AmsClient, attribute: &str, blocks: &[OpBlock]) -> usize {
+    let outcomes = client.ingest_blocks(attribute, blocks).unwrap();
+    let mut busy = 0;
+    for (block, outcome) in blocks.iter().zip(&outcomes) {
+        if matches!(outcome, IngestOutcome::Busy { .. }) {
+            busy += 1;
+            client.ingest_block(attribute, block).unwrap();
+        }
+    }
+    busy
+}
+
+#[test]
+fn client_streamed_ingest_is_bit_identical_to_in_process() {
+    let params = SketchParams::new(64, 3).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(2, 32, params, &["u", "v"]));
+
+    let u: Vec<u64> = (0..4_000u64).map(|i| i * i % 257).collect();
+    let v: Vec<u64> = (0..4_000u64).map(|i| i % 97).collect();
+    let mut client = AmsClient::connect(addr).unwrap();
+    ingest_all(&mut client, "u", &value_blocks(&u, 128).collect::<Vec<_>>());
+    ingest_all(&mut client, "v", &value_blocks(&v, 128).collect::<Vec<_>>());
+    let epoch = client.drain().unwrap();
+    assert!(epoch >= 1);
+
+    let snapshot = client.snapshot().unwrap();
+    assert!(snapshot.epoch_min() >= epoch);
+    assert_eq!(snapshot.ops(), (u.len() + v.len()) as u64);
+    let mut reference_u: TugOfWarSketch = TugOfWarSketch::new(params, 0xBEEF);
+    reference_u.extend_values(u.iter().copied());
+    let mut reference_v: TugOfWarSketch = TugOfWarSketch::new(params, 0xBEEF);
+    reference_v.extend_values(v.iter().copied());
+    assert_eq!(
+        snapshot.sketch("u").unwrap().counters(),
+        reference_u.counters(),
+        "wire-path counters must be bit-identical to in-process ingestion"
+    );
+    assert_eq!(
+        snapshot.sketch("v").unwrap().counters(),
+        reference_v.counters()
+    );
+
+    // Scalar and batched queries agree with the snapshot's estimates.
+    assert_eq!(
+        client.self_join("u").unwrap(),
+        snapshot.self_join("u").unwrap()
+    );
+    assert_eq!(
+        client.self_joins(&["u", "v"]).unwrap(),
+        vec![
+            snapshot.self_join("u").unwrap(),
+            snapshot.self_join("v").unwrap()
+        ]
+    );
+    assert_eq!(
+        client.join("u", "v").unwrap(),
+        snapshot.join("u", "v").unwrap()
+    );
+    assert_eq!(
+        client.joins(&[("u", "v"), ("v", "v")]).unwrap(),
+        vec![
+            snapshot.join("u", "v").unwrap(),
+            snapshot.join("v", "v").unwrap()
+        ]
+    );
+
+    // Graceful wire shutdown hands back the same final state the
+    // server thread returns.
+    let (final_snapshot, stats) = client.shutdown().unwrap();
+    assert_eq!(final_snapshot.ops(), (u.len() + v.len()) as u64);
+    assert_eq!(stats.ops_ingested(), (u.len() + v.len()) as u64);
+    let (joined_snapshot, joined_stats) = handle.join();
+    assert_eq!(joined_snapshot, final_snapshot);
+    assert_eq!(joined_stats, stats);
+}
+
+#[test]
+fn fast_producer_sees_busy_not_stalls_and_memory_stays_bounded() {
+    // One shard, a one-block queue, and a server that parks nothing:
+    // every submission beyond what the worker keeps up with must be
+    // answered Busy. Big distinct-value blocks keep the worker busy
+    // long enough that the pipelined burst observably overruns.
+    let params = SketchParams::single_group(256).unwrap();
+    let config = NetServerConfig {
+        max_pending_per_conn: 0,
+        ..NetServerConfig::default()
+    };
+    let server = NetServer::bind_with("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(1, 1, params, &["v"]));
+
+    let values: Vec<u64> = (0..32_768u64).collect();
+    let blocks: Vec<OpBlock> = value_blocks(&values, 4_096).collect();
+    let mut client = AmsClient::connect(addr)
+        .unwrap()
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 10_000,
+            max_backoff: Duration::from_millis(5),
+        });
+    let outcomes = client.ingest_blocks("v", &blocks).unwrap();
+    let busy: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| matches!(o, IngestOutcome::Busy { .. }).then_some(i))
+        .collect();
+    assert!(
+        !busy.is_empty(),
+        "a pipelined burst against a cap-1 queue must be load-shed at least once"
+    );
+    for i in &busy {
+        client.ingest_block("v", &blocks[*i]).unwrap();
+    }
+    client.drain().unwrap();
+
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.max_queue_depth() <= 1,
+        "queue occupancy must stay within the configured bound"
+    );
+    assert!(
+        stats.queue_rejections() >= busy.len() as u64,
+        "every Busy answer corresponds to a queue rejection"
+    );
+
+    // Nothing was lost or double-applied along the shed/retry path.
+    let snapshot = client.snapshot().unwrap();
+    let mut reference: TugOfWarSketch = TugOfWarSketch::new(params, 0xBEEF);
+    reference.extend_values(values.iter().copied());
+    assert_eq!(
+        snapshot.sketch("v").unwrap().counters(),
+        reference.counters()
+    );
+    drop(client);
+    handle.stop();
+}
+
+#[test]
+fn parked_ingests_are_acknowledged_in_order() {
+    // Default config: backpressured ingests park on the retry ring and
+    // are acknowledged once the worker catches up — the client just
+    // sees slower Ingested answers, never an error.
+    let params = SketchParams::single_group(128).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(1, 1, params, &["v"]));
+
+    let values: Vec<u64> = (0..16_384u64).collect();
+    let blocks: Vec<OpBlock> = value_blocks(&values, 2_048).collect();
+    let mut client = AmsClient::connect(addr).unwrap();
+    let outcomes = client.ingest_blocks("v", &blocks).unwrap();
+    // Ring capacity (8) covers the whole burst: everything lands.
+    assert!(outcomes.iter().all(|o| *o == IngestOutcome::Ingested));
+    client.drain().unwrap();
+    let snapshot = client.snapshot().unwrap();
+    let mut reference: TugOfWarSketch = TugOfWarSketch::new(params, 0xBEEF);
+    reference.extend_values(values.iter().copied());
+    assert_eq!(
+        snapshot.sketch("v").unwrap().counters(),
+        reference.counters()
+    );
+    drop(client);
+    handle.stop();
+}
+
+#[test]
+fn drained_covers_ingests_parked_before_the_drain() {
+    // Pipelined Ingest A, Ingest B, Drain over raw frames against a
+    // cap-1 queue: B parks on the retry ring, so the Drain's cut must
+    // wait for B to land — the Drained answer arrives after both
+    // Ingested acks and guarantees a snapshot covering both blocks.
+    let params = SketchParams::single_group(256).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(1, 1, params, &["v"]));
+
+    let a = OpBlock::from_values(0..4_096u64);
+    let b = OpBlock::from_values(4_096..8_192u64);
+    let mut wire = Vec::new();
+    for block in [&a, &b] {
+        wire.extend_from_slice(
+            &ams_net::Request::IngestBlock {
+                attribute: "v".into(),
+                block: block.clone(),
+            }
+            .encode()
+            .unwrap(),
+        );
+    }
+    wire.extend_from_slice(&ams_net::Request::Drain.encode().unwrap());
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    raw.write_all(&wire).unwrap();
+
+    let mut decoder = ams_net::FrameDecoder::new();
+    let mut responses = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    while responses.len() < 3 {
+        if let Some(body) = decoder.next_frame().unwrap() {
+            responses.push(ams_net::Response::decode(&body).unwrap());
+            continue;
+        }
+        let n = raw.read(&mut scratch).unwrap();
+        assert!(n > 0, "server closed early");
+        decoder.feed(&scratch[..n]);
+    }
+    assert!(matches!(responses[0], ams_net::Response::Ingested));
+    assert!(matches!(responses[1], ams_net::Response::Ingested));
+    assert!(matches!(responses[2], ams_net::Response::Drained { .. }));
+    drop(raw);
+
+    // A snapshot taken after the Drained answer reflects both blocks.
+    let mut client = AmsClient::connect(addr).unwrap();
+    let snapshot = client.snapshot().unwrap();
+    assert_eq!(snapshot.ops(), 8_192);
+    let mut reference: TugOfWarSketch = TugOfWarSketch::new(params, 0xBEEF);
+    reference.extend_values(0..8_192u64);
+    assert_eq!(
+        snapshot.sketch("v").unwrap().counters(),
+        reference.counters()
+    );
+    drop(client);
+    handle.stop();
+}
+
+#[test]
+fn malformed_frames_never_crash_the_reactor() {
+    let params = SketchParams::new(16, 3).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(1, 8, params, &["v"]));
+
+    // A deterministic grab-bag of hostile byte streams.
+    let mut soups: Vec<Vec<u8>> = vec![
+        b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        vec![0xFF; 64],
+        // Correct magic, absurd declared length.
+        {
+            let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+            bytes.extend_from_slice(b"AMSN");
+            bytes
+        },
+        // A valid frame with its checksum stomped.
+        {
+            let mut frame = ams_net::Request::Stats.encode().unwrap();
+            frame[10] ^= 0x55;
+            frame
+        },
+        // A valid header followed by an unknown message kind.
+        {
+            let mut frame = ams_net::Request::Drain.encode().unwrap();
+            let last = frame.len() - 1;
+            frame[last] = 0x60; // no such kind; checksum now wrong too
+            frame
+        },
+    ];
+    // Pseudo-random soup, deterministic seed.
+    let mut x = 0x12345678u64;
+    soups.push(
+        (0..512)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect(),
+    );
+
+    for soup in soups {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        raw.write_all(&soup).unwrap();
+        // The server either answers with an error frame and closes, or
+        // just waits for more bytes (incomplete frame); dropping the
+        // socket must not hurt it either way.
+        let mut sink = Vec::new();
+        let _ = raw.read_to_end(&mut sink);
+    }
+
+    // The reactor is still alive and correct after all of that.
+    let mut client = AmsClient::connect(addr).unwrap();
+    client.ingest_values("v", &[1, 2, 2, 9]).unwrap();
+    client.drain().unwrap();
+    let mut reference: TugOfWarSketch = TugOfWarSketch::new(params, 0xBEEF);
+    reference.extend_values([1u64, 2, 2, 9]);
+    assert_eq!(
+        client.snapshot().unwrap().sketch("v").unwrap().counters(),
+        reference.counters()
+    );
+    let (snapshot, _) = client.shutdown().unwrap();
+    assert_eq!(snapshot.ops(), 4);
+    handle.join();
+}
+
+#[test]
+fn requests_pipelined_after_shutdown_get_no_answer_before_goodbye() {
+    // [Shutdown, Stats] in one burst: the server must not answer the
+    // trailing Stats ahead of the Goodbye — in-order responses are
+    // part of the protocol contract.
+    let params = SketchParams::new(16, 3).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(1, 8, params, &["v"]));
+
+    let mut wire = ams_net::Request::Shutdown.encode().unwrap();
+    wire.extend_from_slice(&ams_net::Request::Stats.encode().unwrap());
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(&wire).unwrap();
+
+    let mut bytes = Vec::new();
+    let _ = raw.read_to_end(&mut bytes); // server closes after Goodbye
+    let mut decoder = ams_net::FrameDecoder::new();
+    decoder.feed(&bytes);
+    let mut responses = Vec::new();
+    while let Ok(Some(body)) = decoder.next_frame() {
+        responses.push(ams_net::Response::decode(&body).unwrap());
+    }
+    assert!(
+        matches!(responses.first(), Some(ams_net::Response::Goodbye { .. })),
+        "first (and only) answer must be the Goodbye, got {responses:?}"
+    );
+    assert_eq!(responses.len(), 1, "the post-Shutdown Stats is dropped");
+    handle.join();
+}
+
+#[test]
+fn error_responses_keep_the_connection_usable() {
+    let params = SketchParams::new(16, 3).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(1, 8, params, &["v"]));
+
+    let mut client = AmsClient::connect(addr).unwrap();
+    match client.ingest_values("nope", &[1]) {
+        Err(NetError::Remote { code, .. }) => {
+            assert_eq!(code, ams_net::ErrorCode::UnknownAttribute);
+        }
+        other => panic!("expected a remote unknown-attribute error, got {other:?}"),
+    }
+    assert!(matches!(
+        client.join("v", "nope"),
+        Err(NetError::Remote { .. })
+    ));
+    // Same connection still works.
+    client.ingest_values("v", &[7, 7]).unwrap();
+    client.drain().unwrap();
+    assert!(client.self_join("v").unwrap() > 0.0);
+    drop(client);
+    let (snapshot, stats) = handle.stop();
+    assert_eq!(snapshot.ops(), 2);
+    assert_eq!(stats.ops_ingested(), 2);
+}
+
+#[test]
+fn truncated_connection_mid_frame_is_harmless() {
+    let params = SketchParams::new(16, 3).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(1, 8, params, &["v"]));
+
+    // Send half a valid frame and hang up.
+    let frame = ams_net::Request::QuerySelfJoin {
+        attribute: "v".into(),
+    }
+    .encode()
+    .unwrap();
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&frame[..frame.len() / 2]).unwrap();
+    drop(raw);
+
+    let mut client = AmsClient::connect(addr).unwrap();
+    client.ingest_values("v", &[3]).unwrap();
+    client.drain().unwrap();
+    assert_eq!(client.snapshot().unwrap().ops(), 1);
+    drop(client);
+    handle.stop();
+}

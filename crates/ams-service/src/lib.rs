@@ -44,6 +44,6 @@ mod service;
 pub use config::{ServiceConfig, ServiceConfigBuilder};
 pub use error::ServiceError;
 pub use router::{Router, RouterPolicy};
-pub use service::AmsService;
+pub use service::{AmsService, DrainCut};
 pub use snapshot::ServiceSnapshot;
 pub use stats::{ServiceStats, ShardStats};

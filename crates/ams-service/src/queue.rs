@@ -70,6 +70,13 @@ pub struct BlockQueue {
     /// Push attempts that found the queue full (non-blocking failures
     /// and blocking waits alike): the backpressure event counter.
     backpressure_events: AtomicU64,
+    /// The non-blocking subset of backpressure events: `try_push` /
+    /// `try_reserve` attempts that were turned away at capacity —
+    /// including automatic re-attempts of parked submissions, so this
+    /// measures refusal pressure rather than distinct shed
+    /// submissions. Blocking producers that merely waited are not
+    /// counted here.
+    rejections: AtomicU64,
 }
 
 impl BlockQueue {
@@ -83,6 +90,7 @@ impl BlockQueue {
             not_empty: Condvar::new(),
             pushed: AtomicU64::new(0),
             backpressure_events: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +118,13 @@ impl BlockQueue {
     /// Number of times a producer found the queue full.
     pub fn backpressure_events(&self) -> u64 {
         self.backpressure_events.load(Ordering::Acquire)
+    }
+
+    /// Number of non-blocking pushes/reservations turned away at
+    /// capacity (the subset of [`Self::backpressure_events`] that did
+    /// not wait).
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Acquire)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
@@ -154,6 +169,7 @@ impl BlockQueue {
         }
         if state.occupied() >= self.capacity {
             self.backpressure_events.fetch_add(1, Ordering::Relaxed);
+            self.rejections.fetch_add(1, Ordering::Relaxed);
             return Err(PushError::Full(task));
         }
         state.tasks.push_back(task);
@@ -170,6 +186,7 @@ impl BlockQueue {
         if state.closed || state.occupied() >= self.capacity {
             if !state.closed {
                 self.backpressure_events.fetch_add(1, Ordering::Relaxed);
+                self.rejections.fetch_add(1, Ordering::Relaxed);
             }
             return false;
         }
@@ -250,6 +267,7 @@ mod tests {
         assert_eq!(q.depth(), 2);
         assert_eq!(q.max_depth(), 2);
         assert_eq!(q.backpressure_events(), 1);
+        assert_eq!(q.rejections(), 1, "try_push refusals count as rejections");
         // Popping frees a slot.
         let t = q.pop().unwrap();
         assert_eq!(t.attr, 0);
@@ -301,6 +319,7 @@ mod tests {
         producer.join().unwrap().unwrap();
         assert_eq!(q.depth(), 1);
         assert!(q.backpressure_events() >= 1);
+        assert_eq!(q.rejections(), 0, "a blocking wait is not a rejection");
         assert_eq!(q.max_depth(), 1);
     }
 }

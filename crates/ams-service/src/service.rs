@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use ams_core::TugOfWarSketch;
+use ams_core::{SelfJoinEstimator, TugOfWarSketch};
 use ams_stream::{OpBlock, Value};
 
 use crate::config::ServiceConfig;
@@ -14,6 +14,15 @@ use crate::router::Router;
 use crate::shard::ShardWorker;
 use crate::snapshot::{ServiceSnapshot, ShardCell};
 use crate::stats::{ServiceStats, ShardStats};
+
+/// A recorded drain target: the per-shard block counts that had been
+/// submitted when [`AmsService::drain_cut`] was called. Opaque — feed
+/// it back to [`AmsService::poll_drained`] until the cut is reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainCut {
+    /// Per-shard enqueue counts at cut time.
+    targets: Vec<u64>,
+}
 
 /// A sharded parallel ingest service over tug-of-war sketches.
 ///
@@ -160,40 +169,67 @@ impl AmsService {
     /// [`ServiceError::UnknownAttribute`] / [`ServiceError::Closed`] as
     /// for [`Self::ingest_block`].
     pub fn try_ingest_block(&self, attribute: &str, block: OpBlock) -> Result<(), ServiceError> {
-        let attr = self.attr_index(attribute)?;
-        let routed = self.router.route(block);
-        match routed.as_slice() {
-            // Single placement (round-robin, or one shard): plain
-            // non-blocking push.
-            [(shard, _)] => {
-                let shard = *shard;
-                let (_, part) = routed.into_iter().next().expect("one placement");
-                match self.queues[shard].try_push(ShardTask { attr, block: part }) {
-                    Ok(()) => Ok(()),
-                    Err(PushError::Full(_)) => Err(ServiceError::WouldBlock { shard }),
-                    Err(PushError::Closed(_)) => Err(ServiceError::Closed),
+        self.try_ingest_block_returning(attribute, block)
+            .map_err(|(_, error)| error)
+    }
+
+    /// Like [`Self::try_ingest_block`], but hands the block back on
+    /// failure, so a caller that parks and retries (e.g. the `ams-net`
+    /// reactor's per-connection retry ring) submits without cloning.
+    /// The returned block is update-equivalent to the submitted one;
+    /// when the hash-partition router had split it, entries come back
+    /// regrouped by shard (per-value order preserved — all that the
+    /// linear consumers, and re-routing, depend on).
+    ///
+    /// # Errors
+    /// As for [`Self::try_ingest_block`], paired with the handed-back
+    /// block.
+    pub fn try_ingest_block_returning(
+        &self,
+        attribute: &str,
+        block: OpBlock,
+    ) -> Result<(), (OpBlock, ServiceError)> {
+        let attr = match self.attr_index(attribute) {
+            Ok(attr) => attr,
+            Err(error) => return Err((block, error)),
+        };
+        let mut routed = self.router.route(block);
+        // Single placement (round-robin, or one shard): plain
+        // non-blocking push; the queue hands the task back on refusal.
+        if routed.len() == 1 {
+            let (shard, part) = routed.pop().expect("one placement");
+            return match self.queues[shard].try_push(ShardTask { attr, block: part }) {
+                Ok(()) => Ok(()),
+                Err(PushError::Full(task)) => Err((task.block, ServiceError::WouldBlock { shard })),
+                Err(PushError::Closed(task)) => Err((task.block, ServiceError::Closed)),
+            };
+        }
+        // Multi-shard split: reserve everywhere first, so a refusal
+        // anywhere leaves nothing enqueued.
+        for (i, (shard, _)) in routed.iter().enumerate() {
+            if !self.queues[*shard].try_reserve() {
+                for (prior, _) in &routed[..i] {
+                    self.queues[*prior].release_reserved();
                 }
-            }
-            // Multi-shard split: reserve everywhere first.
-            placements => {
-                for (i, (shard, _)) in placements.iter().enumerate() {
-                    if !self.queues[*shard].try_reserve() {
-                        for (prior, _) in &placements[..i] {
-                            self.queues[*prior].release_reserved();
-                        }
-                        return if self.queues[*shard].is_closed() {
-                            Err(ServiceError::Closed)
-                        } else {
-                            Err(ServiceError::WouldBlock { shard: *shard })
-                        };
+                let error = if self.queues[*shard].is_closed() {
+                    ServiceError::Closed
+                } else {
+                    ServiceError::WouldBlock { shard: *shard }
+                };
+                // Reassemble the split parts into one equivalent block.
+                let mut back = OpBlock::with_capacity(routed.iter().map(|(_, p)| p.len()).sum());
+                for (_, part) in &routed {
+                    for (v, d) in part.entries() {
+                        back.push(v, d);
                     }
                 }
-                for (shard, part) in routed {
-                    self.queues[shard].push_reserved(ShardTask { attr, block: part });
-                }
-                Ok(())
+                return Err((back, error));
             }
         }
+        for (shard, part) in routed {
+            self.queues[shard].push_reserved(ShardTask { attr, block: part });
+        }
+        Ok(())
     }
 
     /// Convenience: run-coalesces a value slice into a block and
@@ -222,24 +258,113 @@ impl AmsService {
         ServiceSnapshot::merge(&self.attributes, &self.template, &shards)
     }
 
+    /// Merges the published shard counters of **one** attribute into a
+    /// queryable sketch — `O(shards × counters)` instead of a full
+    /// [`Self::snapshot`]'s every-attribute merge, which is what a
+    /// point query (one self-join, one join side) actually needs.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownAttribute`] for unregistered names.
+    pub fn merged_sketch(&self, attribute: &str) -> Result<TugOfWarSketch, ServiceError> {
+        let attr = self.attr_index(attribute)?;
+        let mut sum = vec![0i64; self.config.params().total()];
+        for cell in &self.cells {
+            cell.add_counters(attr, &mut sum);
+        }
+        let mut sketch = self.template[attr].clone();
+        sketch.restore_counters(sum)?;
+        Ok(sketch)
+    }
+
+    /// Point query: the self-join size estimate of one attribute,
+    /// merged from the published shard counters of that attribute
+    /// alone.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownAttribute`] for unregistered names.
+    pub fn self_join(&self, attribute: &str) -> Result<f64, ServiceError> {
+        Ok(self.merged_sketch(attribute)?.estimate())
+    }
+
+    /// Point query: the two-way equality-join size estimate between
+    /// two attributes, merging only the two queried columns.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownAttribute`] for unregistered names.
+    pub fn join(&self, attribute: &str, other: &str) -> Result<f64, ServiceError> {
+        let a = self.merged_sketch(attribute)?;
+        let b = self.merged_sketch(other)?;
+        Ok(a.join_estimate(&b)?)
+    }
+
     /// Waits until every block submitted **before this call** has been
     /// applied and published, so a subsequent [`Self::snapshot`]
     /// reflects them all. Concurrent producers may keep submitting;
     /// their later blocks are not waited for (each shard publishes on
     /// request after at most one more applied block, regardless of the
     /// configured cadence).
-    pub fn drain(&self) {
-        let targets: Vec<u64> = self.queues.iter().map(|q| q.pushed()).collect();
+    ///
+    /// Returns the epoch the drain reached: the **lowest** per-shard
+    /// publish epoch observed once every shard had published its drain
+    /// target. Per-shard epochs only move forward, so any snapshot
+    /// taken after this call returns carries `epoch_min() >=` the
+    /// returned value and reflects at least every block submitted
+    /// before the drain — the consistent cut a caller (or a network
+    /// front-end's Drain response) can hand to clients.
+    pub fn drain(&self) -> u64 {
+        let cut = self.drain_cut();
         // Request everywhere first, then wait: lagging shards publish
         // in parallel instead of one drain-wait at a time.
-        for (cell, &target) in self.cells.iter().zip(&targets) {
+        for (cell, &target) in self.cells.iter().zip(&cut.targets) {
             if cell.progress().blocks < target {
                 cell.request_publish();
             }
         }
-        for (cell, target) in self.cells.iter().zip(targets) {
-            cell.wait_for_blocks(target);
+        self.cells
+            .iter()
+            .zip(cut.targets)
+            .map(|(cell, target)| cell.wait_for_blocks(target))
+            .min()
+            .expect("a service has at least one shard")
+    }
+
+    /// Records the drain target — everything submitted **before this
+    /// call** — without waiting. Poll it to completion with
+    /// [`Self::poll_drained`]: the non-blocking pair a reactor-style
+    /// front-end uses so a Drain request never parks its event loop.
+    pub fn drain_cut(&self) -> DrainCut {
+        DrainCut {
+            targets: self.queues.iter().map(|q| q.pushed()).collect(),
         }
+    }
+
+    /// Checks one recorded [`DrainCut`] for completion, without
+    /// blocking. While any shard still lags its target, this re-arms
+    /// that shard's publish request (the worker honours it after at
+    /// most one more applied block) and returns `None`; once every
+    /// shard has published its target, returns the cut's epoch with
+    /// the same meaning as [`Self::drain`]'s return value.
+    pub fn poll_drained(&self, cut: &DrainCut) -> Option<u64> {
+        let mut epoch = u64::MAX;
+        let mut reached = true;
+        for (cell, &target) in self.cells.iter().zip(&cut.targets) {
+            let progress = cell.progress();
+            if progress.blocks < target {
+                cell.request_publish();
+                reached = false;
+            } else {
+                epoch = epoch.min(progress.epoch);
+            }
+        }
+        (reached && epoch != u64::MAX).then_some(epoch)
+    }
+
+    /// Current depth of one shard's queue (blocks waiting, excluding
+    /// reservations) — the cheap single-shard probe a non-blocking
+    /// front-end uses to size its `Busy` retry hints. `None` for an
+    /// out-of-range shard index.
+    pub fn queue_depth(&self, shard: usize) -> Option<usize> {
+        self.queues.get(shard).map(|q| q.depth())
     }
 
     /// A point-in-time statistics view: queue depths and bounds,
@@ -260,6 +385,7 @@ impl AmsService {
                     max_queue_depth: queue.max_depth(),
                     blocks_enqueued: queue.pushed(),
                     backpressure_events: queue.backpressure_events(),
+                    queue_rejections: queue.rejections(),
                     blocks_ingested: progress.blocks,
                     ops_ingested: progress.ops,
                     epoch: progress.epoch,
@@ -443,9 +569,212 @@ mod tests {
         let service = AmsService::start(config(1), &["a"]).unwrap();
         assert_eq!(service.snapshot().epoch_max(), 0);
         service.ingest_values("a", &[1, 2]).unwrap();
+        let drained_to = service.drain();
+        assert!(drained_to >= 1, "a non-empty drain reaches epoch >= 1");
+        let snapshot = service.snapshot();
+        assert!(snapshot.epoch_min() >= drained_to);
+        assert_eq!(snapshot.blocks(), 1);
+    }
+
+    #[test]
+    fn drain_epoch_is_a_consistent_cut_across_shards() {
+        let service = AmsService::start(config(3), &["a"]).unwrap();
+        for chunk in (0..900u64).collect::<Vec<_>>().chunks(30) {
+            service.ingest_values("a", chunk).unwrap();
+        }
+        let drained_to = service.drain();
+        assert!(drained_to >= 1);
+        // Any later snapshot sits at or past the cut.
+        let snapshot = service.snapshot();
+        assert!(snapshot.epoch_min() >= drained_to);
+        assert_eq!(snapshot.ops(), 900);
+    }
+
+    #[test]
+    fn poll_drained_completes_without_blocking() {
+        let service = AmsService::start(config(2), &["a"]).unwrap();
+        // An empty cut is immediately reached.
+        let empty = service.drain_cut();
+        assert!(service.poll_drained(&empty).is_some());
+        for chunk in (0..400u64).collect::<Vec<_>>().chunks(16) {
+            service.ingest_values("a", chunk).unwrap();
+        }
+        let cut = service.drain_cut();
+        let epoch = loop {
+            if let Some(epoch) = service.poll_drained(&cut) {
+                break epoch;
+            }
+            std::thread::yield_now();
+        };
+        assert!(epoch >= 1);
+        assert_eq!(service.snapshot().ops(), 400);
+        // The blocking drain agrees the cut is already reached.
+        assert!(service.drain() >= epoch);
+    }
+
+    #[test]
+    fn queue_depth_probe_and_rejection_counters() {
+        let cfg = ServiceConfig::builder()
+            .shards(1)
+            .queue_capacity(1)
+            .sketch_params(SketchParams::single_group(64).unwrap())
+            .seed(3)
+            .build()
+            .unwrap();
+        let service = AmsService::start(cfg, &["a"]).unwrap();
+        assert_eq!(service.queue_depth(0), Some(0));
+        assert_eq!(service.queue_depth(1), None);
+        // Saturate the cap-1 queue until a non-blocking submission is
+        // rejected; the rejection shows up in the stats.
+        let mut saw_rejection = false;
+        for _ in 0..10_000 {
+            if matches!(
+                service.try_ingest_values("a", &[1, 2, 3]),
+                Err(ServiceError::WouldBlock { .. })
+            ) {
+                saw_rejection = true;
+                break;
+            }
+        }
+        assert!(saw_rejection, "cap-1 queue never rejected a submission");
+        let stats = service.stats();
+        assert!(stats.queue_rejections() >= 1);
+        assert!(stats.backpressure_events() >= stats.queue_rejections());
+        assert!(stats.max_queue_depth() <= 1, "bounded by capacity");
+    }
+
+    #[test]
+    fn try_ingest_returning_hands_back_an_equivalent_block() {
+        let cfg = ServiceConfig::builder()
+            .shards(2)
+            .queue_capacity(1)
+            .sketch_params(SketchParams::single_group(64).unwrap())
+            .seed(5)
+            .router(crate::RouterPolicy::HashPartition)
+            .build()
+            .unwrap();
+        let service = AmsService::start(cfg, &["a"]).unwrap();
+        // 64 distinct values spread over both shards, so a submission
+        // exercises the multi-placement reservation path.
+        let block = OpBlock::from_values(0..64u64);
+        let mut accepted = 0u64;
+        let mut handed_back = None;
+        for _ in 0..10_000 {
+            match service.try_ingest_block_returning("a", block.clone()) {
+                Ok(()) => accepted += 1,
+                Err((back, ServiceError::WouldBlock { .. })) => {
+                    handed_back = Some(back);
+                    break;
+                }
+                Err((_, other)) => panic!("unexpected failure: {other}"),
+            }
+        }
+        let back = handed_back.expect("cap-1 queues must refuse eventually");
+        // The handed-back block is update-equivalent to the submission
+        // (entries may be regrouped by shard).
+        assert_eq!(back.ops(), block.ops());
+        let mut back_net: Vec<_> = back.coalesce().entries().collect();
+        let mut block_net: Vec<_> = block.coalesce().entries().collect();
+        back_net.sort_unstable();
+        block_net.sort_unstable();
+        assert_eq!(back_net, block_net);
+        // Resubmitting it loses nothing: the final state equals the
+        // accepted submissions plus the handed-back one.
+        service.ingest_block("a", back).unwrap();
         service.drain();
         let snapshot = service.snapshot();
-        assert!(snapshot.epoch_min() >= 1);
-        assert_eq!(snapshot.blocks(), 1);
+        assert_eq!(snapshot.ops(), (accepted + 1) * block.ops());
+        let mut single: TugOfWarSketch = TugOfWarSketch::new(cfg.params(), cfg.seed());
+        for _ in 0..accepted + 1 {
+            single.apply_block(&block);
+        }
+        assert_eq!(snapshot.sketch("a").unwrap().counters(), single.counters());
+    }
+
+    #[test]
+    fn point_queries_match_the_full_snapshot() {
+        let service = AmsService::start(config(3), &["f", "g"]).unwrap();
+        service.ingest_values("f", &[1, 2, 2, 3, 9, 9]).unwrap();
+        service.ingest_values("g", &[2, 4, 4]).unwrap();
+        service.drain();
+        let snapshot = service.snapshot();
+        assert_eq!(
+            service.merged_sketch("f").unwrap().counters(),
+            snapshot.sketch("f").unwrap().counters()
+        );
+        assert_eq!(
+            service.self_join("g").unwrap(),
+            snapshot.self_join("g").unwrap()
+        );
+        assert_eq!(
+            service.join("f", "g").unwrap(),
+            snapshot.join("f", "g").unwrap()
+        );
+        assert!(matches!(
+            service.self_join("zz"),
+            Err(ServiceError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip_preserves_counters_and_queries() {
+        let service = AmsService::start(config(2), &["f", "g"]).unwrap();
+        service.ingest_values("f", &[1, 2, 2, 3, 9]).unwrap();
+        service.ingest_values("g", &[2, 2, 4]).unwrap();
+        service.drain();
+        let snapshot = service.snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: ServiceSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.sketch("f").unwrap().counters(),
+            snapshot.sketch("f").unwrap().counters()
+        );
+        assert_eq!(
+            back.sketch("g").unwrap().counters(),
+            snapshot.sketch("g").unwrap().counters()
+        );
+        assert_eq!(
+            back.self_join("f").unwrap(),
+            snapshot.self_join("f").unwrap()
+        );
+        assert_eq!(
+            back.join("f", "g").unwrap(),
+            snapshot.join("f", "g").unwrap()
+        );
+        assert_eq!(back.epoch_min(), snapshot.epoch_min());
+        assert_eq!(back.epoch_max(), snapshot.epoch_max());
+        assert_eq!(back.blocks(), snapshot.blocks());
+        assert_eq!(back.ops(), snapshot.ops());
+        assert_eq!(
+            back.attributes().collect::<Vec<_>>(),
+            snapshot.attributes().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn snapshot_deserialize_rejects_malformed_wire_forms() {
+        let service = AmsService::start(config(1), &["f", "g"]).unwrap();
+        service.ingest_values("f", &[1, 2]).unwrap();
+        service.drain();
+        let json = serde_json::to_string(&service.snapshot()).unwrap();
+        // Dropping one attribute name breaks the name/sketch pairing.
+        let mismatched = json.replacen("\"g\"", "\"f\"", 1);
+        assert!(
+            serde_json::from_str::<ServiceSnapshot>(&mismatched).is_err(),
+            "duplicate attribute names must be rejected"
+        );
+        let truncated = &json[..json.len() - 2];
+        assert!(serde_json::from_str::<ServiceSnapshot>(truncated).is_err());
+    }
+
+    #[test]
+    fn stats_serde_roundtrip() {
+        let service = AmsService::start(config(2), &["a"]).unwrap();
+        service.ingest_values("a", &[1, 2, 3]).unwrap();
+        service.drain();
+        let stats = service.stats();
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ServiceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 }

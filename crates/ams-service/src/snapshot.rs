@@ -100,6 +100,16 @@ impl ShardCell {
         self.published.notify_all();
     }
 
+    /// Adds this shard's published counters of **one** attribute into
+    /// `out` — the single-attribute merge primitive (no per-query clone
+    /// of the other attributes' columns).
+    pub(crate) fn add_counters(&self, attr: usize, out: &mut [i64]) {
+        let snapshot = self.snapshot.read().unwrap_or_else(|e| e.into_inner());
+        for (acc, &c) in out.iter_mut().zip(snapshot.counters[attr].iter()) {
+            *acc += c;
+        }
+    }
+
     /// A clone of the latest published snapshot (counter columns only —
     /// no hash planes travel).
     pub(crate) fn read(&self) -> ShardSnapshot {
@@ -121,7 +131,9 @@ impl ShardCell {
     /// under a sustained producer with a large cadence. The request is
     /// set while holding the progress lock that `publish` also takes,
     /// so a publish cannot slip between the check and the wait.
-    pub(crate) fn wait_for_blocks(&self, target: u64) {
+    /// Returns the shard's publish epoch at the moment the target was
+    /// reached.
+    pub(crate) fn wait_for_blocks(&self, target: u64) -> u64 {
         let mut progress = self.progress.lock().unwrap_or_else(|e| e.into_inner());
         while progress.blocks < target {
             self.request_publish();
@@ -130,6 +142,7 @@ impl ShardCell {
                 .wait(progress)
                 .unwrap_or_else(|e| e.into_inner());
         }
+        progress.epoch
     }
 }
 
@@ -148,6 +161,23 @@ pub struct ServiceSnapshot {
     epoch_max: u64,
     blocks: u64,
     ops: u64,
+}
+
+impl PartialEq for ServiceSnapshot {
+    /// Snapshots compare by their information content — names, sketch
+    /// shape/seed/counters, and stamps — which is what offline diffing
+    /// (and the wire round-trip tests) care about.
+    fn eq(&self, other: &Self) -> bool {
+        self.attributes == other.attributes
+            && self.epoch_min == other.epoch_min
+            && self.epoch_max == other.epoch_max
+            && self.blocks == other.blocks
+            && self.ops == other.ops
+            && self.merged.len() == other.merged.len()
+            && self.merged.iter().zip(other.merged.iter()).all(|(a, b)| {
+                a.params() == b.params() && a.seed() == b.seed() && a.counters() == b.counters()
+            })
+    }
 }
 
 impl ServiceSnapshot {
@@ -256,5 +286,81 @@ impl ServiceSnapshot {
         let a = self.index(attribute)?;
         let b = self.index(other)?;
         Ok(self.merged[a].join_estimate(&self.merged[b])?)
+    }
+}
+
+/// Borrowed wire form of a [`ServiceSnapshot`] (same style as the
+/// tug-of-war sketch's): attribute names, one merged sketch each, and
+/// the epoch/progress stamps — everything needed to re-query or diff a
+/// snapshot offline, on another host.
+#[derive(serde::Serialize)]
+struct SnapshotWire<'a> {
+    attributes: &'a [String],
+    merged: &'a [TugOfWarSketch],
+    epoch_min: u64,
+    epoch_max: u64,
+    blocks: u64,
+    ops: u64,
+}
+
+/// Owned wire form for decoding.
+#[derive(serde::Deserialize)]
+struct SnapshotWireOwned {
+    attributes: Vec<String>,
+    merged: Vec<TugOfWarSketch>,
+    epoch_min: u64,
+    epoch_max: u64,
+    blocks: u64,
+    ops: u64,
+}
+
+impl serde::Serialize for ServiceSnapshot {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        SnapshotWire {
+            attributes: &self.attributes,
+            merged: &self.merged,
+            epoch_min: self.epoch_min,
+            epoch_max: self.epoch_max,
+            blocks: self.blocks,
+            ops: self.ops,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ServiceSnapshot {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = SnapshotWireOwned::deserialize(deserializer)?;
+        if wire.attributes.len() != wire.merged.len() {
+            return Err(serde::de::Error::custom(
+                "snapshot wire form has mismatched attribute and sketch counts",
+            ));
+        }
+        for (i, name) in wire.attributes.iter().enumerate() {
+            if wire.attributes[..i].contains(name) {
+                return Err(serde::de::Error::custom(
+                    "snapshot wire form repeats an attribute name",
+                ));
+            }
+        }
+        // All attributes of one service share hash functions (that is
+        // what makes them joinable); reject wire forms that don't.
+        if let Some(first) = wire.merged.first() {
+            for sketch in &wire.merged[1..] {
+                if sketch.params() != first.params() || sketch.seed() != first.seed() {
+                    return Err(serde::de::Error::custom(
+                        "snapshot wire form mixes incompatible sketches",
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            attributes: wire.attributes,
+            merged: wire.merged,
+            epoch_min: wire.epoch_min,
+            epoch_max: wire.epoch_max,
+            blocks: wire.blocks,
+            ops: wire.ops,
+        })
     }
 }

@@ -1,8 +1,14 @@
 //! Observability: per-shard queue and ingest counters.
+//!
+//! Both stats types derive serde so a stats view can cross process
+//! boundaries (the `ams-net` stats endpoint ships them as part of its
+//! framed responses) and be archived next to benchmark output.
+
+use serde::{Deserialize, Serialize};
 
 /// Counters for one shard at the moment [`AmsService::stats`]
 /// (crate::AmsService::stats) was called.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
@@ -18,6 +24,13 @@ pub struct ShardStats {
     /// Times a producer found this shard's queue full (non-blocking
     /// failures and blocking waits alike).
     pub backpressure_events: u64,
+    /// The non-blocking subset of [`Self::backpressure_events`]:
+    /// `try_ingest` submissions turned away at capacity. Counts every
+    /// refusal, including automatic re-attempts of parked submissions
+    /// (e.g. the `ams-net` retry ring re-trying each reactor tick), so
+    /// it measures refusal pressure on the queue and is an **upper
+    /// bound** on — not a count of — client-observed `Busy` answers.
+    pub queue_rejections: u64,
     /// Blocks the shard worker had applied at its last publish.
     pub blocks_ingested: u64,
     /// Expanded operations the worker had applied at its last publish.
@@ -27,7 +40,7 @@ pub struct ShardStats {
 }
 
 /// A point-in-time statistics view over every shard.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceStats {
     /// Per-shard counters, indexed by shard.
     pub shards: Vec<ShardStats>,
@@ -53,6 +66,12 @@ impl ServiceStats {
     /// Total backpressure events across shards.
     pub fn backpressure_events(&self) -> u64 {
         self.shards.iter().map(|s| s.backpressure_events).sum()
+    }
+
+    /// Total non-blocking submissions turned away at capacity across
+    /// shards (each one surfaced somewhere as a `WouldBlock`/`Busy`).
+    pub fn queue_rejections(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_rejections).sum()
     }
 
     /// The deepest any shard queue has ever been; bounded by the

@@ -25,9 +25,30 @@
 //!   experiment drivers use.
 
 use ams_hash::FxHashMap;
+use bytes::{Buf, BufMut};
 
 use crate::multiset::Multiset;
 use crate::op::{Op, Value};
+
+/// Why decoding a block from its wire form failed. Carries a static
+/// reason so protocol layers can surface a clean error (never a panic)
+/// on truncated or malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockWireError {
+    /// What was wrong with the bytes.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for BlockWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed block wire form: {}", self.reason)
+    }
+}
+
+impl std::error::Error for BlockWireError {}
+
+/// Wire flag bit: the block was fully coalesced by the encoder.
+const WIRE_FLAG_COALESCED: u8 = 1;
 
 /// A columnar batch of multiset updates: parallel `values`/`deltas`
 /// arrays, entry `i` meaning "change the multiplicity of `values[i]` by
@@ -211,6 +232,76 @@ impl OpBlock {
         buffer.coalesce(values, deltas);
         buffer.block
     }
+
+    /// Number of bytes [`Self::encode_wire`] appends for this block.
+    pub fn wire_len(&self) -> usize {
+        5 + 16 * self.len()
+    }
+
+    /// Appends the block's portable wire form (all little-endian):
+    ///
+    /// ```text
+    /// [0..4)        u32  entry count n
+    /// [4..5)        u8   flags (bit 0: fully coalesced)
+    /// [5..5+8n)     u64 × n   value column
+    /// [5+8n..5+16n) i64 × n   delta column
+    /// ```
+    ///
+    /// The columnar layout matches the in-memory representation, so
+    /// encode/decode is two straight column sweeps with no per-entry
+    /// branching.
+    pub fn encode_wire<B: BufMut>(&self, out: &mut B) {
+        out.put_u32_le(self.len() as u32);
+        out.put_u8(if self.net { WIRE_FLAG_COALESCED } else { 0 });
+        for &v in &self.values {
+            out.put_u64_le(v);
+        }
+        for &d in &self.deltas {
+            out.put_i64_le(d);
+        }
+    }
+
+    /// Decodes one block from the front of `data`, advancing the slice
+    /// past the consumed bytes (trailing bytes are left for the caller
+    /// — blocks embed in larger protocol messages).
+    ///
+    /// The coalesced flag is advisory: it is honoured only when the
+    /// decoded deltas actually uphold the no-zero-entries invariant, so
+    /// a lying encoder can cost a redundant coalescing pass downstream
+    /// but never corrupt consumers.
+    ///
+    /// # Errors
+    /// [`BlockWireError`] on truncated columns or unknown flag bits;
+    /// never panics on arbitrary input.
+    pub fn decode_wire(data: &mut &[u8]) -> Result<OpBlock, BlockWireError> {
+        if data.remaining() < 5 {
+            return Err(BlockWireError {
+                reason: "truncated block header",
+            });
+        }
+        let count = data.get_u32_le() as usize;
+        let flags = data.get_u8();
+        if flags & !WIRE_FLAG_COALESCED != 0 {
+            return Err(BlockWireError {
+                reason: "unknown block flag bits",
+            });
+        }
+        // `count` came off the wire: bound-check in u64 before trusting
+        // it (16 × u32::MAX overflows a 32-bit usize).
+        if (data.remaining() as u64) < count as u64 * 16 {
+            return Err(BlockWireError {
+                reason: "truncated block columns",
+            });
+        }
+        let values: Vec<Value> = (0..count).map(|_| data.get_u64_le()).collect();
+        let deltas: Vec<i64> = (0..count).map(|_| data.get_i64_le()).collect();
+        let net = flags & WIRE_FLAG_COALESCED != 0 && deltas.iter().all(|&d| d != 0);
+        Ok(OpBlock {
+            values,
+            deltas,
+            net,
+        })
+    }
 }
 
 /// A reusable net-coalescing workspace: the value→slot index map and
@@ -345,6 +436,73 @@ mod tests {
         let mut net = net;
         net.push(99, 1);
         assert!(!net.is_coalesced());
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_entries_and_coalesced_marker() {
+        for block in [
+            OpBlock::new(),
+            OpBlock::from_ops([Op::Insert(7), Op::Insert(7), Op::Delete(7), Op::Insert(9)]),
+            OpBlock::from_values(0..100u64).coalesce(),
+        ] {
+            let mut wire = Vec::new();
+            block.encode_wire(&mut wire);
+            assert_eq!(wire.len(), block.wire_len());
+            let mut cursor = wire.as_slice();
+            let back = OpBlock::decode_wire(&mut cursor).unwrap();
+            assert!(cursor.is_empty(), "decode consumed exactly the block");
+            assert_eq!(back, block);
+            assert_eq!(back.is_coalesced(), block.is_coalesced());
+        }
+    }
+
+    #[test]
+    fn wire_decode_leaves_trailing_bytes() {
+        let block = OpBlock::from_values([1u64, 2, 3]);
+        let mut wire = Vec::new();
+        block.encode_wire(&mut wire);
+        wire.extend_from_slice(b"tail");
+        let mut cursor = wire.as_slice();
+        assert_eq!(OpBlock::decode_wire(&mut cursor).unwrap(), block);
+        assert_eq!(cursor, b"tail");
+    }
+
+    #[test]
+    fn wire_truncations_rejected_cleanly() {
+        let block = OpBlock::from_values(0..20u64);
+        let mut wire = Vec::new();
+        block.encode_wire(&mut wire);
+        for cut in [0, 1, 4, 5, 6, wire.len() - 1] {
+            let mut cursor = &wire[..cut];
+            assert!(
+                OpBlock::decode_wire(&mut cursor).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        // A length claiming more entries than the payload carries.
+        let mut huge = wire.clone();
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(OpBlock::decode_wire(&mut huge.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wire_unknown_flags_rejected_and_lying_coalesced_flag_demoted() {
+        let block = OpBlock::from_values([5u64, 5]);
+        let mut wire = Vec::new();
+        block.encode_wire(&mut wire);
+        let mut bad = wire.clone();
+        bad[4] = 0x80;
+        assert!(OpBlock::decode_wire(&mut bad.as_slice()).is_err());
+        // Claiming coalesced over a zero delta is demoted, not trusted.
+        let mut zeroed = OpBlock::new();
+        zeroed.push(3, 1);
+        let mut wire = Vec::new();
+        zeroed.encode_wire(&mut wire);
+        wire[4] = 1; // claim coalesced
+        let offset = wire.len() - 8;
+        wire[offset..].copy_from_slice(&0i64.to_le_bytes()); // zero the delta
+        let back = OpBlock::decode_wire(&mut wire.as_slice()).unwrap();
+        assert!(!back.is_coalesced());
     }
 
     #[test]

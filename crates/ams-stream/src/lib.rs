@@ -39,7 +39,7 @@ pub mod op;
 pub mod replay;
 pub mod tracker;
 
-pub use block::{value_blocks, CoalesceBuffer, OpBlock};
+pub use block::{value_blocks, BlockWireError, CoalesceBuffer, OpBlock};
 pub use build::{DeletePattern, StreamBuilder};
 pub use canonical::{canonicalize, max_prefix_delete_fraction, CanonicalizeError};
 pub use multiset::Multiset;

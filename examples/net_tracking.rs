@@ -1,0 +1,115 @@
+//! Network tracking over loopback: the framed TCP front-end end to end
+//! in one process.
+//!
+//! Spins up an [`AmsService`] behind a [`NetServer`] reactor on a
+//! loopback port, then drives it with the blocking [`AmsClient`]: a
+//! zipf stream is pushed through the wire in columnar blocks (pipelined
+//! batches; any `Busy` load-shedding is retried), live self-join
+//! estimates are queried mid-stream, and at the end the **snapshot
+//! fetched over the wire** is compared counter-for-counter against an
+//! in-process sketch of the same stream — the network path changes
+//! nothing about the mathematics. A graceful wire `Shutdown` ships the
+//! final snapshot and the per-shard saturation stats back to the
+//! client.
+//!
+//! ```text
+//! cargo run --release --example net_tracking
+//! ```
+
+use ams::net::IngestOutcome;
+use ams::service::RouterPolicy;
+use ams::stream::value_blocks;
+use ams::{
+    AmsClient, AmsService, DatasetId, Multiset, NetServer, SelfJoinEstimator, ServiceConfig,
+    SketchParams, TugOfWarSketch,
+};
+
+const SHARDS: usize = 2;
+/// Source values per wire frame.
+const BLOCK: usize = 4096;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let values = DatasetId::Zipf10.generate(2026);
+    let exact = Multiset::from_values(values.iter().copied());
+    let exact_sj = exact.self_join_size() as f64;
+    println!(
+        "stream: n = {}, exact SJ = {:.4e}; {SHARDS}-shard service behind a TCP reactor\n",
+        exact.len(),
+        exact_sj
+    );
+
+    let config = ServiceConfig::builder()
+        .shards(SHARDS)
+        .queue_capacity(8)
+        .sketch_params(SketchParams::new(64, 4)?)
+        .seed(0xC0_FFEE)
+        .router(RouterPolicy::RoundRobin)
+        .build()?;
+    let service = AmsService::start(config, &["v"])?;
+    let server = NetServer::bind("127.0.0.1:0")?;
+    let addr = server.local_addr();
+    let handle = server.spawn(service);
+    println!("reactor listening on {addr}");
+
+    let mut client = AmsClient::connect(addr)?;
+    let blocks: Vec<_> = value_blocks(&values, BLOCK).collect();
+    let mut shed = 0usize;
+    for batch in blocks.chunks(16) {
+        // Pipelined ingest; a full shard queue answers Busy instead of
+        // stalling the connection — resubmit those blocks.
+        let outcomes = client.ingest_blocks("v", batch)?;
+        for (block, outcome) in batch.iter().zip(&outcomes) {
+            if matches!(outcome, IngestOutcome::Busy { .. }) {
+                shed += 1;
+                client.ingest_block("v", block)?; // auto-retry path
+            }
+        }
+        let est = client.self_join("v")?;
+        println!(
+            "  live estimate over the wire: {est:.4e}  ({:+6.2}% vs final exact)",
+            100.0 * (est - exact_sj) / exact_sj
+        );
+    }
+    println!("\nload-shed submissions retried: {shed}");
+
+    // Drain to a consistent cut, then verify the wire-fetched snapshot
+    // against in-process ingestion of the same stream.
+    let epoch = client.drain()?;
+    let snapshot = client.snapshot()?;
+    assert!(snapshot.epoch_min() >= epoch);
+    assert_eq!(snapshot.ops(), values.len() as u64);
+    let mut single: TugOfWarSketch = TugOfWarSketch::new(SketchParams::new(64, 4)?, 0xC0_FFEE);
+    single.extend_values(values.iter().copied());
+    assert_eq!(single.counters(), snapshot.sketch("v")?.counters());
+    println!(
+        "verified: snapshot fetched over TCP == single-threaded in-process sketch, \
+         counter for counter (drain cut at epoch {epoch})."
+    );
+    let est = snapshot.self_join("v")?;
+    let rel = (est - exact_sj).abs() / exact_sj;
+    assert!(rel < 0.25, "merged estimate off by {rel}");
+
+    // Graceful shutdown over the wire: the Goodbye frame carries the
+    // final snapshot and lifetime stats.
+    let (final_snapshot, stats) = client.shutdown()?;
+    assert_eq!(final_snapshot.ops(), values.len() as u64);
+    println!("\nserver stats shipped with the Goodbye frame:");
+    for shard in &stats.shards {
+        println!(
+            "  shard {}: {} blocks ingested, queue high-water {}/{}, \
+             {} rejections ({} backpressure events), epoch {}",
+            shard.shard,
+            shard.blocks_ingested,
+            shard.max_queue_depth,
+            shard.queue_capacity,
+            shard.queue_rejections,
+            shard.backpressure_events,
+            shard.epoch,
+        );
+    }
+    assert!(stats.max_queue_depth() <= 8, "bounded queues held");
+    let (joined_snapshot, _) = handle.join();
+    assert_eq!(joined_snapshot.ops(), final_snapshot.ops());
+    println!("\nreactor thread joined; final state consistent.");
+    Ok(())
+}

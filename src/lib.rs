@@ -12,6 +12,8 @@
 //! * [`hash`] — the k-wise independent hashing substrate.
 //! * [`service`] — the sharded parallel ingest service (bounded block
 //!   queues, per-shard worker threads, merge-on-query snapshots).
+//! * [`net`] — the framed TCP front-end over the service (non-blocking
+//!   reactor server, blocking client with retry-on-`Busy`).
 //!
 //! See the repository README for a guided tour and the `examples/`
 //! directory for runnable scenarios.
@@ -22,6 +24,7 @@
 pub use ams_core as core;
 pub use ams_datagen as datagen;
 pub use ams_hash as hash;
+pub use ams_net as net;
 pub use ams_relation as relation;
 pub use ams_service as service;
 pub use ams_stream as stream;
@@ -32,6 +35,7 @@ pub use ams_core::{
     ThreeWayFamily, ThreeWayRole, TugOfWarSketch, TwJoinSignature,
 };
 pub use ams_datagen::DatasetId;
+pub use ams_net::{AmsClient, NetError, NetServer, NetServerConfig};
 pub use ams_relation::{Catalog, RelationTracker, TrackerConfig};
 pub use ams_service::{
     AmsService, RouterPolicy, ServiceConfig, ServiceError, ServiceSnapshot, ServiceStats,
