@@ -4,10 +4,12 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
-use ams_service::{ServiceSnapshot, ServiceStats};
+use ams_service::{MetricsSnapshot, ServiceSnapshot, ServiceStats};
 use ams_stream::{OpBlock, Value};
+use ams_telemetry::{Counter, Gauge, MetricsRegistry};
 
 use crate::codec::{encode_ingest_frame, FrameDecoder, Request, Response};
 use crate::error::NetError;
@@ -51,6 +53,37 @@ pub enum IngestOutcome {
     },
 }
 
+/// The client's own instrument handles, backed by a private registry
+/// (the server's registry is a separate scrape via [`AmsClient::metrics`]).
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `client_retries` | counter | ingest resubmissions after a `Busy` |
+/// | `client_busy_responses` | counter | `Busy` answers received |
+/// | `client_pipeline_peak` | gauge | high-water in-flight requests in batch pipelining |
+#[derive(Debug)]
+struct ClientTelemetry {
+    registry: Arc<MetricsRegistry>,
+    retries: Arc<Counter>,
+    busy_responses: Arc<Counter>,
+    pipeline_peak: Arc<Gauge>,
+}
+
+impl ClientTelemetry {
+    fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let retries = registry.counter("client_retries", &[]);
+        let busy_responses = registry.counter("client_busy_responses", &[]);
+        let pipeline_peak = registry.gauge("client_pipeline_peak", &[]);
+        Self {
+            registry,
+            retries,
+            busy_responses,
+            pipeline_peak,
+        }
+    }
+}
+
 /// A blocking client over one TCP connection to a [`crate::NetServer`].
 ///
 /// ```no_run
@@ -67,6 +100,7 @@ pub struct AmsClient {
     stream: TcpStream,
     decoder: FrameDecoder,
     retry: RetryPolicy,
+    telemetry: ClientTelemetry,
 }
 
 impl AmsClient {
@@ -81,6 +115,7 @@ impl AmsClient {
             stream,
             decoder: FrameDecoder::new(),
             retry: RetryPolicy::default(),
+            telemetry: ClientTelemetry::new(),
         })
     }
 
@@ -144,10 +179,13 @@ impl AmsClient {
             Response::Busy {
                 shard,
                 retry_hint_micros,
-            } => Ok(IngestOutcome::Busy {
-                shard: shard as usize,
-                retry_hint: Duration::from_micros(retry_hint_micros as u64),
-            }),
+            } => {
+                self.telemetry.busy_responses.inc();
+                Ok(IngestOutcome::Busy {
+                    shard: shard as usize,
+                    retry_hint: Duration::from_micros(retry_hint_micros as u64),
+                })
+            }
             _ => Err(NetError::UnexpectedResponse {
                 expected: "Ingested or Busy",
             }),
@@ -167,6 +205,7 @@ impl AmsClient {
                 IngestOutcome::Ingested => return Ok(()),
                 IngestOutcome::Busy { retry_hint, .. } => {
                     if attempt < policy.max_attempts {
+                        self.telemetry.retries.inc();
                         std::thread::sleep(retry_hint.min(policy.max_backoff));
                     }
                 }
@@ -205,6 +244,7 @@ impl AmsClient {
             .map(|block| encode_ingest_frame(attribute, block))
             .collect::<Result<Vec<_>, _>>()?;
         let responses = self.pipeline_frames(&frames)?;
+        let busy_responses = Arc::clone(&self.telemetry.busy_responses);
         responses
             .into_iter()
             .map(|response| match response {
@@ -212,10 +252,13 @@ impl AmsClient {
                 Response::Busy {
                     shard,
                     retry_hint_micros,
-                } => Ok(IngestOutcome::Busy {
-                    shard: shard as usize,
-                    retry_hint: Duration::from_micros(retry_hint_micros as u64),
-                }),
+                } => {
+                    busy_responses.inc();
+                    Ok(IngestOutcome::Busy {
+                        shard: shard as usize,
+                        retry_hint: Duration::from_micros(retry_hint_micros as u64),
+                    })
+                }
                 Response::Error { code, message } => Err(NetError::Remote { code, message }),
                 _ => Err(NetError::UnexpectedResponse {
                     expected: "Ingested or Busy",
@@ -234,6 +277,8 @@ impl AmsClient {
             // After writing frame i there are i+1 - |responses| in
             // flight; read one back whenever the window is full so the
             // bound is exactly PIPELINE_WINDOW.
+            let in_flight = (i + 1 - responses.len()) as i64;
+            self.telemetry.pipeline_peak.raise_to(in_flight);
             if i + 1 >= PIPELINE_WINDOW {
                 responses.push(self.recv()?);
             }
@@ -358,6 +403,30 @@ impl AmsClient {
             Response::Stats { stats } => Ok(stats),
             _ => Err(NetError::UnexpectedResponse { expected: "Stats" }),
         }
+    }
+
+    /// Scrapes the server's metrics registry over the wire: every
+    /// `service_*` series (per-shard counters, latency histograms,
+    /// sketch memory gauges) plus the reactor's `net_*` series, as a
+    /// typed [`MetricsSnapshot`]. Render it with
+    /// [`MetricsSnapshot::render_text`] for a Prometheus-style dump.
+    ///
+    /// # Errors
+    /// Transport or server errors.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, NetError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            _ => Err(NetError::UnexpectedResponse {
+                expected: "Metrics",
+            }),
+        }
+    }
+
+    /// Snapshot of the client's *own* instruments (`client_retries`,
+    /// `client_busy_responses`, `client_pipeline_peak`) — no network
+    /// round trip involved.
+    pub fn local_metrics(&self) -> MetricsSnapshot {
+        self.telemetry.registry.snapshot()
     }
 
     /// Waits (server-side) until every block this server accepted

@@ -24,7 +24,7 @@
 
 use bytes::{Buf, BufMut};
 
-use ams_service::{ServiceSnapshot, ServiceStats};
+use ams_service::{MetricsSnapshot, ServiceSnapshot, ServiceStats};
 use ams_stream::OpBlock;
 
 /// Frame magic: "AMS" + "N" for the network protocol.
@@ -58,6 +58,7 @@ const REQ_SNAPSHOT: u8 = 0x04;
 const REQ_STATS: u8 = 0x05;
 const REQ_DRAIN: u8 = 0x06;
 const REQ_SHUTDOWN: u8 = 0x07;
+const REQ_METRICS: u8 = 0x08;
 
 const RESP_INGESTED: u8 = 0x81;
 const RESP_BUSY: u8 = 0x82;
@@ -67,6 +68,7 @@ const RESP_SNAPSHOT: u8 = 0x85;
 const RESP_STATS: u8 = 0x86;
 const RESP_DRAINED: u8 = 0x87;
 const RESP_GOODBYE: u8 = 0x88;
+const RESP_METRICS: u8 = 0x89;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Why a frame (or its body) failed to decode. The framing layer is
@@ -194,6 +196,10 @@ pub enum Request {
     Snapshot,
     /// Ask for the per-shard [`ServiceStats`].
     Stats,
+    /// Ask for the full telemetry [`MetricsSnapshot`]: every counter,
+    /// gauge, and latency histogram registered across the service and
+    /// network layers — the wire scraping endpoint.
+    Metrics,
     /// Wait (server-side, without blocking the reactor) until every
     /// block accepted before this request is reflected in snapshots.
     Drain,
@@ -236,6 +242,11 @@ pub enum Response {
     Stats {
         /// The per-shard statistics.
         stats: ServiceStats,
+    },
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// The full instrument snapshot (service + reactor series).
+        snapshot: MetricsSnapshot,
     },
     /// Answer to [`Request::Drain`]: the drain cut was reached.
     Drained {
@@ -436,6 +447,7 @@ impl Request {
             }
             Request::Snapshot => body.put_u8(REQ_SNAPSHOT),
             Request::Stats => body.put_u8(REQ_STATS),
+            Request::Metrics => body.put_u8(REQ_METRICS),
             Request::Drain => body.put_u8(REQ_DRAIN),
             Request::Shutdown => body.put_u8(REQ_SHUTDOWN),
         }
@@ -471,6 +483,7 @@ impl Request {
             },
             REQ_SNAPSHOT => Request::Snapshot,
             REQ_STATS => Request::Stats,
+            REQ_METRICS => Request::Metrics,
             REQ_DRAIN => Request::Drain,
             REQ_SHUTDOWN => Request::Shutdown,
             kind => return Err(FrameError::UnknownKind { kind }),
@@ -513,6 +526,10 @@ impl Response {
             Response::Stats { stats } => {
                 body.put_u8(RESP_STATS);
                 put_json(&mut body, stats)?;
+            }
+            Response::Metrics { snapshot } => {
+                body.put_u8(RESP_METRICS);
+                put_json(&mut body, snapshot)?;
             }
             Response::Drained { epoch } => {
                 body.put_u8(RESP_DRAINED);
@@ -580,6 +597,9 @@ impl Response {
             },
             RESP_STATS => Response::Stats {
                 stats: get_json(&mut data)?,
+            },
+            RESP_METRICS => Response::Metrics {
+                snapshot: get_json(&mut data)?,
             },
             RESP_DRAINED => {
                 need(8, &data)?;
@@ -713,6 +733,7 @@ mod tests {
             },
             Request::Snapshot,
             Request::Stats,
+            Request::Metrics,
             Request::Drain,
             Request::Shutdown,
         ];
@@ -745,6 +766,37 @@ mod tests {
             decoder.feed(&frame);
             let body = decoder.next_frame().unwrap().unwrap();
             assert_eq!(Response::decode(&body).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn metrics_response_roundtrips() {
+        let registry = ams_service::MetricsRegistry::new();
+        registry.counter("net_frames_decoded", &[]).add(17);
+        registry
+            .gauge("service_queue_depth", &[("shard", "0")])
+            .set(3);
+        registry
+            .histogram("service_ingest_ns", &[("shard", "0")])
+            .record(12_345);
+        let response = Response::Metrics {
+            snapshot: registry.snapshot(),
+        };
+        let frame = response.encode().unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        let back = Response::decode(&body).unwrap();
+        assert_eq!(back, response);
+        match back {
+            Response::Metrics { snapshot } => {
+                assert_eq!(snapshot.counter("net_frames_decoded", &[]), Some(17));
+                let h = snapshot
+                    .histogram("service_ingest_ns", &[("shard", "0")])
+                    .unwrap();
+                assert_eq!(h.count, 1);
+            }
+            other => panic!("wrong kind: {other:?}"),
         }
     }
 

@@ -121,9 +121,11 @@ impl Connection {
     /// [`READ_BURST`] per call, so one firehosing peer cannot grow the
     /// decoder buffer faster than the dispatch loop drains it (the
     /// reactor additionally stops calling this while the decoder
-    /// backlog exceeds a frame). Returns whether any bytes arrived.
-    pub(crate) fn fill_read(&mut self, scratch: &mut [u8]) -> bool {
-        let mut progress = false;
+    /// backlog exceeds a frame). Returns the number of bytes fed (0
+    /// means no progress), so the caller can both detect progress and
+    /// account `net_bytes_in`.
+    pub(crate) fn fill_read(&mut self, scratch: &mut [u8]) -> usize {
+        let mut fed = 0usize;
         let mut budget = READ_BURST;
         loop {
             if budget == 0 {
@@ -137,7 +139,7 @@ impl Connection {
                 Ok(n) => {
                     self.decoder.feed(&scratch[..n]);
                     budget = budget.saturating_sub(n);
-                    progress = true;
+                    fed += n;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -147,19 +149,22 @@ impl Connection {
                 }
             }
         }
-        progress
+        fed
     }
 
     /// Moves leading ready slots into the write buffer and flushes as
-    /// much as the socket accepts. Returns whether any bytes moved.
-    pub(crate) fn pump_writes(&mut self) -> bool {
-        let mut progress = false;
+    /// much as the socket accepts. Returns `(frames staged, bytes
+    /// flushed)` — either nonzero means progress, and the caller
+    /// accounts them as `net_frames_encoded` / `net_bytes_out`.
+    pub(crate) fn pump_writes(&mut self) -> (usize, usize) {
+        let mut frames = 0usize;
+        let mut flushed = 0usize;
         while let Some(Slot::Ready(_)) = self.slots.front() {
             let Some(Slot::Ready(frame)) = self.slots.pop_front() else {
                 unreachable!("front checked above");
             };
             self.write_buf.extend_from_slice(&frame);
-            progress = true;
+            frames += 1;
         }
         while self.write_pos < self.write_buf.len() {
             match self.stream.write(&self.write_buf[self.write_pos..]) {
@@ -169,7 +174,7 @@ impl Connection {
                 }
                 Ok(n) => {
                     self.write_pos += n;
-                    progress = true;
+                    flushed += n;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -183,7 +188,7 @@ impl Connection {
             self.write_buf.clear();
             self.write_pos = 0;
         }
-        progress
+        (frames, flushed)
     }
 
     /// Whether everything owed to the peer has left the process.

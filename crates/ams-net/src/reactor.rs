@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ams_service::{AmsService, ServiceError, ServiceSnapshot, ServiceStats};
+use ams_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 
 use crate::codec::{ErrorCode, Request, Response, MAX_FRAME_PAYLOAD};
 use crate::conn::{Connection, Slot};
@@ -25,6 +26,54 @@ use crate::server::NetServerConfig;
 /// Longest the finalizer keeps flushing farewell frames after the
 /// service stopped.
 const SHUTDOWN_FLUSH_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// The reactor's instrument handles, registered into the *service's*
+/// registry so one `Request::Metrics` scrape (or one
+/// [`AmsService::metrics_snapshot`] call) covers both layers.
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `net_tick_ns` | histogram | duration of each tick that made progress |
+/// | `net_frames_decoded` | counter | request frames decoded |
+/// | `net_frames_encoded` | counter | response frames staged for write |
+/// | `net_bytes_in` | counter | bytes read off sockets |
+/// | `net_bytes_out` | counter | bytes flushed to sockets |
+/// | `net_busy_responses` | counter | `Busy` load-shed answers sent |
+/// | `net_read_gated` | counter | connection-ticks reads were paused by admission bounds |
+/// | `net_retry_ring_occupancy` | gauge | parked ingests across all connections |
+struct NetInstruments {
+    tick_ns: Arc<LatencyHistogram>,
+    frames_decoded: Arc<Counter>,
+    frames_encoded: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    busy_responses: Arc<Counter>,
+    read_gated: Arc<Counter>,
+    retry_ring: Arc<Gauge>,
+}
+
+impl NetInstruments {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            tick_ns: registry.histogram("net_tick_ns", &[]),
+            frames_decoded: registry.counter("net_frames_decoded", &[]),
+            frames_encoded: registry.counter("net_frames_encoded", &[]),
+            bytes_in: registry.counter("net_bytes_in", &[]),
+            bytes_out: registry.counter("net_bytes_out", &[]),
+            busy_responses: registry.counter("net_busy_responses", &[]),
+            read_gated: registry.counter("net_read_gated", &[]),
+            retry_ring: registry.gauge("net_retry_ring_occupancy", &[]),
+        }
+    }
+
+    /// Accounts one `pump_writes` outcome and returns whether it moved
+    /// anything.
+    fn note_pump(&self, (frames, bytes): (usize, usize)) -> bool {
+        self.frames_encoded.add(frames as u64);
+        self.bytes_out.add(bytes as u64);
+        frames > 0 || bytes > 0
+    }
+}
 
 /// Encodes a response, demoting encode failures (e.g. a snapshot too
 /// large for one frame) to a small protocol-level error frame.
@@ -48,7 +97,8 @@ fn busy_hint_micros(service: &AmsService, shard: usize) -> u32 {
     (100 * (depth + 1)).min(10_000)
 }
 
-fn busy(service: &AmsService, shard: usize) -> Response {
+fn busy(service: &AmsService, shard: usize, net: &NetInstruments) -> Response {
+    net.busy_responses.inc();
     Response::Busy {
         shard: shard as u32,
         retry_hint_micros: busy_hint_micros(service, shard),
@@ -56,9 +106,9 @@ fn busy(service: &AmsService, shard: usize) -> Response {
 }
 
 /// Turns a service-side ingest failure into the matching wire answer.
-fn ingest_failure(service: &AmsService, error: ServiceError) -> Response {
+fn ingest_failure(service: &AmsService, error: ServiceError, net: &NetInstruments) -> Response {
     match error {
-        ServiceError::WouldBlock { shard } => busy(service, shard),
+        ServiceError::WouldBlock { shard } => busy(service, shard, net),
         ServiceError::UnknownAttribute { name } => Response::Error {
             code: ErrorCode::UnknownAttribute,
             message: format!("unknown attribute: {name}"),
@@ -80,7 +130,7 @@ fn ingest_failure(service: &AmsService, error: ServiceError) -> Response {
 /// parked drains. A parked drain only records its cut once no parked
 /// ingest precedes it, so the `Drained` answer really covers every
 /// ingest acknowledged before it. Returns whether any slot resolved.
-fn service_parked(conn: &mut Connection, service: &AmsService) -> bool {
+fn service_parked(conn: &mut Connection, service: &AmsService, net: &NetInstruments) -> bool {
     let mut progress = false;
     let mut ingest_blocked = false;
     let mut ingest_parked_before = false;
@@ -106,7 +156,7 @@ fn service_parked(conn: &mut Connection, service: &AmsService) -> bool {
                         ingest_parked_before = true;
                     }
                     Err((_, other)) => {
-                        *slot = Slot::Ready(encoded(ingest_failure(service, other)));
+                        *slot = Slot::Ready(encoded(ingest_failure(service, other, net)));
                         progress = true;
                     }
                 }
@@ -135,6 +185,7 @@ fn dispatch(
     request: Request,
     service: &AmsService,
     config: &NetServerConfig,
+    net: &NetInstruments,
 ) -> bool {
     match request {
         Request::IngestBlock { attribute, block } => {
@@ -148,12 +199,12 @@ fn dispatch(
                             .push_back(Slot::PendingIngest { attribute, block });
                     } else {
                         conn.slots
-                            .push_back(Slot::Ready(encoded(busy(service, shard))));
+                            .push_back(Slot::Ready(encoded(busy(service, shard, net))));
                     }
                 }
                 Err((_, other)) => conn
                     .slots
-                    .push_back(Slot::Ready(encoded(ingest_failure(service, other)))),
+                    .push_back(Slot::Ready(encoded(ingest_failure(service, other, net)))),
             }
         }
         Request::QuerySelfJoin { attribute } => {
@@ -187,6 +238,14 @@ fn dispatch(
             let stats = service.stats();
             conn.slots
                 .push_back(Slot::Ready(encoded(Response::Stats { stats })));
+        }
+        Request::Metrics => {
+            // One scrape covers both layers: the reactor registers its
+            // own instruments into the service's registry, so the
+            // snapshot carries `service_*` and `net_*` series alike.
+            let snapshot = service.metrics_snapshot();
+            conn.slots
+                .push_back(Slot::Ready(encoded(Response::Metrics { snapshot })));
         }
         Request::Drain => {
             // The cut must cover every ingest this connection was (or
@@ -225,10 +284,12 @@ pub(crate) fn run(
     config: NetServerConfig,
     stop: Arc<AtomicBool>,
 ) -> (ServiceSnapshot, ServiceStats) {
+    let net = NetInstruments::new(&service.registry());
     let mut conns: Vec<Connection> = Vec::new();
     let mut scratch = vec![0u8; 16 * 1024];
     let mut shutting_down = false;
     loop {
+        let tick_start = Instant::now();
         let mut progress = false;
         // 1. Accept whatever is waiting (unless closing up).
         if !shutting_down {
@@ -247,7 +308,7 @@ pub(crate) fn run(
         }
         for conn in conns.iter_mut() {
             // 2. Retry ring + parked drains.
-            progress |= service_parked(conn, &service);
+            progress |= service_parked(conn, &service, &net);
             // 3. Read and dispatch new requests, with per-connection
             //    admission bounds so one peer cannot balloon server
             //    memory: stop reading while too many responses are in
@@ -261,15 +322,20 @@ pub(crate) fn run(
                     && conn.write_backlog() < config.max_write_buffer
                     && conn.decoder.buffered() <= MAX_FRAME_PAYLOAD
                 {
-                    progress |= conn.fill_read(&mut scratch);
+                    let fed = conn.fill_read(&mut scratch);
+                    net.bytes_in.add(fed as u64);
+                    progress |= fed > 0;
+                } else {
+                    net.read_gated.inc();
                 }
                 while conn.slots.len() < config.max_inflight_per_conn {
                     match conn.decoder.next_frame() {
                         Ok(Some(body)) => {
                             progress = true;
+                            net.frames_decoded.inc();
                             match Request::decode(&body) {
                                 Ok(request) => {
-                                    if dispatch(conn, request, &service, &config) {
+                                    if dispatch(conn, request, &service, &config, &net) {
                                         // Shutdown: stop decoding this
                                         // connection so no pipelined
                                         // later request is answered
@@ -304,8 +370,10 @@ pub(crate) fn run(
                 }
             }
             // 4. Flush.
-            progress |= conn.pump_writes();
+            progress |= net.note_pump(conn.pump_writes());
         }
+        net.retry_ring
+            .set(conns.iter().map(Connection::pending_ingests).sum::<usize>() as i64);
         conns.retain(|conn| !conn.dead());
         if stop.load(Ordering::Acquire) {
             shutting_down = true;
@@ -316,7 +384,11 @@ pub(crate) fn run(
         if shutting_down && conns.iter().all(|c| c.pending() == 0) {
             break;
         }
-        if !progress {
+        if progress {
+            // Only ticks that did work are recorded, so the histogram
+            // profiles the dispatch path rather than idle spinning.
+            net.tick_ns.record_duration(tick_start.elapsed());
+        } else {
             std::thread::sleep(config.idle_sleep);
         }
     }
@@ -338,7 +410,7 @@ pub(crate) fn run(
     while Instant::now() < deadline {
         let mut flushed = true;
         for conn in conns.iter_mut() {
-            conn.pump_writes();
+            net.note_pump(conn.pump_writes());
             flushed &= conn.dead() || conn.flushed();
         }
         if flushed {

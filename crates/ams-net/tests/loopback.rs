@@ -264,6 +264,90 @@ fn drained_covers_ingests_parked_before_the_drain() {
 }
 
 #[test]
+fn metrics_scrape_covers_service_and_net_layers_end_to_end() {
+    // The PR's acceptance pin: after a pipelined ingest + drain, one
+    // `Request::Metrics` scrape over loopback returns per-shard ingest
+    // histograms and routed-ops counters that account for the whole
+    // stream, plus the reactor's own frame/byte counters.
+    let shards = 2;
+    let params = SketchParams::new(64, 3).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(shards, 32, params, &["u", "v"]));
+
+    let u: Vec<u64> = (0..4_000u64).map(|i| i * 31 % 509).collect();
+    let blocks: Vec<OpBlock> = value_blocks(&u, 128).collect();
+    let mut client = AmsClient::connect(addr).unwrap();
+    ingest_all(&mut client, "u", &blocks);
+    client.drain().unwrap();
+
+    let metrics = client.metrics().unwrap();
+
+    // Every op routed was ingested, and together they cover the stream.
+    assert_eq!(metrics.counter_total("service_routed_ops"), u.len() as u64);
+    assert_eq!(
+        metrics.counter_total("service_ops_ingested"),
+        u.len() as u64
+    );
+    assert_eq!(
+        metrics.counter_total("service_blocks_ingested"),
+        blocks.len() as u64
+    );
+    // Round-robin routing over a block-aligned stream touches every
+    // shard: each has a nonzero routed-ops counter and a nonzero
+    // ingest-latency histogram whose count matches its block counter.
+    for shard in 0..shards {
+        let label = shard.to_string();
+        let labels = [("shard", label.as_str())];
+        assert!(metrics.counter("service_routed_ops", &labels).unwrap() > 0);
+        let ingest = metrics.histogram("service_ingest_ns", &labels).unwrap();
+        assert!(ingest.count > 0, "shard {shard} ingest histogram is empty");
+        assert_eq!(
+            ingest.count,
+            metrics.counter("service_blocks_ingested", &labels).unwrap()
+        );
+        let wait = metrics.histogram("service_queue_wait_ns", &labels).unwrap();
+        assert_eq!(wait.count, ingest.count);
+    }
+    // Sketch memory is accounted while the service lives.
+    assert_eq!(
+        metrics.gauge("service_sketch_memory_words", &[("attribute", "u")]),
+        Some((shards * params.total()) as i64)
+    );
+
+    // The reactor's series ride in the same snapshot: every request
+    // frame this client sent (ingests + drain + the metrics request
+    // itself) was decoded, and bytes moved both ways.
+    let decoded = metrics.counter_total("net_frames_decoded");
+    assert!(
+        decoded >= blocks.len() as u64 + 2,
+        "expected at least {} decoded frames, saw {decoded}",
+        blocks.len() + 2
+    );
+    assert!(metrics.counter_total("net_frames_encoded") > blocks.len() as u64);
+    assert!(metrics.counter_total("net_bytes_in") > 0);
+    assert!(metrics.counter_total("net_bytes_out") > 0);
+    assert!(
+        metrics
+            .histogram("net_tick_ns", &[])
+            .is_some_and(|t| t.count > 0),
+        "active reactor ticks must be profiled"
+    );
+
+    // The wire snapshot renders to exposition text naming both layers.
+    let text = metrics.render_text();
+    assert!(text.contains("service_ingest_ns_p99_ns{shard=\"0\"}"));
+    assert!(text.contains("net_frames_decoded"));
+
+    // The client's local instruments tracked the pipelined batch.
+    let local = client.local_metrics();
+    assert!(local.gauge("client_pipeline_peak", &[]).unwrap() > 0);
+
+    drop(client);
+    handle.stop();
+}
+
+#[test]
 fn malformed_frames_never_crash_the_reactor() {
     let params = SketchParams::new(16, 3).unwrap();
     let server = NetServer::bind("127.0.0.1:0").unwrap();

@@ -40,6 +40,7 @@ pub mod snapshot;
 pub mod stats;
 
 mod service;
+mod telemetry;
 
 pub use config::{ServiceConfig, ServiceConfigBuilder};
 pub use error::ServiceError;
@@ -47,3 +48,8 @@ pub use router::{Router, RouterPolicy};
 pub use service::{AmsService, DrainCut};
 pub use snapshot::ServiceSnapshot;
 pub use stats::{ServiceStats, ShardStats};
+
+// The service's observability surface is built on `ams-telemetry`;
+// re-exported so front-ends can name the snapshot/registry types
+// without a separate dependency declaration.
+pub use ams_telemetry::{MetricsRegistry, MetricsSnapshot};

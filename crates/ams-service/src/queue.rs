@@ -15,9 +15,11 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use ams_stream::OpBlock;
+use ams_telemetry::Gauge;
 
 /// A unit of shard work: one block destined for one attribute's shard
 /// sketch.
@@ -27,6 +29,20 @@ pub struct ShardTask {
     pub attr: usize,
     /// The updates to apply.
     pub block: OpBlock,
+    /// When the task was built for submission — the worker records
+    /// `enqueued_at.elapsed()` at pop time as the queue-wait latency.
+    pub enqueued_at: Instant,
+}
+
+impl ShardTask {
+    /// A task stamped with the current time as its enqueue instant.
+    pub fn new(attr: usize, block: OpBlock) -> Self {
+        Self {
+            attr,
+            block,
+            enqueued_at: Instant::now(),
+        }
+    }
 }
 
 /// Why a non-blocking push failed; the task is handed back.
@@ -77,11 +93,23 @@ pub struct BlockQueue {
     /// submissions. Blocking producers that merely waited are not
     /// counted here.
     rejections: AtomicU64,
+    /// Telemetry gauge mirroring `tasks.len()`, updated under the queue
+    /// lock on every push/pop so a metrics scrape sees the live depth
+    /// without taking this queue's lock.
+    depth_gauge: Arc<Gauge>,
 }
 
 impl BlockQueue {
-    /// Creates an empty queue bounded at `capacity` blocks.
+    /// Creates an empty queue bounded at `capacity` blocks, with a
+    /// private (unregistered) depth gauge.
     pub fn new(capacity: usize) -> Self {
+        Self::with_depth_gauge(capacity, Arc::new(Gauge::new()))
+    }
+
+    /// Creates an empty bounded queue whose live depth is mirrored into
+    /// the given gauge (typically registered as
+    /// `service_queue_depth{shard}`).
+    pub fn with_depth_gauge(capacity: usize, depth_gauge: Arc<Gauge>) -> Self {
         debug_assert!(capacity > 0);
         Self {
             capacity,
@@ -91,6 +119,7 @@ impl BlockQueue {
             pushed: AtomicU64::new(0),
             backpressure_events: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
+            depth_gauge,
         }
     }
 
@@ -133,8 +162,18 @@ impl BlockQueue {
 
     fn note_push(&self, state: &mut QueueState) {
         state.max_depth = state.max_depth.max(state.occupied());
+        self.depth_gauge.set(state.tasks.len() as i64);
         self.pushed.fetch_add(1, Ordering::Release);
         self.not_empty.notify_one();
+    }
+
+    /// Resets the high-water mark to the current occupancy, so the next
+    /// [`Self::max_depth`] reading describes the window since this call
+    /// rather than the queue's whole lifetime. Cumulative counters
+    /// ([`Self::pushed`] & co.) are untouched — they stay monotone.
+    pub fn reset_window(&self) {
+        let mut state = self.lock();
+        state.max_depth = state.occupied();
     }
 
     /// Enqueues, blocking while the queue is full.
@@ -219,6 +258,7 @@ impl BlockQueue {
         let mut state = self.lock();
         loop {
             if let Some(task) = state.tasks.pop_front() {
+                self.depth_gauge.set(state.tasks.len() as i64);
                 self.not_full.notify_one();
                 return Some(task);
             }
@@ -252,10 +292,7 @@ mod tests {
     use super::*;
 
     fn task(attr: usize) -> ShardTask {
-        ShardTask {
-            attr,
-            block: OpBlock::from_values([attr as u64]),
-        }
+        ShardTask::new(attr, OpBlock::from_values([attr as u64]))
     }
 
     #[test]
@@ -304,6 +341,41 @@ mod tests {
         assert_eq!(q.pop().unwrap().attr, 1);
         assert!(q.pop().is_none(), "closed + drained");
         assert_eq!(q.pushed(), 2);
+    }
+
+    #[test]
+    fn depth_gauge_tracks_push_and_pop() {
+        use ams_telemetry::Gauge;
+        use std::sync::Arc;
+        let gauge = Arc::new(Gauge::new());
+        let q = BlockQueue::with_depth_gauge(4, Arc::clone(&gauge));
+        assert_eq!(gauge.get(), 0);
+        q.push(task(0)).unwrap();
+        q.push(task(1)).unwrap();
+        assert_eq!(gauge.get(), 2);
+        q.pop().unwrap();
+        assert_eq!(gauge.get(), 1);
+        // The reservation path also lands on the gauge once filled.
+        assert!(q.try_reserve());
+        assert_eq!(gauge.get(), 1, "a reservation is not a queued block");
+        q.push_reserved(task(2));
+        assert_eq!(gauge.get(), 2);
+    }
+
+    #[test]
+    fn reset_window_rebases_high_water_not_counters() {
+        let q = BlockQueue::new(4);
+        q.push(task(0)).unwrap();
+        q.push(task(1)).unwrap();
+        q.pop().unwrap();
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.pushed(), 2);
+        q.reset_window();
+        assert_eq!(q.max_depth(), 1, "rebased to current occupancy");
+        assert_eq!(q.pushed(), 2, "cumulative counters are monotone");
+        q.push(task(2)).unwrap();
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.pushed(), 3);
     }
 
     #[test]

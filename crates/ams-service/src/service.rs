@@ -6,6 +6,7 @@ use std::thread::JoinHandle;
 
 use ams_core::{SelfJoinEstimator, TugOfWarSketch};
 use ams_stream::{OpBlock, Value};
+use ams_telemetry::{MetricsRegistry, MetricsSnapshot};
 
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
@@ -14,6 +15,7 @@ use crate::router::Router;
 use crate::shard::ShardWorker;
 use crate::snapshot::{ServiceSnapshot, ShardCell};
 use crate::stats::{ServiceStats, ShardStats};
+use crate::telemetry::ServiceTelemetry;
 
 /// A recorded drain target: the per-shard block counts that had been
 /// submitted when [`AmsService::drain_cut`] was called. Opaque — feed
@@ -57,6 +59,7 @@ pub struct AmsService {
     queues: Vec<Arc<BlockQueue>>,
     cells: Vec<Arc<ShardCell>>,
     workers: Vec<JoinHandle<()>>,
+    telemetry: ServiceTelemetry,
 }
 
 impl AmsService {
@@ -85,8 +88,14 @@ impl AmsService {
         let template: Vec<TugOfWarSketch> = (0..names.len())
             .map(|_| TugOfWarSketch::new(config.params(), config.seed()))
             .collect();
+        let telemetry = ServiceTelemetry::new(config.shards(), &names);
         let queues: Vec<Arc<BlockQueue>> = (0..config.shards())
-            .map(|_| Arc::new(BlockQueue::new(config.queue_capacity())))
+            .map(|shard| {
+                Arc::new(BlockQueue::with_depth_gauge(
+                    config.queue_capacity(),
+                    Arc::clone(&telemetry.shards[shard].queue_depth),
+                ))
+            })
             .collect();
         let cells: Vec<Arc<ShardCell>> = (0..config.shards())
             .map(|_| Arc::new(ShardCell::new(config.params().total(), names.len())))
@@ -103,6 +112,8 @@ impl AmsService {
                     seed: config.seed(),
                     attrs: names.len(),
                     publish_every: config.publish_every(),
+                    instruments: telemetry.shards[shard].clone(),
+                    sketch_memory: telemetry.sketch_memory.clone(),
                 };
                 std::thread::Builder::new()
                     .name(format!("ams-shard-{shard}"))
@@ -118,6 +129,7 @@ impl AmsService {
             queues,
             cells,
             workers,
+            telemetry,
         })
     }
 
@@ -150,9 +162,11 @@ impl AmsService {
     pub fn ingest_block(&self, attribute: &str, block: OpBlock) -> Result<(), ServiceError> {
         let attr = self.attr_index(attribute)?;
         for (shard, part) in self.router.route(block) {
+            let part_ops = part.ops();
             self.queues[shard]
-                .push(ShardTask { attr, block: part })
+                .push(ShardTask::new(attr, part))
                 .map_err(|_| ServiceError::Closed)?;
+            self.telemetry.shards[shard].routed_ops.add(part_ops);
         }
         Ok(())
     }
@@ -198,8 +212,12 @@ impl AmsService {
         // non-blocking push; the queue hands the task back on refusal.
         if routed.len() == 1 {
             let (shard, part) = routed.pop().expect("one placement");
-            return match self.queues[shard].try_push(ShardTask { attr, block: part }) {
-                Ok(()) => Ok(()),
+            let part_ops = part.ops();
+            return match self.queues[shard].try_push(ShardTask::new(attr, part)) {
+                Ok(()) => {
+                    self.telemetry.shards[shard].routed_ops.add(part_ops);
+                    Ok(())
+                }
                 Err(PushError::Full(task)) => Err((task.block, ServiceError::WouldBlock { shard })),
                 Err(PushError::Closed(task)) => Err((task.block, ServiceError::Closed)),
             };
@@ -227,7 +245,9 @@ impl AmsService {
             }
         }
         for (shard, part) in routed {
-            self.queues[shard].push_reserved(ShardTask { attr, block: part });
+            let part_ops = part.ops();
+            self.queues[shard].push_reserved(ShardTask::new(attr, part));
+            self.telemetry.shards[shard].routed_ops.add(part_ops);
         }
         Ok(())
     }
@@ -393,6 +413,37 @@ impl AmsService {
             })
             .collect();
         ServiceStats { shards }
+    }
+
+    /// Like [`Self::stats`], but additionally rebases every queue's
+    /// high-water depth mark to its current occupancy after reading, so
+    /// consecutive calls describe disjoint observation windows instead
+    /// of the whole service lifetime. Cumulative counters (enqueued /
+    /// ingested blocks and ops, backpressure events) are untouched and
+    /// stay monotone across calls; only `max_queue_depth` is windowed.
+    pub fn take_snapshot_and_reset_window(&self) -> ServiceStats {
+        let stats = self.stats();
+        for queue in &self.queues {
+            queue.reset_window();
+        }
+        stats
+    }
+
+    /// The metrics registry behind this service's instruments. Other
+    /// layers (e.g. a network front-end) register their own series
+    /// here so one [`Self::metrics_snapshot`] covers the whole stack.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(self.telemetry.registry())
+    }
+
+    /// A point-in-time snapshot of every registered instrument —
+    /// per-shard ingest counters and latency histograms, queue-depth
+    /// and sketch-memory gauges, plus anything other layers registered
+    /// via [`Self::registry`]. Serializable, and renderable as
+    /// Prometheus-style text with
+    /// [`MetricsSnapshot::render_text`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.registry().snapshot()
     }
 
     /// Graceful shutdown: closes the queues (rejecting further
@@ -765,6 +816,103 @@ mod tests {
         );
         let truncated = &json[..json.len() - 2];
         assert!(serde_json::from_str::<ServiceSnapshot>(truncated).is_err());
+    }
+
+    #[test]
+    fn metrics_cover_the_full_ingest_path() {
+        let cfg = config(2);
+        let service = AmsService::start(cfg, &["f", "g"]).unwrap();
+        // Sketch memory is accounted the moment the workers build their
+        // sketches: each of 2 shards holds one `params.total()`-word
+        // sketch per attribute.
+        let per_attr = (2 * cfg.params().total()) as i64;
+        for chunk in (0..600u64).collect::<Vec<_>>().chunks(20) {
+            service.ingest_values("f", chunk).unwrap();
+        }
+        service.ingest_values("g", &[1, 2, 3]).unwrap();
+        service.drain();
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter_total("service_ops_ingested"), 603);
+        assert_eq!(
+            snap.counter_total("service_routed_ops"),
+            603,
+            "routed ops count once per accepted submission"
+        );
+        assert_eq!(
+            snap.counter_total("service_blocks_ingested"),
+            service.stats().blocks_ingested()
+        );
+        assert!(snap.counter_total("service_publishes") >= 1);
+        // Latency histograms saw every block, on both shards.
+        let ingest = snap.merged_histogram("service_ingest_ns");
+        assert_eq!(ingest.count, service.stats().blocks_ingested());
+        assert!(ingest.p99() >= ingest.p50());
+        let wait = snap.merged_histogram("service_queue_wait_ns");
+        assert_eq!(wait.count, ingest.count);
+        for shard in ["0", "1"] {
+            let labels = [("shard", shard)];
+            assert!(
+                snap.histogram("service_ingest_ns", &labels).unwrap().count > 0,
+                "shard {shard} ingested nothing"
+            );
+        }
+        // Memory gauges: live sketches accounted per attribute.
+        assert_eq!(
+            snap.gauge("service_sketch_memory_words", &[("attribute", "f")]),
+            Some(per_attr)
+        );
+        assert_eq!(
+            snap.gauge("service_sketch_memory_words", &[("attribute", "g")]),
+            Some(per_attr)
+        );
+        // Drained queues read zero depth.
+        assert_eq!(
+            snap.gauge("service_queue_depth", &[("shard", "0")]),
+            Some(0)
+        );
+        // The text exposition carries the same series.
+        let text = snap.render_text();
+        assert!(text.contains("service_ops_ingested{shard=\"0\"}"), "{text}");
+        assert!(
+            text.contains("service_ingest_ns_p99_ns{shard=\"1\"}"),
+            "{text}"
+        );
+        // After shutdown the workers hand their sketch words back.
+        let registry = service.registry();
+        drop(service);
+        let after = registry.snapshot();
+        assert_eq!(
+            after.gauge("service_sketch_memory_words", &[("attribute", "f")]),
+            Some(0),
+            "workers release their memory accounting at exit"
+        );
+    }
+
+    #[test]
+    fn windowed_stats_reset_high_water_but_keep_counters_monotone() {
+        let service = AmsService::start(config(2), &["a"]).unwrap();
+        for chunk in (0..400u64).collect::<Vec<_>>().chunks(16) {
+            service.ingest_values("a", chunk).unwrap();
+        }
+        service.drain();
+        let first = service.take_snapshot_and_reset_window();
+        assert!(first.max_queue_depth() >= 1, "pushes raised the mark");
+        // The queues are drained, so the rebased window starts at zero.
+        let idle = service.take_snapshot_and_reset_window();
+        assert_eq!(idle.max_queue_depth(), 0, "window rebased to occupancy");
+        // Cumulative counters never went backwards.
+        assert_eq!(idle.blocks_enqueued(), first.blocks_enqueued());
+        assert_eq!(idle.ops_ingested(), first.ops_ingested());
+        // More traffic raises the windowed mark again and advances the
+        // cumulative counters monotonically.
+        for chunk in (0..200u64).collect::<Vec<_>>().chunks(16) {
+            service.ingest_values("a", chunk).unwrap();
+        }
+        service.drain();
+        let second = service.take_snapshot_and_reset_window();
+        assert!(second.max_queue_depth() >= 1);
+        assert!(second.blocks_enqueued() > idle.blocks_enqueued());
+        assert!(second.ops_ingested() > idle.ops_ingested());
     }
 
     #[test]

@@ -4,9 +4,11 @@
 use std::sync::Arc;
 
 use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
+use ams_telemetry::{Gauge, MemoryTracker};
 
 use crate::queue::BlockQueue;
 use crate::snapshot::{ShardCell, ShardSnapshot};
+use crate::telemetry::ShardInstruments;
 
 /// Everything one worker thread needs; constructed by the service,
 /// consumed by [`run`].
@@ -17,6 +19,12 @@ pub(crate) struct ShardWorker {
     pub seed: u64,
     pub attrs: usize,
     pub publish_every: u64,
+    /// This shard's counters and histograms (shared atomics).
+    pub instruments: ShardInstruments,
+    /// Per-attribute sketch-memory gauges, shared across all shards:
+    /// each worker contributes its sketches' words through a
+    /// [`MemoryTracker`] and returns them at exit.
+    pub sketch_memory: Vec<Arc<Gauge>>,
 }
 
 impl ShardWorker {
@@ -28,9 +36,20 @@ impl ShardWorker {
         // The shard's sketches live on the worker's stack: the hot path
         // touches no shared state, and the reusable ingest scratch
         // inside each sketch makes steady-state application
-        // allocation-free.
+        // allocation-free. Each sketch's footprint is accounted to its
+        // attribute's memory gauge for as long as the worker lives.
+        let mut trackers: Vec<MemoryTracker> = self
+            .sketch_memory
+            .iter()
+            .map(|gauge| MemoryTracker::new(Arc::clone(gauge)))
+            .collect();
         let mut sketches: Vec<TugOfWarSketch> = (0..self.attrs)
-            .map(|_| TugOfWarSketch::new(self.params, self.seed))
+            .map(|attr| {
+                trackers[attr].start(0);
+                let sketch = TugOfWarSketch::new(self.params, self.seed);
+                trackers[attr].stop(sketch.memory_words());
+                sketch
+            })
             .collect();
         let mut blocks = 0u64;
         let mut ops = 0u64;
@@ -47,11 +66,21 @@ impl ShardWorker {
                 ops,
                 counters: sketches.iter().map(|s| s.counters().to_vec()).collect(),
             });
+            self.instruments.publishes.inc();
         };
         while let Some(task) = self.queue.pop() {
-            ops += task.block.ops();
-            sketches[task.attr].apply_block(&task.block);
+            self.instruments
+                .queue_wait_ns
+                .record_duration(task.enqueued_at.elapsed());
+            let task_ops = task.block.ops();
+            ops += task_ops;
+            {
+                let _span = self.instruments.ingest_ns.time();
+                sketches[task.attr].apply_block(&task.block);
+            }
             blocks += 1;
+            self.instruments.blocks_ingested.inc();
+            self.instruments.ops_ingested.add(task_ops);
             // Publish on cadence, opportunistically whenever the queue
             // drains (so an idle service converges to fresh snapshots
             // without waiting out the cadence), and on demand when a
@@ -69,6 +98,12 @@ impl ShardWorker {
         if published_blocks < blocks || epoch == 0 {
             epoch += 1;
             publish(&sketches, epoch, blocks, ops);
+        }
+        // The sketches die with the worker: hand their words back so
+        // the memory gauges return to zero (the trackers' drop asserts
+        // would trip otherwise).
+        for tracker in &mut trackers {
+            tracker.release_all();
         }
     }
 }

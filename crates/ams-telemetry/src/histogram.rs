@@ -1,0 +1,284 @@
+//! Constant-memory log₂-bucketed latency histogram.
+//!
+//! The paper's estimators answer frequency-moment questions in limited
+//! storage; this histogram answers latency-quantile questions in the
+//! same spirit: a **fixed** array of [`BUCKETS`] `u64` atomics, one per
+//! power-of-two nanosecond range, regardless of how many samples are
+//! recorded. Bucket 0 holds exact zeros, bucket `b ≥ 1` holds samples
+//! in `[2^(b-1), 2^b)` nanoseconds, and the top bucket saturates
+//! (everything at or above `2^(BUCKETS-2)` ns ≈ 4.6 minutes lands
+//! there), so a pathological sample can never grow the structure.
+//!
+//! Like the sketches, histograms are **linear**: the bucket counts (and
+//! count/sum/max) of two disjoint sample streams merge element-wise
+//! into exactly the histogram of the concatenated stream — so per-shard
+//! histograms can be merged at query time just like shard sketches
+//! (pinned by property tests).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log₂ buckets. Bucket `BUCKETS - 1` covers
+/// `[2^(BUCKETS-2), ∞)` ns — about 4.6 minutes and beyond, far past
+/// any latency this system should ever exhibit.
+pub const BUCKETS: usize = 40;
+
+/// The bucket a sample lands in: 0 for a zero sample, otherwise
+/// `1 + floor(log2(v))`, saturating at the top bucket.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket's value range (`u64::MAX` for the
+/// saturating top bucket).
+#[inline]
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A concurrent latency histogram over power-of-two nanosecond buckets.
+///
+/// All updates are relaxed atomics: recording is lock-free,
+/// allocation-free, and safe from any number of threads. Reads
+/// ([`snapshot`](Self::snapshot)) are not synchronized against
+/// concurrent writers — each cell is read atomically, but a snapshot
+/// taken mid-storm may split a logical sample between `count` and
+/// `sum`; at quiescence (drained service) it is exact.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample, in nanoseconds.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] sample (saturating to
+    /// `u64::MAX` ns, which the top bucket absorbs).
+    #[inline]
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a [`crate::ScopedTimer`] recording into this histogram
+    /// when dropped.
+    pub fn time(&self) -> crate::ScopedTimer<'_> {
+        crate::ScopedTimer::new(self)
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every cell.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A serializable point-in-time view of a [`LatencyHistogram`]:
+/// the bucket counts plus count/sum/max, with quantile accessors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts ([`BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub sum: u64,
+    /// Largest sample, in nanoseconds (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Merges another snapshot element-wise — the histogram of the
+    /// concatenation of both sample streams, exactly (linearity, like
+    /// the sketches' counter-wise merge).
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        // Wrapping, to match the live histogram's atomic adds: a sum of
+        // pathological near-u64::MAX samples wraps identically on both
+        // the recording and the merging side, keeping linearity exact.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as an upper bound in
+    /// nanoseconds: the inclusive upper edge of the bucket holding the
+    /// rank-`⌈q·count⌉` sample, capped at the observed maximum (so the
+    /// top bucket reports the real max, not `u64::MAX`). Returns 0 for
+    /// an empty histogram. Non-decreasing in `q` by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound, in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound, in nanoseconds.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound, in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Words of memory a live histogram occupies (fixed — the
+    /// constant-memory witness).
+    pub fn memory_words(&self) -> usize {
+        BUCKETS + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_ranges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1, "top bucket saturates");
+        // Every bucket's upper bound maps back into that bucket.
+        for b in 0..BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_upper(b)), b);
+        }
+    }
+
+    #[test]
+    fn quantiles_from_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (≈100ns), 10 slow (≈1ms).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 1_000_000);
+        assert!(s.p50() >= 100 && s.p50() < 200, "p50 = {}", s.p50());
+        // p90 rank 90 still falls in the fast bucket; p99 is slow.
+        assert!(s.p90() < 200, "p90 = {}", s.p90());
+        assert!(s.p99() >= 1_000_000, "p99 = {}", s.p99());
+        assert_eq!(s.p99().min(s.max), s.max, "quantiles capped at max");
+        assert!((s.mean() - (90.0 * 100.0 + 10.0 * 1e6) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let h = LatencyHistogram::new();
+        h.record(3);
+        h.record(70_000);
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,179 @@
+//! Memory accounting: a start/stop/delta guard keeping a gauge in sync
+//! with a component's reported footprint.
+//!
+//! The paper's whole point is bounded storage — so the service should
+//! be able to *prove* what its sketches occupy. A [`MemoryTracker`]
+//! wraps a shared [`Gauge`] (words of sketch memory for one attribute,
+//! say) and enforces the bracket discipline: every [`start`] must be
+//! matched by a [`stop`], and everything accumulated must be returned
+//! via [`release_all`] before the tracker drops — unbalanced tracking
+//! is a bug and trips a debug assertion.
+//!
+//! [`start`]: MemoryTracker::start
+//! [`stop`]: MemoryTracker::stop
+//! [`release_all`]: MemoryTracker::release_all
+
+use std::sync::Arc;
+
+use crate::counter::Gauge;
+
+/// Keeps a [`Gauge`] in sync with the memory footprint of components
+/// created and destroyed by one owner (e.g. a shard worker's sketches
+/// for one attribute).
+///
+/// ```
+/// use std::sync::Arc;
+/// use ams_telemetry::{Gauge, MemoryTracker};
+///
+/// let gauge = Arc::new(Gauge::new());
+/// let mut tracker = MemoryTracker::new(Arc::clone(&gauge));
+/// tracker.start(0);          // about to build a sketch from nothing
+/// let sketch_words = 1024;   // ... build it ...
+/// tracker.stop(sketch_words);
+/// assert_eq!(gauge.get(), 1024);
+/// tracker.release_all();     // owner shutting down, sketches freed
+/// assert_eq!(gauge.get(), 0);
+/// ```
+#[derive(Debug)]
+pub struct MemoryTracker {
+    gauge: Arc<Gauge>,
+    /// Footprint recorded at `start`, awaiting its matching `stop`.
+    pending: Option<i64>,
+    /// Net words this tracker has added to the gauge so far.
+    net_words: i64,
+}
+
+impl MemoryTracker {
+    /// A tracker feeding the given gauge.
+    pub fn new(gauge: Arc<Gauge>) -> Self {
+        Self {
+            gauge,
+            pending: None,
+            net_words: 0,
+        }
+    }
+
+    /// Opens a tracking bracket around an operation that will change a
+    /// component's footprint, recording the footprint *before* it
+    /// (0 for a component about to be created).
+    ///
+    /// Debug-asserts that no bracket is already open.
+    pub fn start(&mut self, words_before: usize) {
+        debug_assert!(
+            self.pending.is_none(),
+            "MemoryTracker::start while a bracket is already open"
+        );
+        self.pending = Some(words_before as i64);
+    }
+
+    /// Closes the bracket with the footprint *after* the operation and
+    /// applies the delta to the gauge.
+    ///
+    /// Debug-asserts that a bracket is open.
+    pub fn stop(&mut self, words_after: usize) {
+        debug_assert!(
+            self.pending.is_some(),
+            "MemoryTracker::stop without a matching start"
+        );
+        let before = self.pending.take().unwrap_or(0);
+        let delta = words_after as i64 - before;
+        self.gauge.add(delta);
+        self.net_words += delta;
+    }
+
+    /// Net words this tracker currently contributes to the gauge.
+    pub fn net_words(&self) -> i64 {
+        self.net_words
+    }
+
+    /// Returns everything this tracker accumulated (the owner is
+    /// freeing its components), zeroing its contribution to the gauge.
+    ///
+    /// Debug-asserts that no bracket is open.
+    pub fn release_all(&mut self) {
+        debug_assert!(
+            self.pending.is_none(),
+            "MemoryTracker::release_all with an open bracket"
+        );
+        self.gauge.add(-self.net_words);
+        self.net_words = 0;
+    }
+}
+
+impl Drop for MemoryTracker {
+    fn drop(&mut self) {
+        // Skip the balance check when the thread is already unwinding —
+        // a worker panic mid-bracket should surface as itself, not as a
+        // double panic that aborts the process.
+        if !std::thread::panicking() {
+            debug_assert!(
+                self.pending.is_none() && self.net_words == 0,
+                "MemoryTracker dropped with unbalanced tracking \
+                 (open bracket: {}, net words: {})",
+                self.pending.is_some(),
+                self.net_words,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_flow_to_the_gauge() {
+        let gauge = Arc::new(Gauge::new());
+        let mut t = MemoryTracker::new(Arc::clone(&gauge));
+        t.start(0);
+        t.stop(100); // created: +100
+        assert_eq!(gauge.get(), 100);
+        assert_eq!(t.net_words(), 100);
+        t.start(100);
+        t.stop(160); // grew: +60
+        assert_eq!(gauge.get(), 160);
+        t.start(160);
+        t.stop(40); // shrank: -120
+        assert_eq!(gauge.get(), 40);
+        t.release_all();
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(t.net_words(), 0);
+    }
+
+    #[test]
+    fn two_trackers_share_one_gauge() {
+        let gauge = Arc::new(Gauge::new());
+        let mut a = MemoryTracker::new(Arc::clone(&gauge));
+        let mut b = MemoryTracker::new(Arc::clone(&gauge));
+        a.start(0);
+        a.stop(10);
+        b.start(0);
+        b.stop(5);
+        assert_eq!(gauge.get(), 15);
+        a.release_all();
+        assert_eq!(gauge.get(), 5);
+        b.release_all();
+        assert_eq!(gauge.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced tracking")]
+    #[cfg(debug_assertions)]
+    fn dropping_unreleased_tracking_asserts() {
+        let gauge = Arc::new(Gauge::new());
+        let mut t = MemoryTracker::new(gauge);
+        t.start(0);
+        t.stop(8);
+        drop(t); // never released its 8 words
+    }
+
+    #[test]
+    #[should_panic(expected = "already open")]
+    #[cfg(debug_assertions)]
+    fn nested_start_asserts() {
+        let gauge = Arc::new(Gauge::new());
+        let mut t = MemoryTracker::new(gauge);
+        t.start(0);
+        t.start(0);
+    }
+}

@@ -1,0 +1,132 @@
+//! API-identical zero-cost twins of every instrument.
+//!
+//! A bench harness that wants to price the instrumentation itself runs
+//! the same loop twice — once against the real instruments, once
+//! against these — and reports the ratio. Every method is an empty
+//! `#[inline(always)]` body, so the no-op leg measures the bare kernel
+//! and the difference is exactly the telemetry overhead.
+
+/// Zero-cost twin of [`crate::Counter`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopCounter;
+
+impl NoopCounter {
+    /// A no-op counter.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-cost twin of [`crate::Gauge`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopGauge;
+
+impl NoopGauge {
+    /// A no-op gauge.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _v: i64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _delta: i64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn raise_to(&self, _v: i64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+/// Zero-cost twin of [`crate::LatencyHistogram`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHistogram;
+
+impl NoopHistogram {
+    /// A no-op histogram.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _nanos: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record_duration(&self, _elapsed: std::time::Duration) {}
+
+    /// A guard that records nothing when dropped.
+    #[inline(always)]
+    pub fn time(&self) -> NoopTimer {
+        NoopTimer
+    }
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-cost twin of [`crate::ScopedTimer`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopTimer;
+
+impl NoopTimer {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn stop(self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn discard(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_surface_matches_real_surface() {
+        // The whole point is drop-in substitutability in a generic
+        // bench loop: same call shapes, no observable effect.
+        let c = NoopCounter::new();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = NoopGauge::new();
+        g.set(5);
+        g.add(-1);
+        g.raise_to(9);
+        assert_eq!(g.get(), 0);
+        let h = NoopHistogram::new();
+        h.record(100);
+        h.record_duration(std::time::Duration::from_nanos(7));
+        h.time().stop();
+        h.time().discard();
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Metric registration and snapshotting.
+//!
+//! The registry is deliberately split into a cold path and a hot path:
+//! registration ([`MetricsRegistry::counter`] & co.) takes a mutex,
+//! deduplicates by `(name, labels)`, and hands back an `Arc` to the
+//! underlying atomic instrument; all subsequent recording goes through
+//! that handle and **never touches the registry again** — the hot path
+//! is exactly the instrument's relaxed atomic update. The mutex is
+//! reacquired only by [`MetricsRegistry::snapshot`], which reads every
+//! instrument into a serializable [`MetricsSnapshot`].
+
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Metric {
+    name: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// The instrument directory: registration and snapshotting only —
+/// recording happens through the returned handles, lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, labels: &[(&str, &str)], fresh: Instrument) -> Instrument {
+        let labels = owned_labels(labels);
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+        {
+            assert!(
+                std::mem::discriminant(&existing.instrument) == std::mem::discriminant(&fresh),
+                "metric `{name}` already registered as a {}, not a {}",
+                existing.instrument.kind(),
+                fresh.kind(),
+            );
+            return existing.instrument.clone();
+        }
+        metrics.push(Metric {
+            name: name.to_string(),
+            labels,
+            instrument: fresh.clone(),
+        });
+        fresh
+    }
+
+    /// Registers (or retrieves) a counter. Re-registering the same
+    /// `(name, labels)` returns the **same** underlying instrument.
+    ///
+    /// # Panics
+    /// If `(name, labels)` is already registered as a different
+    /// instrument kind — a programming error, caught at startup.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, labels, Instrument::Counter(Arc::new(Counter::new()))) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("register preserves kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    ///
+    /// # Panics
+    /// As for [`Self::counter`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, labels, Instrument::Gauge(Arc::new(Gauge::new()))) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("register preserves kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a latency histogram.
+    ///
+    /// # Panics
+    /// As for [`Self::counter`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHistogram> {
+        match self.register(
+            name,
+            labels,
+            Instrument::Histogram(Arc::new(LatencyHistogram::new())),
+        ) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("register preserves kind"),
+        }
+    }
+
+    /// Reads every registered instrument into a serializable snapshot,
+    /// sorted by `(name, labels)` for stable, diff-friendly output.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut samples: Vec<MetricSample> = metrics
+            .iter()
+            .map(|m| MetricSample {
+                name: m.name.clone(),
+                labels: m.labels.clone(),
+                value: match &m.instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        MetricsSnapshot { samples }
+    }
+}
+
+/// One instrument's point-in-time value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Counter(u64),
+    /// A signed instantaneous level.
+    Gauge(i64),
+    /// A latency distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named, labelled sample in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// The metric name (e.g. `service_ingest_ns`).
+    pub name: String,
+    /// Label pairs (e.g. `[("shard", "0")]`), possibly empty.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time view of every registered instrument — serializable,
+/// mergeable per-histogram, and renderable as Prometheus-style text.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Every sample, sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+}
+
+fn labels_match(labels: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    labels.len() == want.len()
+        && labels
+            .iter()
+            .zip(want.iter())
+            .all(|((k, v), (wk, wv))| k == wk && v == wv)
+}
+
+impl MetricsSnapshot {
+    /// The value of one exactly-labelled counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.samples.iter().find_map(|s| match &s.value {
+            MetricValue::Counter(v) if s.name == name && labels_match(&s.labels, labels) => {
+                Some(*v)
+            }
+            _ => None,
+        })
+    }
+
+    /// The value of one exactly-labelled gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.samples.iter().find_map(|s| match &s.value {
+            MetricValue::Gauge(v) if s.name == name && labels_match(&s.labels, labels) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The snapshot of one exactly-labelled histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.samples.iter().find_map(|s| match &s.value {
+            MetricValue::Histogram(h) if s.name == name && labels_match(&s.labels, labels) => {
+                Some(h)
+            }
+            _ => None,
+        })
+    }
+
+    /// Sum of a counter across **all** label sets (e.g. total routed
+    /// ops over every shard).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Element-wise merge of a histogram across all label sets — by
+    /// linearity, exactly the histogram of every labelled stream
+    /// concatenated (e.g. service-wide ingest latency from per-shard
+    /// histograms).
+    pub fn merged_histogram(&self, name: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        for s in self.samples.iter().filter(|s| s.name == name) {
+            if let MetricValue::Histogram(h) = &s.value {
+                merged.merge_from(h);
+            }
+        }
+        merged
+    }
+
+    /// Prometheus-style text exposition: one `name{label="v"} value`
+    /// line per scalar, and `_count` / `_sum_ns` / `_max_ns` /
+    /// `_p50_ns` / `_p90_ns` / `_p99_ns` lines per histogram.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.samples {
+            let labels = if s.labels.is_empty() {
+                String::new()
+            } else {
+                let inner: Vec<String> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            };
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{labels} {v}", s.name);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{labels} {v}", s.name);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "{}_count{labels} {}", s.name, h.count);
+                    let _ = writeln!(out, "{}_sum_ns{labels} {}", s.name, h.sum);
+                    let _ = writeln!(out, "{}_max_ns{labels} {}", s.name, h.max);
+                    let _ = writeln!(out, "{}_p50_ns{labels} {}", s.name, h.p50());
+                    let _ = writeln!(out, "{}_p90_ns{labels} {}", s.name, h.p90());
+                    let _ = writeln!(out, "{}_p99_ns{labels} {}", s.name, h.p99());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_dedupes_and_snapshot_reads() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("ops", &[("shard", "0")]);
+        let b = registry.counter("ops", &[("shard", "0")]);
+        let other = registry.counter("ops", &[("shard", "1")]);
+        a.add(5);
+        b.add(2); // same underlying instrument
+        other.inc();
+        registry.gauge("depth", &[]).set(-3);
+        registry.histogram("lat", &[]).record(1000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ops", &[("shard", "0")]), Some(7));
+        assert_eq!(snap.counter("ops", &[("shard", "1")]), Some(1));
+        assert_eq!(snap.counter_total("ops"), 8);
+        assert_eq!(snap.gauge("depth", &[]), Some(-3));
+        assert_eq!(snap.histogram("lat", &[]).unwrap().count, 1);
+        assert_eq!(snap.counter("nope", &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic_at_registration() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x", &[]);
+        registry.gauge("x", &[]);
+    }
+
+    /// The lock-free-hot-path contract, pinned: every recording
+    /// operation on a registered handle must complete while the
+    /// registry's internal lock is held by someone else. If any of
+    /// these ops touched the registry lock, this test would deadlock
+    /// (and time out) instead of passing.
+    #[test]
+    fn hot_path_recording_never_touches_the_registry_lock() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("c", &[]);
+        let gauge = registry.gauge("g", &[]);
+        let histogram = registry.histogram("h", &[]);
+        let guard = registry.metrics.lock().unwrap();
+        counter.inc();
+        counter.add(3);
+        gauge.set(9);
+        gauge.add(-2);
+        gauge.raise_to(100);
+        histogram.record(42);
+        histogram.record_duration(std::time::Duration::from_nanos(7));
+        drop(histogram.time());
+        drop(guard);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("c", &[]), Some(4));
+        assert_eq!(snap.gauge("g", &[]), Some(100));
+        assert_eq!(snap.histogram("h", &[]).unwrap().count, 3);
+    }
+
+    #[test]
+    fn merged_histogram_is_linear_over_labels() {
+        let registry = MetricsRegistry::new();
+        let h0 = registry.histogram("lat", &[("shard", "0")]);
+        let h1 = registry.histogram("lat", &[("shard", "1")]);
+        h0.record(10);
+        h0.record(1000);
+        h1.record(10);
+        let merged = registry.snapshot().merged_histogram("lat");
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 1020);
+        assert_eq!(merged.max, 1000);
+    }
+
+    #[test]
+    fn text_exposition_format() {
+        let registry = MetricsRegistry::new();
+        registry.counter("reqs", &[("kind", "ingest")]).add(12);
+        registry.gauge("depth", &[]).set(4);
+        registry.histogram("lat", &[("shard", "1")]).record(100);
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("reqs{kind=\"ingest\"} 12"), "{text}");
+        assert!(text.contains("depth 4"), "{text}");
+        assert!(text.contains("lat_count{shard=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_p99_ns{shard=\"1\"} 100"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a", &[("x", "1")]).add(3);
+        registry.gauge("b", &[]).set(-9);
+        registry.histogram("c", &[]).record(77);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,100 @@
+//! Span timing: a guard that records its lifetime into a histogram.
+
+use std::time::Instant;
+
+use crate::histogram::LatencyHistogram;
+
+/// Records the span from construction to drop into a
+/// [`LatencyHistogram`], in nanoseconds.
+///
+/// ```
+/// use ams_telemetry::LatencyHistogram;
+///
+/// let ingest_ns = LatencyHistogram::new();
+/// {
+///     let _span = ingest_ns.time(); // or ScopedTimer::new(&ingest_ns)
+///     // ... the measured work ...
+/// } // recorded here
+/// assert_eq!(ingest_ns.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ScopedTimer<'a> {
+    histogram: &'a LatencyHistogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Starts timing now.
+    pub fn new(histogram: &'a LatencyHistogram) -> Self {
+        Self {
+            histogram,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Ends the span early, recording it now instead of at drop.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    /// Abandons the span without recording anything (e.g. the guarded
+    /// operation failed and its latency would pollute the
+    /// distribution).
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+
+    fn finish(&mut self) {
+        if std::mem::take(&mut self.armed) {
+            self.histogram.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = LatencyHistogram::new();
+        {
+            let _t = ScopedTimer::new(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_and_disarms_drop() {
+        let h = LatencyHistogram::new();
+        let t = ScopedTimer::new(&h);
+        t.stop();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn discard_records_nothing() {
+        let h = LatencyHistogram::new();
+        ScopedTimer::new(&h).discard();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn spans_measure_elapsed_time() {
+        let h = LatencyHistogram::new();
+        {
+            let _t = h.time();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = h.snapshot();
+        assert!(s.max >= 2_000_000, "slept 2ms but max = {}ns", s.max);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the histogram: merge-linearity (bucket-wise merge
+//! of two recorded streams ≡ one histogram of the concatenated stream,
+//! the same property the sketch suite pins for counter-wise sketch
+//! merges), quantile monotonicity, top-bucket saturation under
+//! pathological samples, and a multi-thread recording smoke test.
+
+use ams_telemetry::{HistogramSnapshot, LatencyHistogram, BUCKETS};
+use proptest::prelude::*;
+
+fn record_all(samples: &[u64]) -> LatencyHistogram {
+    let h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Latency-like samples spanning every scale the buckets distinguish:
+/// zeros, nanoseconds, microseconds, milliseconds, and absurd values
+/// that must saturate the top bucket.
+fn sample() -> impl Strategy<Value = u64> {
+    (0u32..5, any::<u64>()).prop_map(|(scale, raw)| match scale {
+        0 => 0,
+        1 => raw % 1_000,
+        2 => raw % 1_000_000,
+        3 => raw % 10_000_000_000,
+        _ => raw, // anything up to u64::MAX
+    })
+}
+
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(sample(), 0..max_len)
+}
+
+proptest! {
+    /// Linearity: merging the snapshots of two independently recorded
+    /// streams equals recording the concatenated stream into one
+    /// histogram — every bucket, count, sum, and max identical.
+    #[test]
+    fn merge_equals_concatenated_recording(a in samples(50), b in samples(50)) {
+        let mut merged = record_all(&a).snapshot();
+        merged.merge_from(&record_all(&b).snapshot());
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let direct = record_all(&concat).snapshot();
+
+        prop_assert_eq!(merged, direct);
+    }
+
+    /// Quantiles are non-decreasing in q, bounded by the observed max,
+    /// and the full quantile (q = 1) reaches a bucket containing max.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(xs in samples(60), qa in 0u32..100, qb in 0u32..100) {
+        let snap = record_all(&xs).snapshot();
+        let (qa, qb) = (qa + 1, qb + 1);
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let ql = snap.quantile(lo as f64 / 100.0);
+        let qh = snap.quantile(hi as f64 / 100.0);
+        prop_assert!(ql <= qh, "quantile({lo}%) = {ql} > quantile({hi}%) = {qh}");
+        prop_assert!(qh <= snap.max, "quantile exceeds observed max");
+        if !xs.is_empty() {
+            prop_assert_eq!(snap.quantile(1.0), snap.max);
+        }
+    }
+
+    /// Constant memory under pathological input: however extreme the
+    /// samples, the structure keeps exactly BUCKETS buckets, the
+    /// accounting (count, bucket sum) stays exact, and samples at or
+    /// beyond the top bucket's lower edge all land in — and saturate
+    /// at — the final bucket.
+    #[test]
+    fn top_bucket_saturates_and_memory_is_constant(
+        xs in samples(40),
+        raw_huge in proptest::collection::vec(any::<u64>(), 1..10),
+    ) {
+        // Force the top bit range: every huge sample is ≥ 2^(BUCKETS-2).
+        let huge: Vec<u64> = raw_huge.iter().map(|&r| r | (1u64 << (BUCKETS - 2))).collect();
+        let h = record_all(&xs);
+        for &v in &huge {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets.len(), BUCKETS);
+        prop_assert_eq!(snap.memory_words(), BUCKETS + 3);
+        prop_assert_eq!(snap.count as usize, xs.len() + huge.len());
+        let bucket_total: u64 = snap.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, snap.count);
+        let ordinary_in_top = xs.iter().filter(|&&v| v >= (1u64 << (BUCKETS - 2))).count();
+        prop_assert!(
+            snap.buckets[BUCKETS - 1] as usize == huge.len() + ordinary_in_top,
+            "all huge samples saturate into the top bucket"
+        );
+    }
+}
+
+/// Concurrency smoke: many threads hammering one histogram lose no
+/// samples — at quiescence count, sum, and the bucket totals are exact.
+#[test]
+fn concurrent_recording_is_exact_at_quiescence() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 25_000;
+    let h = LatencyHistogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // A deterministic spread across many buckets.
+                    h.record((t * PER_THREAD + i) % 1_000_000);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|i| i % 1_000_000).sum();
+    assert_eq!(snap.sum, expected_sum);
+}
+
+/// Merging any number of empty snapshots is the identity.
+#[test]
+fn empty_merge_is_identity() {
+    let h = record_all(&[5, 10, 1_000_000]);
+    let mut snap = h.snapshot();
+    snap.merge_from(&HistogramSnapshot::empty());
+    assert_eq!(snap, h.snapshot());
+}

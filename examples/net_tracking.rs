@@ -89,6 +89,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rel = (est - exact_sj).abs() / exact_sj;
     assert!(rel < 0.25, "merged estimate off by {rel}");
 
+    // Scrape the server's metrics registry over the wire: one frame
+    // returns every service_* and net_* series as a typed snapshot.
+    let metrics = client.metrics()?;
+    assert_eq!(
+        metrics.counter_total("service_routed_ops"),
+        values.len() as u64,
+        "every op was routed exactly once"
+    );
+    assert_eq!(
+        metrics.counter_total("service_blocks_ingested"),
+        blocks.len() as u64,
+        "each block was ingested exactly once (shed submissions were rejected, not applied)"
+    );
+    let ingest = metrics.merged_histogram("service_ingest_ns");
+    assert!(ingest.count > 0, "ingest latency was profiled");
+    assert!(metrics.counter_total("net_frames_decoded") > blocks.len() as u64);
+    println!(
+        "\nwire-scraped telemetry: ingest kernel p50 {} ns / p99 {} ns over {} blocks, \
+         {} Busy answers",
+        ingest.p50(),
+        ingest.p99(),
+        ingest.count,
+        metrics.counter_total("net_busy_responses"),
+    );
+    println!("\nexposition-format scrape (service_* / net_* series):");
+    for line in metrics.render_text().lines() {
+        println!("  {line}");
+    }
+
     // Graceful shutdown over the wire: the Goodbye frame carries the
     // final snapshot and lifetime stats.
     let (final_snapshot, stats) = client.shutdown()?;

@@ -14,6 +14,9 @@
 //!   queues, per-shard worker threads, merge-on-query snapshots).
 //! * [`net`] — the framed TCP front-end over the service (non-blocking
 //!   reactor server, blocking client with retry-on-`Busy`).
+//! * [`telemetry`] — the lock-free metrics kernel (counters, gauges,
+//!   log₂-bucketed latency histograms, registry + text exposition)
+//!   instrumenting the service and net layers.
 //!
 //! See the repository README for a guided tour and the `examples/`
 //! directory for runnable scenarios.
@@ -28,6 +31,7 @@ pub use ams_net as net;
 pub use ams_relation as relation;
 pub use ams_service as service;
 pub use ams_stream as stream;
+pub use ams_telemetry as telemetry;
 
 pub use ams_core::{
     CompressedHistogram, DeltaTracker, JoinSignatureFamily, NaiveSampling, SampleCount,
@@ -41,3 +45,4 @@ pub use ams_service::{
     AmsService, RouterPolicy, ServiceConfig, ServiceError, ServiceSnapshot, ServiceStats,
 };
 pub use ams_stream::{DeletePattern, ExactTracker, Multiset, Op, StreamBuilder, Value};
+pub use ams_telemetry::{MetricsRegistry, MetricsSnapshot};
