@@ -257,12 +257,38 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_crc(c: &mut Criterion) {
+    use ams_net::crc::{crc32, crc32_bytewise};
+    // Frame-sized inputs: a small ack, a typical 256-entry ingest
+    // block frame (~4 KiB), and a read-burst-sized buffer.
+    let mut group = c.benchmark_group("crc");
+    group.sample_size(30);
+    for size in [64usize, 4_096, 65_536] {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let data: Vec<u8> = (0..size)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("bytewise", size), &data, |b, data| {
+            b.iter(|| black_box(crc32_bytewise(black_box(data))));
+        });
+        group.bench_with_input(BenchmarkId::new("slice-by-8", size), &data, |b, data| {
+            b.iter(|| black_box(crc32(black_box(data))));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_updates,
     bench_deletes,
     bench_queries,
     bench_scalar_vs_block,
-    bench_kernels
+    bench_kernels,
+    bench_crc
 );
 criterion_main!(benches);

@@ -16,7 +16,10 @@
 //! allocate unboundedly; the checksum rejects corruption before any
 //! field is interpreted; and every body decoder validates lengths and
 //! UTF-8 before materializing values, so arbitrary bytes produce a
-//! clean [`FrameError`], never a panic. Blocks reuse the columnar
+//! clean [`FrameError`], never a panic. The checksum itself is the
+//! slice-by-8 kernel from [`crate::crc`] (re-exported here), and both
+//! sides encode into reusable buffers via the `*_into` entry points so
+//! steady-state framing allocates nothing. Blocks reuse the columnar
 //! [`OpBlock`] wire form from `ams-stream`; snapshots and stats reuse
 //! the service layer's serde wire impls (shipped as JSON documents
 //! inside the checksummed frame — self-describing, so they can also be
@@ -59,6 +62,7 @@ const REQ_STATS: u8 = 0x05;
 const REQ_DRAIN: u8 = 0x06;
 const REQ_SHUTDOWN: u8 = 0x07;
 const REQ_METRICS: u8 = 0x08;
+const REQ_INGEST_BLOCKS: u8 = 0x09;
 
 const RESP_INGESTED: u8 = 0x81;
 const RESP_BUSY: u8 = 0x82;
@@ -179,6 +183,17 @@ pub enum Request {
         /// The updates.
         block: OpBlock,
     },
+    /// Submit several blocks for one attribute in a single frame,
+    /// amortizing the per-frame header, checksum, and dispatch cost
+    /// under pipelining. The server answers with **one response per
+    /// block** (`Ingested` or `Busy`), in order — batching changes the
+    /// framing, never the backpressure contract.
+    IngestBlocks {
+        /// The registered attribute all blocks belong to.
+        attribute: String,
+        /// The blocks, in submission order. Must be non-empty.
+        blocks: Vec<OpBlock>,
+    },
     /// Ask for the self-join size estimate of one attribute.
     QuerySelfJoin {
         /// The attribute to estimate.
@@ -272,57 +287,42 @@ pub enum Response {
     },
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
-/// compile time.
-static CRC_TABLE: [u32; 256] = crc_table();
+pub use crate::crc::{crc32, crc32_bytewise};
 
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
+/// Total bytes of prefix + header preceding the body in a frame.
+const FRAME_PREFIX: usize = 4 + HEADER_LEN;
+
+/// Starts a frame in `out`: clears the buffer and reserves space for
+/// the length prefix and header, which [`finish_frame`] patches once
+/// the body has been written after them. The clear/extend pair reuses
+/// whatever capacity `out` already has, so encoding into a pooled
+/// buffer does no steady-state allocation.
+fn begin_frame(out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(FRAME_PREFIX, 0);
 }
 
-/// CRC-32 (IEEE) of a byte slice — the frame checksum.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = !0u32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
-
-/// Wraps an encoded body into a full frame (length prefix + header +
-/// checksum + body).
+/// Completes a frame started with [`begin_frame`]: validates the body
+/// length and patches the length prefix, magic, version, and checksum
+/// in place.
 ///
 /// # Errors
-/// [`FrameError::Oversized`] when the body exceeds [`MAX_BODY`].
-fn encode_frame(body: &[u8]) -> Result<Vec<u8>, FrameError> {
-    if body.len() > MAX_BODY {
+/// [`FrameError::Oversized`] when the body exceeds [`MAX_BODY`] (the
+/// buffer's contents are unspecified afterwards — restart with
+/// [`begin_frame`]).
+fn finish_frame(out: &mut [u8]) -> Result<(), FrameError> {
+    let body_len = out.len() - FRAME_PREFIX;
+    if body_len > MAX_BODY {
         return Err(FrameError::Oversized {
-            declared: body.len() + HEADER_LEN,
+            declared: body_len + HEADER_LEN,
         });
     }
-    let mut frame = Vec::with_capacity(4 + HEADER_LEN + body.len());
-    frame.put_u32_le((HEADER_LEN + body.len()) as u32);
-    frame.put_slice(&MAGIC);
-    frame.put_u8(PROTOCOL_VERSION);
-    frame.put_u32_le(crc32(body));
-    frame.put_slice(body);
-    Ok(frame)
+    let checksum = crc32(&out[FRAME_PREFIX..]);
+    out[0..4].copy_from_slice(&((HEADER_LEN + body_len) as u32).to_le_bytes());
+    out[4..8].copy_from_slice(&MAGIC);
+    out[8] = PROTOCOL_VERSION;
+    out[9..FRAME_PREFIX].copy_from_slice(&checksum.to_le_bytes());
+    Ok(())
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), FrameError> {
@@ -409,49 +409,123 @@ fn finish(data: &[u8]) -> Result<(), FrameError> {
     }
 }
 
-/// Encodes an `IngestBlock` request as one complete frame from
-/// borrowed parts — the client's ingest hot path, avoiding the block
-/// clone an owned [`Request`] would need.
+/// Encodes an `IngestBlock` request into `out` as one complete frame
+/// from borrowed parts — the client's ingest hot path: no owned
+/// [`Request`] (so no block clone) and no per-call frame allocation
+/// (the caller reuses one buffer across the pipeline).
 ///
 /// # Errors
 /// [`FrameError`] when the attribute or block exceeds the frame-size
 /// limits (split the block and resubmit).
+pub fn encode_ingest_frame_into(
+    attribute: &str,
+    block: &OpBlock,
+    out: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    begin_frame(out);
+    out.put_u8(REQ_INGEST_BLOCK);
+    put_str(out, attribute)?;
+    block.encode_wire(out);
+    finish_frame(out)
+}
+
+/// Allocating convenience wrapper over [`encode_ingest_frame_into`].
+///
+/// # Errors
+/// As for [`encode_ingest_frame_into`].
 pub fn encode_ingest_frame(attribute: &str, block: &OpBlock) -> Result<Vec<u8>, FrameError> {
-    let mut body = Vec::with_capacity(3 + attribute.len() + block.wire_len());
-    body.put_u8(REQ_INGEST_BLOCK);
-    put_str(&mut body, attribute)?;
-    block.encode_wire(&mut body);
-    encode_frame(&body)
+    let mut out = Vec::with_capacity(FRAME_PREFIX + 3 + attribute.len() + block.wire_len());
+    encode_ingest_frame_into(attribute, block, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes an `IngestBlocks` batch request into `out` as one complete
+/// frame from borrowed parts — the client's coalesced ingest hot path.
+/// One frame carries every block; the server still answers one
+/// response per block, in order.
+///
+/// # Errors
+/// [`FrameError::Malformed`] for an empty batch; [`FrameError`] when
+/// the attribute or combined blocks exceed the frame-size limits
+/// (shrink the batch and resubmit).
+pub fn encode_ingest_batch_frame_into(
+    attribute: &str,
+    blocks: &[OpBlock],
+    out: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    if blocks.is_empty() {
+        return Err(FrameError::Malformed {
+            reason: "empty ingest batch",
+        });
+    }
+    begin_frame(out);
+    out.put_u8(REQ_INGEST_BLOCKS);
+    put_str(out, attribute)?;
+    out.put_u32_le(blocks.len() as u32);
+    for block in blocks {
+        block.encode_wire(out);
+    }
+    finish_frame(out)
 }
 
 impl Request {
-    /// Encodes this request as one complete frame, ready to write.
+    /// Encodes this request into `out` as one complete frame, reusing
+    /// the buffer's capacity (cleared first).
     ///
     /// # Errors
     /// [`FrameError`] when a field exceeds the frame-size limits (e.g.
     /// a block too large for one frame — split it and resubmit).
-    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
-        let mut body = Vec::with_capacity(16);
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), FrameError> {
         match self {
             Request::IngestBlock { attribute, block } => {
-                return encode_ingest_frame(attribute, block);
+                return encode_ingest_frame_into(attribute, block, out);
+            }
+            Request::IngestBlocks { attribute, blocks } => {
+                return encode_ingest_batch_frame_into(attribute, blocks, out);
             }
             Request::QuerySelfJoin { attribute } => {
-                body.put_u8(REQ_QUERY_SELF_JOIN);
-                put_str(&mut body, attribute)?;
+                begin_frame(out);
+                out.put_u8(REQ_QUERY_SELF_JOIN);
+                put_str(out, attribute)?;
             }
             Request::QueryTwoWayJoin { left, right } => {
-                body.put_u8(REQ_QUERY_TWO_WAY_JOIN);
-                put_str(&mut body, left)?;
-                put_str(&mut body, right)?;
+                begin_frame(out);
+                out.put_u8(REQ_QUERY_TWO_WAY_JOIN);
+                put_str(out, left)?;
+                put_str(out, right)?;
             }
-            Request::Snapshot => body.put_u8(REQ_SNAPSHOT),
-            Request::Stats => body.put_u8(REQ_STATS),
-            Request::Metrics => body.put_u8(REQ_METRICS),
-            Request::Drain => body.put_u8(REQ_DRAIN),
-            Request::Shutdown => body.put_u8(REQ_SHUTDOWN),
+            Request::Snapshot => {
+                begin_frame(out);
+                out.put_u8(REQ_SNAPSHOT);
+            }
+            Request::Stats => {
+                begin_frame(out);
+                out.put_u8(REQ_STATS);
+            }
+            Request::Metrics => {
+                begin_frame(out);
+                out.put_u8(REQ_METRICS);
+            }
+            Request::Drain => {
+                begin_frame(out);
+                out.put_u8(REQ_DRAIN);
+            }
+            Request::Shutdown => {
+                begin_frame(out);
+                out.put_u8(REQ_SHUTDOWN);
+            }
         }
-        encode_frame(&body)
+        finish_frame(out)
+    }
+
+    /// Encodes this request as one complete frame, ready to write.
+    ///
+    /// # Errors
+    /// As for [`Self::encode_into`].
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out)?;
+        Ok(out)
     }
 
     /// Decodes a request from a verified frame body (as returned by
@@ -474,6 +548,33 @@ impl Request {
                 let block = get_block(&mut data)?;
                 Request::IngestBlock { attribute, block }
             }
+            REQ_INGEST_BLOCKS => {
+                let attribute = get_str(&mut data)?;
+                if data.remaining() < 4 {
+                    return Err(FrameError::Malformed {
+                        reason: "truncated batch count",
+                    });
+                }
+                let count = data.get_u32_le() as usize;
+                if count == 0 {
+                    return Err(FrameError::Malformed {
+                        reason: "empty ingest batch",
+                    });
+                }
+                // Every block's wire form is at least 5 bytes, so a
+                // declared count the remaining body cannot hold is
+                // rejected before any allocation sized by it.
+                if count > data.remaining() / 5 {
+                    return Err(FrameError::Malformed {
+                        reason: "batch count exceeds body",
+                    });
+                }
+                let mut blocks = Vec::with_capacity(count);
+                for _ in 0..count {
+                    blocks.push(get_block(&mut data)?);
+                }
+                Request::IngestBlocks { attribute, blocks }
+            }
             REQ_QUERY_SELF_JOIN => Request::QuerySelfJoin {
                 attribute: get_str(&mut data)?,
             },
@@ -494,59 +595,72 @@ impl Request {
 }
 
 impl Response {
-    /// Encodes this response as one complete frame, ready to write.
+    /// Encodes this response into `out` as one complete frame, reusing
+    /// the buffer's capacity (cleared first) — the reactor's hot path,
+    /// paired with its per-reactor frame pool so steady-state response
+    /// encoding allocates nothing.
     ///
     /// # Errors
     /// [`FrameError`] when the response exceeds the frame-size limit
     /// (e.g. a snapshot of a sketch too large for one frame).
-    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
-        let mut body = Vec::with_capacity(16);
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), FrameError> {
+        begin_frame(out);
         match self {
-            Response::Ingested => body.put_u8(RESP_INGESTED),
+            Response::Ingested => out.put_u8(RESP_INGESTED),
             Response::Busy {
                 shard,
                 retry_hint_micros,
             } => {
-                body.put_u8(RESP_BUSY);
-                body.put_u32_le(*shard);
-                body.put_u32_le(*retry_hint_micros);
+                out.put_u8(RESP_BUSY);
+                out.put_u32_le(*shard);
+                out.put_u32_le(*retry_hint_micros);
             }
             Response::SelfJoin { estimate } => {
-                body.put_u8(RESP_SELF_JOIN);
-                body.put_u64_le(estimate.to_bits());
+                out.put_u8(RESP_SELF_JOIN);
+                out.put_u64_le(estimate.to_bits());
             }
             Response::TwoWayJoin { estimate } => {
-                body.put_u8(RESP_TWO_WAY_JOIN);
-                body.put_u64_le(estimate.to_bits());
+                out.put_u8(RESP_TWO_WAY_JOIN);
+                out.put_u64_le(estimate.to_bits());
             }
             Response::Snapshot { snapshot } => {
-                body.put_u8(RESP_SNAPSHOT);
-                put_json(&mut body, snapshot)?;
+                out.put_u8(RESP_SNAPSHOT);
+                put_json(out, snapshot)?;
             }
             Response::Stats { stats } => {
-                body.put_u8(RESP_STATS);
-                put_json(&mut body, stats)?;
+                out.put_u8(RESP_STATS);
+                put_json(out, stats)?;
             }
             Response::Metrics { snapshot } => {
-                body.put_u8(RESP_METRICS);
-                put_json(&mut body, snapshot)?;
+                out.put_u8(RESP_METRICS);
+                put_json(out, snapshot)?;
             }
             Response::Drained { epoch } => {
-                body.put_u8(RESP_DRAINED);
-                body.put_u64_le(*epoch);
+                out.put_u8(RESP_DRAINED);
+                out.put_u64_le(*epoch);
             }
             Response::Goodbye { snapshot, stats } => {
-                body.put_u8(RESP_GOODBYE);
-                put_json(&mut body, snapshot)?;
-                put_json(&mut body, stats)?;
+                out.put_u8(RESP_GOODBYE);
+                put_json(out, snapshot)?;
+                put_json(out, stats)?;
             }
             Response::Error { code, message } => {
-                body.put_u8(RESP_ERROR);
-                body.put_u8(*code as u8);
-                put_str(&mut body, message)?;
+                out.put_u8(RESP_ERROR);
+                out.put_u8(*code as u8);
+                put_str(out, message)?;
             }
         }
-        encode_frame(&body)
+        finish_frame(out)
+    }
+
+    /// Encodes this response as one complete frame, ready to write.
+    ///
+    /// # Errors
+    /// As for [`Self::encode_into`].
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out)?;
+        Ok(out)
     }
 
     /// Decodes a response from a verified frame body.
@@ -665,13 +779,17 @@ impl FrameDecoder {
     }
 
     /// Extracts the next complete frame, verifying the header and
-    /// checksum, and returns its body. `Ok(None)` means more bytes are
-    /// needed.
+    /// checksum, and returns its body **borrowed from the decoder's
+    /// buffer** — the zero-copy hot path both the reactor and the
+    /// client decode through. The returned slice is valid until the
+    /// next call to [`feed`](Self::feed) or another extraction;
+    /// decode it to an owned message within that window. `Ok(None)`
+    /// means more bytes are needed.
     ///
     /// # Errors
     /// [`FrameError`] on any header, size, or checksum violation —
     /// after which the stream must be abandoned.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+    pub fn next_frame_borrowed(&mut self) -> Result<Option<&[u8]>, FrameError> {
         let avail = &self.buf[self.pos..];
         if avail.len() < 4 {
             return Ok(None);
@@ -698,9 +816,19 @@ impl FrameDecoder {
         if crc32(body) != checksum {
             return Err(FrameError::ChecksumMismatch);
         }
-        let body = body.to_vec();
+        let body_start = self.pos + 4 + HEADER_LEN;
         self.pos += 4 + declared;
-        Ok(Some(body))
+        Ok(Some(&self.buf[body_start..self.pos]))
+    }
+
+    /// Owned-body convenience over
+    /// [`next_frame_borrowed`](Self::next_frame_borrowed) (one copy per
+    /// frame).
+    ///
+    /// # Errors
+    /// As for [`Self::next_frame_borrowed`].
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        Ok(self.next_frame_borrowed()?.map(<[u8]>::to_vec))
     }
 }
 
@@ -723,6 +851,14 @@ mod tests {
             Request::IngestBlock {
                 attribute: "clicks".into(),
                 block: OpBlock::from_values([1u64, 1, 2, 9]),
+            },
+            Request::IngestBlocks {
+                attribute: "clicks".into(),
+                blocks: vec![
+                    OpBlock::from_values([1u64, 1, 2, 9]),
+                    OpBlock::from_values([7u64]),
+                    OpBlock::from_values([3u64, 3, 3]),
+                ],
             },
             Request::QuerySelfJoin {
                 attribute: "π-ratio".into(),
@@ -872,5 +1008,86 @@ mod tests {
         // The classic IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn empty_ingest_batch_rejected_both_ways() {
+        // Encode-time refusal.
+        let mut out = Vec::new();
+        assert_eq!(
+            encode_ingest_batch_frame_into("v", &[], &mut out),
+            Err(FrameError::Malformed {
+                reason: "empty ingest batch",
+            })
+        );
+        // Decode-time refusal of a hand-built zero-count frame.
+        let mut frame = Vec::new();
+        begin_frame(&mut frame);
+        frame.put_u8(REQ_INGEST_BLOCKS);
+        put_str(&mut frame, "v").unwrap();
+        frame.put_u32_le(0);
+        finish_frame(&mut frame).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::Malformed {
+                reason: "empty ingest batch",
+            })
+        );
+    }
+
+    #[test]
+    fn overdeclared_batch_count_rejected_before_allocation() {
+        // A count the remaining body cannot possibly hold must fail
+        // cleanly (and must not size an allocation).
+        let mut frame = Vec::new();
+        begin_frame(&mut frame);
+        frame.put_u8(REQ_INGEST_BLOCKS);
+        put_str(&mut frame, "v").unwrap();
+        frame.put_u32_le(u32::MAX);
+        OpBlock::from_values([1u64]).encode_wire(&mut frame);
+        finish_frame(&mut frame).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::Malformed {
+                reason: "batch count exceeds body",
+            })
+        );
+    }
+
+    #[test]
+    fn reused_encode_buffer_produces_identical_frames() {
+        // The zero-alloc into-buffer encoders must be byte-identical to
+        // the allocating wrappers, and reuse must not leak prior
+        // contents.
+        let block_a = OpBlock::from_values([1u64, 2, 3]);
+        let block_b = OpBlock::from_values([9u64]);
+        let mut buf = Vec::new();
+        encode_ingest_frame_into("long-attribute-name", &block_a, &mut buf).unwrap();
+        assert_eq!(
+            buf,
+            encode_ingest_frame("long-attribute-name", &block_a).unwrap()
+        );
+        encode_ingest_frame_into("v", &block_b, &mut buf).unwrap();
+        assert_eq!(buf, encode_ingest_frame("v", &block_b).unwrap());
+        let batch = [block_a, block_b];
+        encode_ingest_batch_frame_into("v", &batch, &mut buf).unwrap();
+        let body = {
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&buf);
+            decoder.next_frame().unwrap().unwrap()
+        };
+        match Request::decode(&body).unwrap() {
+            Request::IngestBlocks { attribute, blocks } => {
+                assert_eq!(attribute, "v");
+                assert_eq!(blocks.len(), 2);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
     }
 }

@@ -10,9 +10,16 @@
 //! `max_pending` ingests are parked, further backpressured ingests are
 //! answered `Busy` immediately, which is what keeps server memory
 //! bounded under a producer that outruns the shard workers.
+//!
+//! The write side is a queue of encoded frames flushed with
+//! `write_vectored`, so every ready response a tick produced leaves in
+//! one batched syscall instead of one `write` per frame — and drained
+//! frame buffers return to the reactor's [`FramePool`], so
+//! steady-state response framing does zero heap allocations (the PR-3
+//! scratch idiom applied to the wire).
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 
 use ams_service::DrainCut;
@@ -24,6 +31,45 @@ use crate::codec::FrameDecoder;
 /// reactor's decoder-backlog gate this bounds the decoder buffer at
 /// roughly one maximum frame plus one burst.
 const READ_BURST: usize = 256 * 1024;
+
+/// Most frames handed to one `write_vectored` call. 16 covers a whole
+/// burst of ingest acks; anything beyond simply waits for the next
+/// loop iteration of the same pump call.
+const WRITE_VEC: usize = 16;
+
+/// Most spare frame buffers a pool retains; beyond this, returned
+/// buffers are simply dropped so an ack burst cannot pin memory
+/// forever.
+const POOL_CAP: usize = 64;
+
+/// A reactor-owned free list of encoded-frame buffers. Responses are
+/// encoded into a pooled buffer ([`take`](Self::take)), queued on the
+/// connection, and returned ([`put`](Self::put)) once flushed — after
+/// warm-up the response path recycles capacity instead of allocating.
+#[derive(Debug, Default)]
+pub(crate) struct FramePool {
+    free: Vec<Vec<u8>>,
+}
+
+impl FramePool {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cleared buffer, reusing a recycled one when available.
+    pub(crate) fn take(&mut self) -> Vec<u8> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a drained buffer to the pool (dropped when full).
+    pub(crate) fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < POOL_CAP {
+            self.free.push(buf);
+        }
+    }
+}
 
 /// One in-order response slot.
 #[derive(Debug)]
@@ -63,8 +109,13 @@ pub(crate) struct Connection {
     pub(crate) decoder: FrameDecoder,
     /// In-order response slots (front = oldest request).
     pub(crate) slots: VecDeque<Slot>,
-    write_buf: Vec<u8>,
-    write_pos: usize,
+    /// Encoded frames staged for the socket (front = oldest), flushed
+    /// with vectored writes; drained buffers go back to the pool.
+    out: VecDeque<Vec<u8>>,
+    /// Bytes of `out.front()` already written.
+    front_pos: usize,
+    /// Unflushed bytes across `out` (maintained incrementally).
+    queued_bytes: usize,
     /// Reading has stopped for good (protocol error or shutdown); the
     /// connection dies once the write buffer flushes.
     pub(crate) closing: bool,
@@ -89,8 +140,9 @@ impl Connection {
             stream,
             decoder: FrameDecoder::new(),
             slots: VecDeque::new(),
-            write_buf: Vec::new(),
-            write_pos: 0,
+            out: VecDeque::new(),
+            front_pos: 0,
+            queued_bytes: 0,
             closing: false,
             peer_gone: false,
             io_failed: false,
@@ -114,7 +166,7 @@ impl Connection {
 
     /// Unflushed response bytes.
     pub(crate) fn write_backlog(&self) -> usize {
-        self.write_buf.len() - self.write_pos
+        self.queued_bytes
     }
 
     /// Pulls bytes from the socket into the decoder — at most
@@ -152,29 +204,58 @@ impl Connection {
         fed
     }
 
-    /// Moves leading ready slots into the write buffer and flushes as
-    /// much as the socket accepts. Returns `(frames staged, bytes
-    /// flushed)` — either nonzero means progress, and the caller
-    /// accounts them as `net_frames_encoded` / `net_bytes_out`.
-    pub(crate) fn pump_writes(&mut self) -> (usize, usize) {
+    /// Moves leading ready slots onto the write queue (no copy — the
+    /// encoded frame buffer itself is queued) and flushes as much as
+    /// the socket accepts with vectored writes, so one tick's worth of
+    /// responses leaves in one syscall rather than one per frame.
+    /// Fully-flushed frame buffers return to `pool`. Returns `(frames
+    /// staged, bytes flushed)` — either nonzero means progress, and
+    /// the caller accounts them as `net_frames_encoded` /
+    /// `net_bytes_out`.
+    pub(crate) fn pump_writes(&mut self, pool: &mut FramePool) -> (usize, usize) {
         let mut frames = 0usize;
         let mut flushed = 0usize;
         while let Some(Slot::Ready(_)) = self.slots.front() {
             let Some(Slot::Ready(frame)) = self.slots.pop_front() else {
                 unreachable!("front checked above");
             };
-            self.write_buf.extend_from_slice(&frame);
+            self.queued_bytes += frame.len();
+            self.out.push_back(frame);
             frames += 1;
         }
-        while self.write_pos < self.write_buf.len() {
-            match self.stream.write(&self.write_buf[self.write_pos..]) {
+        while !self.out.is_empty() {
+            let mut slices = [IoSlice::new(&[]); WRITE_VEC];
+            let mut count = 0;
+            for (i, frame) in self.out.iter().enumerate().take(WRITE_VEC) {
+                let bytes = if i == 0 {
+                    &frame[self.front_pos..]
+                } else {
+                    &frame[..]
+                };
+                slices[count] = IoSlice::new(bytes);
+                count += 1;
+            }
+            match self.stream.write_vectored(&slices[..count]) {
                 Ok(0) => {
                     self.io_failed = true;
                     break;
                 }
                 Ok(n) => {
-                    self.write_pos += n;
                     flushed += n;
+                    self.queued_bytes -= n;
+                    let mut advanced = n;
+                    while advanced > 0 {
+                        let front_left = self.out[0].len() - self.front_pos;
+                        if advanced >= front_left {
+                            advanced -= front_left;
+                            self.front_pos = 0;
+                            let drained = self.out.pop_front().expect("front exists");
+                            pool.put(drained);
+                        } else {
+                            self.front_pos += advanced;
+                            advanced = 0;
+                        }
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -184,16 +265,12 @@ impl Connection {
                 }
             }
         }
-        if self.write_pos == self.write_buf.len() && self.write_pos > 0 {
-            self.write_buf.clear();
-            self.write_pos = 0;
-        }
         (frames, flushed)
     }
 
     /// Whether everything owed to the peer has left the process.
     pub(crate) fn flushed(&self) -> bool {
-        self.slots.is_empty() && self.write_backlog() == 0
+        self.slots.is_empty() && self.out.is_empty()
     }
 
     /// Whether the connection can be dropped: the socket failed hard,

@@ -2,20 +2,22 @@
 //!
 //! The sketches exist to track join sizes *online*, over update streams
 //! arriving from outside the process; this crate is the layer that lets
-//! them: a length-prefixed, checksummed binary protocol
-//! ([`codec`]), a single-threaded non-blocking **reactor**
-//! ([`server`]) that multiplexes every connection over std
-//! non-blocking sockets, and a blocking client library ([`client`])
-//! with automatic retry on backpressure.
+//! them: a length-prefixed, checksummed binary protocol ([`codec`],
+//! with a slice-by-8 CRC-32 kernel in [`crc`]), a **multi-reactor**
+//! non-blocking front-end ([`server`]) — one acceptor handing sockets
+//! to N reactor threads, each owning a disjoint slice of the
+//! connections over std non-blocking sockets — and a blocking client
+//! library ([`client`]) with automatic retry on backpressure and
+//! batch-coalesced zero-alloc pipelining.
 //!
 //! ```text
-//!  clients ──framed requests──▶ reactor (one thread, non-blocking I/O)
-//!     ▲                            │ try_ingest_block   ──▶ AmsService
-//!     │                            │   ├─ Ok        → Ingested         (shard queues,
-//!     │                            │   ├─ WouldBlock→ park on the       worker threads,
-//!     │                            │   │   per-connection retry ring,   merge-on-query
-//!     │                            │   │   serviced every tick          snapshots)
-//!     └──framed responses──────────┘   └─ ring full → Busy{retry_hint}
+//!              ┌─ reactor 0 (tick loop, non-blocking I/O) ─┐
+//!  clients ──▶ acceptor ──least-connections──▶ reactor i ──┤ try_ingest_block ──▶ AmsService
+//!     ▲        (listener)  handoff             ...         │   ├─ Ok        → Ingested
+//!     │        ┌─ reactor N-1 ─────────────────────────────┘   ├─ WouldBlock→ park on the
+//!     │        │  per-reactor `net_*{reactor="i"}` series      │   per-connection retry
+//!     │        │  pooled response frames, vectored writes      │   ring, serviced each tick
+//!     └──framed responses──────────────────────────────────────┴─ ring full → Busy{retry_hint}
 //! ```
 //!
 //! The key property is that **service backpressure never parks the
@@ -33,9 +35,10 @@
 //! snapshot and lifetime stats back over the wire.
 //!
 //! No async executor is involved (the workspace vendors no runtime):
-//! the reactor is a readiness loop over `std::net` non-blocking
+//! each reactor is a readiness loop over `std::net` non-blocking
 //! sockets, which is exactly enough for a protocol whose hot path is
-//! CPU-bound sketch ingestion.
+//! CPU-bound sketch ingestion — parallelism comes from accept
+//! sharding, not from an executor.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -43,6 +46,7 @@
 pub mod client;
 pub mod codec;
 mod conn;
+pub mod crc;
 pub mod error;
 mod reactor;
 pub mod server;

@@ -1,35 +1,62 @@
-//! The single-threaded readiness reactor.
+//! The multi-reactor readiness front-end.
 //!
-//! One loop multiplexes the listener and every connection over std
-//! non-blocking sockets — no executor, no epoll binding, just a tick
-//! that (1) accepts, (2) services each connection's parked retry ring,
-//! (3) reads + dispatches new frames, (4) flushes writes, and sleeps
-//! briefly only when an entire tick made no progress. The crucial
-//! invariant is that **nothing in the tick blocks**: service
-//! submission uses `try_ingest_block`, drains use the recorded-cut +
-//! poll pair, and socket I/O is non-blocking throughout, so one slow
-//! or saturated shard (or one stalled client) never parks the network
-//! thread.
+//! One **acceptor** (the thread that called [`run`]) owns the
+//! listener and hands each accepted socket to one of N **reactor**
+//! threads — round-robin, with least-connections as the tiebreaker —
+//! so frame decode + dispatch scales with cores instead of
+//! serializing on one loop. Each reactor owns a disjoint slice of the
+//! connections and runs the same tick the PR-5 single reactor did:
+//! (1) adopt handed-off sockets, (2) service each connection's parked
+//! retry ring, (3) read + dispatch new frames, (4) flush writes
+//! (vectored, one syscall per connection per tick), and sleep briefly
+//! only when an entire tick made no progress. The crucial invariant
+//! is that **nothing in the tick blocks**: service submission uses
+//! `try_ingest_block`, drains use the recorded-cut + poll pair, and
+//! socket I/O is non-blocking throughout, so one slow or saturated
+//! shard (or one stalled client) never parks a network thread.
+//!
+//! Shutdown is a two-phase rendezvous. Any reactor that sees a wire
+//! `Shutdown` (or the acceptor, on the stop flag) raises the shared
+//! `shutting_down` flag; every reactor then lands its parked work,
+//! drops its service handle, and checks in at the quiesce barrier.
+//! Once all N have checked in, the acceptor — the only remaining
+//! holder — unwraps the service `Arc`, stops the service (closing
+//! queues, joining workers), publishes the final snapshot + stats back
+//! through the barrier, and the reactor that owes its peer a `Goodbye`
+//! ships it during the farewell flush.
 
-use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use ams_service::{AmsService, ServiceError, ServiceSnapshot, ServiceStats};
 use ams_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 
 use crate::codec::{ErrorCode, Request, Response, MAX_FRAME_PAYLOAD};
-use crate::conn::{Connection, Slot};
+use crate::conn::{Connection, FramePool, Slot};
 use crate::server::NetServerConfig;
 
 /// Longest the finalizer keeps flushing farewell frames after the
 /// service stopped.
 const SHUTDOWN_FLUSH_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
 
-/// The reactor's instrument handles, registered into the *service's*
-/// registry so one `Request::Metrics` scrape (or one
-/// [`AmsService::metrics_snapshot`] call) covers both layers.
+/// Sleep between ticks while the reactor is *warm*: a tick made
+/// progress within the last [`HOT_TICKS`] ticks, so this is an active
+/// exchange and the peer's next burst (or the service's next parked-
+/// work resolution) is probably imminent. Far finer than `idle_sleep`,
+/// so mid-exchange wake latency is microseconds, while a reactor that
+/// stays progress-free backs off to the cheap long sleep.
+const WARM_POLL_SLEEP: std::time::Duration = std::time::Duration::from_micros(25);
+
+/// How many progress-free ticks stay on [`WARM_POLL_SLEEP`] after the
+/// last productive one before the loop falls back to `idle_sleep`.
+const HOT_TICKS: u32 = 8;
+
+/// One reactor's instrument handles, registered into the *service's*
+/// registry with a `reactor="i"` label so one `Request::Metrics`
+/// scrape (or one [`AmsService::metrics_snapshot`] call) covers both
+/// layers, per reactor.
 ///
 /// | metric | kind | meaning |
 /// |---|---|---|
@@ -40,7 +67,7 @@ const SHUTDOWN_FLUSH_DEADLINE: std::time::Duration = std::time::Duration::from_s
 /// | `net_bytes_out` | counter | bytes flushed to sockets |
 /// | `net_busy_responses` | counter | `Busy` load-shed answers sent |
 /// | `net_read_gated` | counter | connection-ticks reads were paused by admission bounds |
-/// | `net_retry_ring_occupancy` | gauge | parked ingests across all connections |
+/// | `net_retry_ring_occupancy` | gauge | parked ingests across this reactor's connections |
 struct NetInstruments {
     tick_ns: Arc<LatencyHistogram>,
     frames_decoded: Arc<Counter>,
@@ -53,16 +80,18 @@ struct NetInstruments {
 }
 
 impl NetInstruments {
-    fn new(registry: &MetricsRegistry) -> Self {
+    fn new(registry: &MetricsRegistry, reactor: usize) -> Self {
+        let index = reactor.to_string();
+        let labels: [(&str, &str); 1] = [("reactor", index.as_str())];
         Self {
-            tick_ns: registry.histogram("net_tick_ns", &[]),
-            frames_decoded: registry.counter("net_frames_decoded", &[]),
-            frames_encoded: registry.counter("net_frames_encoded", &[]),
-            bytes_in: registry.counter("net_bytes_in", &[]),
-            bytes_out: registry.counter("net_bytes_out", &[]),
-            busy_responses: registry.counter("net_busy_responses", &[]),
-            read_gated: registry.counter("net_read_gated", &[]),
-            retry_ring: registry.gauge("net_retry_ring_occupancy", &[]),
+            tick_ns: registry.histogram("net_tick_ns", &labels),
+            frames_decoded: registry.counter("net_frames_decoded", &labels),
+            frames_encoded: registry.counter("net_frames_encoded", &labels),
+            bytes_in: registry.counter("net_bytes_in", &labels),
+            bytes_out: registry.counter("net_bytes_out", &labels),
+            busy_responses: registry.counter("net_busy_responses", &labels),
+            read_gated: registry.counter("net_read_gated", &labels),
+            retry_ring: registry.gauge("net_retry_ring_occupancy", &labels),
         }
     }
 
@@ -75,18 +104,20 @@ impl NetInstruments {
     }
 }
 
-/// Encodes a response, demoting encode failures (e.g. a snapshot too
-/// large for one frame) to a small protocol-level error frame.
-fn encoded(response: Response) -> Vec<u8> {
-    match response.encode() {
-        Ok(frame) => frame,
-        Err(e) => Response::Error {
+/// Encodes a response into a pooled buffer, demoting encode failures
+/// (e.g. a snapshot too large for one frame) to a small protocol-level
+/// error frame.
+fn encoded(pool: &mut FramePool, response: &Response) -> Vec<u8> {
+    let mut frame = pool.take();
+    if let Err(e) = response.encode_into(&mut frame) {
+        Response::Error {
             code: ErrorCode::Internal,
             message: format!("response exceeded frame limits: {e}"),
         }
-        .encode()
-        .expect("error frames are tiny"),
+        .encode_into(&mut frame)
+        .expect("error frames are tiny");
     }
+    frame
 }
 
 /// Sizes a client's backoff after a `Busy`: deeper queues earn longer
@@ -130,7 +161,12 @@ fn ingest_failure(service: &AmsService, error: ServiceError, net: &NetInstrument
 /// parked drains. A parked drain only records its cut once no parked
 /// ingest precedes it, so the `Drained` answer really covers every
 /// ingest acknowledged before it. Returns whether any slot resolved.
-fn service_parked(conn: &mut Connection, service: &AmsService, net: &NetInstruments) -> bool {
+fn service_parked(
+    conn: &mut Connection,
+    service: &AmsService,
+    net: &NetInstruments,
+    pool: &mut FramePool,
+) -> bool {
     let mut progress = false;
     let mut ingest_blocked = false;
     let mut ingest_parked_before = false;
@@ -147,7 +183,7 @@ fn service_parked(conn: &mut Connection, service: &AmsService, net: &NetInstrume
                 let attempt = std::mem::take(block);
                 match service.try_ingest_block_returning(attribute, attempt) {
                     Ok(()) => {
-                        *slot = Slot::Ready(encoded(Response::Ingested));
+                        *slot = Slot::Ready(encoded(pool, &Response::Ingested));
                         progress = true;
                     }
                     Err((returned, ServiceError::WouldBlock { .. })) => {
@@ -156,7 +192,7 @@ fn service_parked(conn: &mut Connection, service: &AmsService, net: &NetInstrume
                         ingest_parked_before = true;
                     }
                     Err((_, other)) => {
-                        *slot = Slot::Ready(encoded(ingest_failure(service, other, net)));
+                        *slot = Slot::Ready(encoded(pool, &ingest_failure(service, other, net)));
                         progress = true;
                     }
                 }
@@ -167,7 +203,7 @@ fn service_parked(conn: &mut Connection, service: &AmsService, net: &NetInstrume
                 }
                 if let Some(recorded) = cut {
                     if let Some(epoch) = service.poll_drained(recorded) {
-                        *slot = Slot::Ready(encoded(Response::Drained { epoch }));
+                        *slot = Slot::Ready(encoded(pool, &Response::Drained { epoch }));
                         progress = true;
                     }
                 }
@@ -175,6 +211,43 @@ fn service_parked(conn: &mut Connection, service: &AmsService, net: &NetInstrume
         }
     }
     progress
+}
+
+/// Routes one block through the service, appending the resulting slot:
+/// `Ingested` on success, a parked retry-ring entry on `WouldBlock`
+/// with ring room, `Busy` otherwise. Shared by the single-block and
+/// batch ingest requests — batching changes framing, never this
+/// contract. The attribute is only materialized (cloned) on the rare
+/// parking path.
+fn dispatch_ingest(
+    conn: &mut Connection,
+    attribute: &str,
+    block: ams_stream::OpBlock,
+    service: &AmsService,
+    config: &NetServerConfig,
+    net: &NetInstruments,
+    pool: &mut FramePool,
+) {
+    match service.try_ingest_block_returning(attribute, block) {
+        Ok(()) => conn
+            .slots
+            .push_back(Slot::Ready(encoded(pool, &Response::Ingested))),
+        Err((block, ServiceError::WouldBlock { shard })) => {
+            if conn.pending_ingests() < config.max_pending_per_conn {
+                conn.slots.push_back(Slot::PendingIngest {
+                    attribute: attribute.to_owned(),
+                    block,
+                });
+            } else {
+                conn.slots
+                    .push_back(Slot::Ready(encoded(pool, &busy(service, shard, net))));
+            }
+        }
+        Err((_, other)) => conn.slots.push_back(Slot::Ready(encoded(
+            pool,
+            &ingest_failure(service, other, net),
+        ))),
+    }
 }
 
 /// Handles one decoded request, appending the resulting slot(s) to the
@@ -186,25 +259,20 @@ fn dispatch(
     service: &AmsService,
     config: &NetServerConfig,
     net: &NetInstruments,
+    pool: &mut FramePool,
 ) -> bool {
     match request {
         Request::IngestBlock { attribute, block } => {
-            match service.try_ingest_block_returning(&attribute, block) {
-                Ok(()) => conn
-                    .slots
-                    .push_back(Slot::Ready(encoded(Response::Ingested))),
-                Err((block, ServiceError::WouldBlock { shard })) => {
-                    if conn.pending_ingests() < config.max_pending_per_conn {
-                        conn.slots
-                            .push_back(Slot::PendingIngest { attribute, block });
-                    } else {
-                        conn.slots
-                            .push_back(Slot::Ready(encoded(busy(service, shard, net))));
-                    }
-                }
-                Err((_, other)) => conn
-                    .slots
-                    .push_back(Slot::Ready(encoded(ingest_failure(service, other, net)))),
+            dispatch_ingest(conn, &attribute, block, service, config, net, pool);
+        }
+        Request::IngestBlocks { attribute, blocks } => {
+            // One response slot per block, in order: the batch frame
+            // amortizes header + checksum + dispatch, while Busy /
+            // retry-ring semantics stay exactly per-block. (A batch is
+            // admitted as one frame, so `max_inflight_per_conn` can be
+            // exceeded by up to one batch's worth of slots.)
+            for block in blocks {
+                dispatch_ingest(conn, &attribute, block, service, config, net, pool);
             }
         }
         Request::QuerySelfJoin { attribute } => {
@@ -217,7 +285,7 @@ fn dispatch(
                     message: e.to_string(),
                 },
             };
-            conn.slots.push_back(Slot::Ready(encoded(response)));
+            conn.slots.push_back(Slot::Ready(encoded(pool, &response)));
         }
         Request::QueryTwoWayJoin { left, right } => {
             let response = match service.join(&left, &right) {
@@ -227,25 +295,26 @@ fn dispatch(
                     message: e.to_string(),
                 },
             };
-            conn.slots.push_back(Slot::Ready(encoded(response)));
+            conn.slots.push_back(Slot::Ready(encoded(pool, &response)));
         }
         Request::Snapshot => {
             let snapshot = service.snapshot();
             conn.slots
-                .push_back(Slot::Ready(encoded(Response::Snapshot { snapshot })));
+                .push_back(Slot::Ready(encoded(pool, &Response::Snapshot { snapshot })));
         }
         Request::Stats => {
             let stats = service.stats();
             conn.slots
-                .push_back(Slot::Ready(encoded(Response::Stats { stats })));
+                .push_back(Slot::Ready(encoded(pool, &Response::Stats { stats })));
         }
         Request::Metrics => {
-            // One scrape covers both layers: the reactor registers its
-            // own instruments into the service's registry, so the
-            // snapshot carries `service_*` and `net_*` series alike.
+            // One scrape covers both layers: each reactor registers its
+            // own labeled instruments into the service's registry, so
+            // the snapshot carries `service_*` and per-reactor `net_*`
+            // series alike.
             let snapshot = service.metrics_snapshot();
             conn.slots
-                .push_back(Slot::Ready(encoded(Response::Metrics { snapshot })));
+                .push_back(Slot::Ready(encoded(pool, &Response::Metrics { snapshot })));
         }
         Request::Drain => {
             // The cut must cover every ingest this connection was (or
@@ -262,7 +331,7 @@ fn dispatch(
                 match service.poll_drained(&cut) {
                     Some(epoch) => conn
                         .slots
-                        .push_back(Slot::Ready(encoded(Response::Drained { epoch }))),
+                        .push_back(Slot::Ready(encoded(pool, &Response::Drained { epoch }))),
                     None => conn.slots.push_back(Slot::PendingDrain { cut: Some(cut) }),
                 }
             }
@@ -275,40 +344,82 @@ fn dispatch(
     false
 }
 
-/// Runs the reactor until a `Shutdown` frame arrives or the stop flag
-/// is raised, then gracefully stops the service and returns its final
-/// snapshot and lifetime statistics.
-pub(crate) fn run(
-    listener: TcpListener,
-    service: AmsService,
+/// One reactor's accept-handoff inbox plus its load, read by the
+/// acceptor for least-connections placement. `load` counts live
+/// connections *and* not-yet-adopted handoffs (incremented by the
+/// acceptor at handoff, decremented by the reactor when a connection
+/// dies), so a burst of accepts spreads correctly even before any
+/// reactor tick runs.
+#[derive(Debug, Default)]
+struct Mailbox {
+    sockets: Mutex<Vec<TcpStream>>,
+    load: AtomicUsize,
+}
+
+/// Shared shutdown state: the flag every loop polls, and the quiesce
+/// barrier the final snapshot travels back through.
+struct Coordinator {
+    shutting_down: AtomicBool,
+    state: Mutex<CoordState>,
+    cv: Condvar,
+}
+
+struct CoordState {
+    /// Reactors that have landed all parked work and dropped their
+    /// service handle.
+    quiesced: usize,
+    /// The stopped service's final snapshot + stats, published by the
+    /// acceptor once every reactor quiesced.
+    final_state: Option<Arc<(ServiceSnapshot, ServiceStats)>>,
+}
+
+/// One reactor thread: adopts handed-off sockets, runs the tick loop
+/// until shutdown, then checks in at the quiesce barrier and flushes
+/// farewells (including the `Goodbye` if one of its peers asked for
+/// shutdown).
+fn reactor_loop(
+    index: usize,
+    mailbox: Arc<Mailbox>,
+    service: Arc<AmsService>,
+    coord: Arc<Coordinator>,
     config: NetServerConfig,
-    stop: Arc<AtomicBool>,
-) -> (ServiceSnapshot, ServiceStats) {
-    let net = NetInstruments::new(&service.registry());
+) {
+    let net = NetInstruments::new(&service.registry(), index);
     let mut conns: Vec<Connection> = Vec::new();
     let mut scratch = vec![0u8; 16 * 1024];
-    let mut shutting_down = false;
+    let mut pool = FramePool::new();
+    let mut hot = 0u32;
     loop {
         let tick_start = Instant::now();
         let mut progress = false;
-        // 1. Accept whatever is waiting (unless closing up).
+        let mut shutting_down = coord.shutting_down.load(Ordering::Acquire);
+        // 1. Adopt whatever the acceptor handed off (unless closing up).
         if !shutting_down {
-            loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if let Ok(conn) = Connection::new(stream) {
-                            conns.push(conn);
-                            progress = true;
-                        }
+            let handed = {
+                let mut inbox = mailbox.sockets.lock().expect("acceptor never panics");
+                if inbox.is_empty() {
+                    Vec::new()
+                } else {
+                    std::mem::take(&mut *inbox)
+                }
+            };
+            for stream in handed {
+                match Connection::new(stream) {
+                    Ok(conn) => {
+                        conns.push(conn);
+                        progress = true;
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(_) => break,
+                    // The socket died before adoption: release its
+                    // load share.
+                    Err(_) => {
+                        mailbox.load.fetch_sub(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
         for conn in conns.iter_mut() {
             // 2. Retry ring + parked drains.
-            progress |= service_parked(conn, &service, &net);
+            progress |= service_parked(conn, &service, &net, &mut pool);
             // 3. Read and dispatch new requests, with per-connection
             //    admission bounds so one peer cannot balloon server
             //    memory: stop reading while too many responses are in
@@ -329,58 +440,63 @@ pub(crate) fn run(
                     net.read_gated.inc();
                 }
                 while conn.slots.len() < config.max_inflight_per_conn {
-                    match conn.decoder.next_frame() {
+                    // Zero-copy decode: the frame body is borrowed from
+                    // the decoder's buffer and turned into an owned
+                    // Request in the same statement.
+                    let decoded = match conn.decoder.next_frame_borrowed() {
                         Ok(Some(body)) => {
                             progress = true;
                             net.frames_decoded.inc();
-                            match Request::decode(&body) {
-                                Ok(request) => {
-                                    if dispatch(conn, request, &service, &config, &net) {
-                                        // Shutdown: stop decoding this
-                                        // connection so no pipelined
-                                        // later request is answered
-                                        // ahead of the Goodbye (the
-                                        // in-order invariant).
-                                        shutting_down = true;
-                                        break;
-                                    }
-                                }
-                                Err(e) => {
-                                    conn.slots.push_back(Slot::Ready(encoded(Response::Error {
-                                        code: ErrorCode::Protocol,
-                                        message: e.to_string(),
-                                    })));
-                                    conn.closing = true;
-                                    break;
-                                }
-                            }
+                            Request::decode(body)
                         }
                         Ok(None) => break,
+                        Err(e) => Err(e),
+                    };
+                    match decoded {
+                        Ok(request) => {
+                            if dispatch(conn, request, &service, &config, &net, &mut pool) {
+                                // Shutdown: stop decoding this
+                                // connection so no pipelined later
+                                // request is answered ahead of the
+                                // Goodbye (the in-order invariant),
+                                // and tell every other loop.
+                                shutting_down = true;
+                                coord.shutting_down.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
                         Err(e) => {
                             // Framing violation: answer once, then close
                             // (the byte stream cannot be re-synchronized).
-                            conn.slots.push_back(Slot::Ready(encoded(Response::Error {
+                            // Only this reactor's connection dies; every
+                            // other connection — on this reactor and all
+                            // others — keeps serving.
+                            let error = Response::Error {
                                 code: ErrorCode::Protocol,
                                 message: e.to_string(),
-                            })));
+                            };
+                            conn.slots
+                                .push_back(Slot::Ready(encoded(&mut pool, &error)));
                             conn.closing = true;
                             break;
                         }
                     }
                 }
             }
-            // 4. Flush.
-            progress |= net.note_pump(conn.pump_writes());
+            // 4. Flush (one vectored write per connection per tick).
+            progress |= net.note_pump(conn.pump_writes(&mut pool));
         }
         net.retry_ring
             .set(conns.iter().map(Connection::pending_ingests).sum::<usize>() as i64);
+        let before = conns.len();
         conns.retain(|conn| !conn.dead());
-        if stop.load(Ordering::Acquire) {
-            shutting_down = true;
+        let died = before - conns.len();
+        if died > 0 {
+            mailbox.load.fetch_sub(died, Ordering::Relaxed);
         }
         // Shutdown waits for every parked ingest/drain to land so no
         // acknowledged-later work is silently dropped, then breaks to
-        // finalize.
+        // the quiesce barrier.
         if shutting_down && conns.iter().all(|c| c.pending() == 0) {
             break;
         }
@@ -388,19 +504,43 @@ pub(crate) fn run(
             // Only ticks that did work are recorded, so the histogram
             // profiles the dispatch path rather than idle spinning.
             net.tick_ns.record_duration(tick_start.elapsed());
+            hot = HOT_TICKS;
+        } else if hot > 0 {
+            hot = hot.saturating_sub(1);
+            std::thread::sleep(WARM_POLL_SLEEP.min(config.idle_sleep));
         } else {
+            // Parked work (drain polls, retry-ring ingests) waits on
+            // *service* progress, which for a deep queue is a long
+            // time: polling it at the warm grain would steal exactly
+            // the worker CPU it is waiting for, so the cold loop backs
+            // off to the cheap long sleep either way.
             std::thread::sleep(config.idle_sleep);
         }
     }
-    // Stop the service: closes the shard queues, drains the workers,
-    // joins them, and yields the final state.
-    let (snapshot, stats) = service.shutdown();
+    // Quiesce: drop this reactor's service handle *before* checking in,
+    // so once the acceptor observes `quiesced == N` under the lock it
+    // holds the only remaining `Arc` and can unwrap + stop the service.
+    drop(service);
+    let final_state = {
+        let mut state = coord.state.lock().expect("coordinator never panics");
+        state.quiesced += 1;
+        coord.cv.notify_all();
+        loop {
+            if let Some(final_state) = &state.final_state {
+                break Arc::clone(final_state);
+            }
+            state = coord.cv.wait(state).expect("coordinator never panics");
+        }
+    };
+    let (snapshot, stats) = &*final_state;
     for conn in conns.iter_mut() {
         if conn.wants_goodbye {
-            conn.slots.push_back(Slot::Ready(encoded(Response::Goodbye {
+            let goodbye = Response::Goodbye {
                 snapshot: snapshot.clone(),
                 stats: stats.clone(),
-            })));
+            };
+            conn.slots
+                .push_back(Slot::Ready(encoded(&mut pool, &goodbye)));
         }
         conn.closing = true;
     }
@@ -410,13 +550,114 @@ pub(crate) fn run(
     while Instant::now() < deadline {
         let mut flushed = true;
         for conn in conns.iter_mut() {
-            net.note_pump(conn.pump_writes());
+            net.note_pump(conn.pump_writes(&mut pool));
             flushed &= conn.dead() || conn.flushed();
         }
         if flushed {
             break;
         }
         std::thread::sleep(config.idle_sleep);
+    }
+}
+
+/// Runs the front-end until a `Shutdown` frame arrives or the stop
+/// flag is raised, then gracefully stops the service and returns its
+/// final snapshot and lifetime statistics. The calling thread is the
+/// acceptor; `config.reactors` reactor threads do the per-connection
+/// work.
+pub(crate) fn run(
+    listener: TcpListener,
+    service: AmsService,
+    config: NetServerConfig,
+    stop: Arc<AtomicBool>,
+) -> (ServiceSnapshot, ServiceStats) {
+    let reactors = config.reactors.max(1);
+    let service = Arc::new(service);
+    let coord = Arc::new(Coordinator {
+        shutting_down: AtomicBool::new(false),
+        state: Mutex::new(CoordState {
+            quiesced: 0,
+            final_state: None,
+        }),
+        cv: Condvar::new(),
+    });
+    let mailboxes: Vec<Arc<Mailbox>> = (0..reactors)
+        .map(|_| Arc::new(Mailbox::default()))
+        .collect();
+    let threads: Vec<std::thread::JoinHandle<()>> = (0..reactors)
+        .map(|index| {
+            let mailbox = Arc::clone(&mailboxes[index]);
+            let service = Arc::clone(&service);
+            let coord = Arc::clone(&coord);
+            std::thread::Builder::new()
+                .name(format!("ams-net-reactor-{index}"))
+                .spawn(move || reactor_loop(index, mailbox, service, coord, config))
+                .expect("spawn reactor thread")
+        })
+        .collect();
+    // Accept loop: place each socket on the least-loaded reactor,
+    // breaking ties round-robin from a rotating cursor so equal-load
+    // reactors share accepts instead of the first always winning.
+    let mut cursor = 0usize;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            coord.shutting_down.store(true, Ordering::Release);
+        }
+        if coord.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut best = cursor % reactors;
+                let mut best_load = mailboxes[best].load.load(Ordering::Relaxed);
+                for offset in 1..reactors {
+                    let candidate = (cursor + offset) % reactors;
+                    let load = mailboxes[candidate].load.load(Ordering::Relaxed);
+                    if load < best_load {
+                        best = candidate;
+                        best_load = load;
+                    }
+                }
+                cursor = cursor.wrapping_add(1);
+                let mailbox = &mailboxes[best];
+                mailbox.load.fetch_add(1, Ordering::Relaxed);
+                mailbox
+                    .sockets
+                    .lock()
+                    .expect("reactors never panic")
+                    .push(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(config.idle_sleep);
+            }
+            Err(_) => std::thread::sleep(config.idle_sleep),
+        }
+    }
+    drop(listener);
+    // Wait for every reactor to land parked work and release its
+    // service handle.
+    {
+        let mut state = coord.state.lock().expect("reactors never panic");
+        while state.quiesced < reactors {
+            state = coord.cv.wait(state).expect("reactors never panic");
+        }
+    }
+    let service = match Arc::try_unwrap(service) {
+        Ok(service) => service,
+        // Unreachable: every reactor drops its clone before its
+        // `quiesced` increment becomes visible under the lock.
+        Err(_) => unreachable!("a reactor quiesced while still holding the service"),
+    };
+    // Stop the service: closes the shard queues, drains the workers,
+    // joins them, and yields the final state.
+    let (snapshot, stats) = service.shutdown();
+    {
+        let mut state = coord.state.lock().expect("reactors never panic");
+        state.final_state = Some(Arc::new((snapshot.clone(), stats.clone())));
+    }
+    coord.cv.notify_all();
+    for thread in threads {
+        let _ = thread.join();
     }
     (snapshot, stats)
 }

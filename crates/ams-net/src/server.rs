@@ -27,6 +27,13 @@ pub struct NetServerConfig {
     /// How long the reactor sleeps after a tick in which nothing at
     /// all progressed.
     pub idle_sleep: Duration,
+    /// How many reactor threads share the connections. The acceptor
+    /// hands each new socket to the least-loaded reactor (round-robin
+    /// on ties), so decode + dispatch scales with cores. `0` is
+    /// treated as `1`. The default is 1 — scaling past one reactor is
+    /// an explicit choice, sized to the host (e.g.
+    /// `std::thread::available_parallelism()`).
+    pub reactors: usize,
 }
 
 impl Default for NetServerConfig {
@@ -36,6 +43,7 @@ impl Default for NetServerConfig {
             max_inflight_per_conn: 64,
             max_write_buffer: 256 * 1024,
             idle_sleep: Duration::from_micros(200),
+            reactors: 1,
         }
     }
 }
@@ -109,22 +117,25 @@ impl NetServer {
         StopHandle(Arc::clone(&self.stop))
     }
 
-    /// Runs the reactor on the calling thread until a wire `Shutdown`
-    /// request arrives or the stop handle fires, then returns the
-    /// service's final snapshot and lifetime statistics.
+    /// Runs the front-end on the calling thread (which becomes the
+    /// acceptor; `config.reactors` reactor threads own the
+    /// connections) until a wire `Shutdown` request arrives or the
+    /// stop handle fires, then returns the service's final snapshot
+    /// and lifetime statistics.
     pub fn run(self, service: AmsService) -> (ServiceSnapshot, ServiceStats) {
         reactor::run(self.listener, service, self.config, self.stop)
     }
 
-    /// Spawns the reactor on a background thread and returns a handle
-    /// carrying the address, a stop handle, and the join point.
+    /// Spawns the acceptor (and its reactor threads) in the background
+    /// and returns a handle carrying the address, a stop handle, and
+    /// the join point.
     pub fn spawn(self, service: AmsService) -> ServerHandle {
         let addr = self.addr;
         let stop = self.stop_handle();
         let thread = std::thread::Builder::new()
-            .name("ams-net-reactor".into())
+            .name("ams-net-acceptor".into())
             .spawn(move || self.run(service))
-            .expect("spawn reactor thread");
+            .expect("spawn acceptor thread");
         ServerHandle { addr, stop, thread }
     }
 }

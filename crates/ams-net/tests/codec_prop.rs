@@ -2,7 +2,8 @@
 //! arbitrary blocks and queries, and clean (panic-free) rejection of
 //! truncated, corrupted, and arbitrary byte prefixes.
 
-use ams_net::codec::MAX_FRAME_PAYLOAD;
+use ams_net::codec::{encode_ingest_batch_frame_into, MAX_FRAME_PAYLOAD};
+use ams_net::crc::{crc32, crc32_bytewise};
 use ams_net::{FrameDecoder, Request, Response};
 use ams_stream::OpBlock;
 use proptest::prelude::*;
@@ -32,18 +33,29 @@ fn block() -> impl Strategy<Value = OpBlock> {
 }
 
 fn request() -> impl Strategy<Value = Request> {
-    (0u8..7, attr_name(), attr_name(), block()).prop_map(|(kind, a, b, block)| match kind {
-        0 => Request::IngestBlock {
-            attribute: a,
-            block,
-        },
-        1 => Request::QuerySelfJoin { attribute: a },
-        2 => Request::QueryTwoWayJoin { left: a, right: b },
-        3 => Request::Snapshot,
-        4 => Request::Stats,
-        5 => Request::Drain,
-        _ => Request::Shutdown,
-    })
+    (
+        0u8..8,
+        attr_name(),
+        attr_name(),
+        block(),
+        proptest::collection::vec(block(), 1..5),
+    )
+        .prop_map(|(kind, a, b, block, blocks)| match kind {
+            0 => Request::IngestBlock {
+                attribute: a,
+                block,
+            },
+            1 => Request::QuerySelfJoin { attribute: a },
+            2 => Request::QueryTwoWayJoin { left: a, right: b },
+            3 => Request::Snapshot,
+            4 => Request::Stats,
+            5 => Request::Drain,
+            6 => Request::IngestBlocks {
+                attribute: a,
+                blocks,
+            },
+            _ => Request::Shutdown,
+        })
 }
 
 fn decode_one(bytes: &[u8]) -> Result<Option<Vec<u8>>, ams_net::FrameError> {
@@ -134,5 +146,59 @@ proptest! {
             decode_one(&bytes),
             Err(ams_net::FrameError::Oversized { .. })
         ));
+    }
+
+    /// The slice-by-8 CRC kernel is bit-identical to the bytewise
+    /// oracle on arbitrary byte strings — including the empty string,
+    /// single bytes, and every alignment straddling the 8-byte stride
+    /// (the `cut` trims force lengths ≡ ±1 mod 8 and everything else).
+    #[test]
+    fn crc_slice_by_8_matches_bytewise_oracle(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+        cut in 0usize..8,
+    ) {
+        let trimmed = &bytes[..bytes.len().saturating_sub(cut)];
+        prop_assert_eq!(crc32(trimmed), crc32_bytewise(trimmed));
+        prop_assert_eq!(crc32(&bytes), crc32_bytewise(&bytes));
+    }
+
+    /// `IngestBlocks` batch frames round-trip through the reusable
+    /// encode buffer, and the batch helper agrees with the owned
+    /// `Request` encoder byte for byte.
+    #[test]
+    fn ingest_batch_frames_roundtrip(
+        attribute in attr_name(),
+        blocks in proptest::collection::vec(block(), 1..6),
+    ) {
+        let mut buf = Vec::new();
+        encode_ingest_batch_frame_into(&attribute, &blocks, &mut buf).unwrap();
+        let request = Request::IngestBlocks { attribute, blocks };
+        prop_assert_eq!(&buf, &request.encode().unwrap());
+        let body = decode_one(&buf).unwrap().expect("whole frame decodes");
+        prop_assert_eq!(Request::decode(&body).unwrap(), request);
+    }
+
+    /// Truncating or flipping bytes of a batch frame is always a clean
+    /// rejection (or, for a formally valid mutation, a clean decode) —
+    /// never a panic, never an allocation sized by hostile counts.
+    #[test]
+    fn corrupted_batch_frames_never_panic(
+        attribute in attr_name(),
+        blocks in proptest::collection::vec(block(), 1..6),
+        at in 0usize..4096,
+        flip in 1u8..255,
+        cut in 1usize..4096,
+    ) {
+        let mut frame = Vec::new();
+        encode_ingest_batch_frame_into(&attribute, &blocks, &mut frame).unwrap();
+        // Truncation: strictly shorter input never yields a frame.
+        let cut = cut % frame.len();
+        prop_assert!(matches!(decode_one(&frame[..cut]), Ok(None)));
+        // Corruption: one flipped byte is detected or decodes cleanly.
+        let at = at % frame.len();
+        frame[at] ^= flip;
+        if let Ok(Some(body)) = decode_one(&frame) {
+            let _ = Request::decode(&body);
+        }
     }
 }

@@ -316,22 +316,27 @@ fn metrics_scrape_covers_service_and_net_layers_end_to_end() {
     );
 
     // The reactor's series ride in the same snapshot: every request
-    // frame this client sent (ingests + drain + the metrics request
-    // itself) was decoded, and bytes moved both ways.
+    // frame this client sent was decoded — the pipelined blocks travel
+    // coalesced into IngestBlocks batch frames of INGEST_BATCH blocks,
+    // plus the drain and the metrics request itself — and every block
+    // still earned its own response frame, so encoded > decoded.
+    let batch_frames = blocks.len().div_ceil(AmsClient::INGEST_BATCH) as u64;
     let decoded = metrics.counter_total("net_frames_decoded");
     assert!(
-        decoded >= blocks.len() as u64 + 2,
+        decoded >= batch_frames + 2,
         "expected at least {} decoded frames, saw {decoded}",
-        blocks.len() + 2
+        batch_frames + 2
     );
     assert!(metrics.counter_total("net_frames_encoded") > blocks.len() as u64);
     assert!(metrics.counter_total("net_bytes_in") > 0);
     assert!(metrics.counter_total("net_bytes_out") > 0);
+    // Reactor instruments carry a reactor label now; a default server
+    // runs exactly one reactor.
     assert!(
         metrics
-            .histogram("net_tick_ns", &[])
+            .histogram("net_tick_ns", &[("reactor", "0")])
             .is_some_and(|t| t.count > 0),
-        "active reactor ticks must be profiled"
+        "active reactor ticks must be profiled under reactor=\"0\""
     );
 
     // The wire snapshot renders to exposition text naming both layers.
@@ -498,6 +503,188 @@ fn truncated_connection_mid_frame_is_harmless() {
     client.ingest_values("v", &[3]).unwrap();
     client.drain().unwrap();
     assert_eq!(client.snapshot().unwrap().ops(), 1);
+    drop(client);
+    handle.stop();
+}
+
+#[test]
+fn two_reactor_server_is_bit_identical_with_per_reactor_metrics() {
+    // The multi-reactor acceptance pin: two reactors, two clients (the
+    // least-connections handoff places one connection on each), one
+    // attribute fed from both sides. Linearity of the sketches means
+    // the merged counters must be bit-identical to single-threaded
+    // in-process ingestion of the same stream, and the metrics scrape
+    // must show distinct reactor="0" / reactor="1" series.
+    let params = SketchParams::new(64, 3).unwrap();
+    let config = NetServerConfig {
+        reactors: 2,
+        ..NetServerConfig::default()
+    };
+    let server = NetServer::bind_with("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(2, 32, params, &["v"]));
+
+    let values: Vec<u64> = (0..8_192u64).map(|i| i * 37 % 1021).collect();
+    let blocks: Vec<OpBlock> = value_blocks(&values, 128).collect();
+    let half = blocks.len() / 2;
+
+    let mut client_a = AmsClient::connect(addr).unwrap();
+    let mut client_b = AmsClient::connect(addr).unwrap();
+    // Interleave submissions from both connections so both reactors
+    // carry real traffic before the drain.
+    ingest_all(&mut client_a, "v", &blocks[..half]);
+    ingest_all(&mut client_b, "v", &blocks[half..]);
+    client_a.drain().unwrap();
+    client_b.drain().unwrap();
+
+    let snapshot = client_a.snapshot().unwrap();
+    assert_eq!(snapshot.ops(), values.len() as u64);
+    let mut reference: TugOfWarSketch = TugOfWarSketch::new(params, 0xBEEF);
+    reference.extend_values(values.iter().copied());
+    assert_eq!(
+        snapshot.sketch("v").unwrap().counters(),
+        reference.counters(),
+        "two-reactor wire ingestion must be bit-identical to in-process"
+    );
+
+    // One scrape shows both reactors' series, each with real traffic:
+    // the two connections were spread one per reactor, so each
+    // reactor decoded frames and ticked.
+    let metrics = client_b.metrics().unwrap();
+    for reactor in ["0", "1"] {
+        let labels = [("reactor", reactor)];
+        let decoded = metrics.counter("net_frames_decoded", &labels);
+        assert!(
+            decoded.is_some_and(|c| c > 0),
+            "reactor {reactor} decoded no frames: connections were not spread"
+        );
+        assert!(
+            metrics
+                .histogram("net_tick_ns", &labels)
+                .is_some_and(|t| t.count > 0),
+            "reactor {reactor} recorded no active ticks"
+        );
+    }
+    // The per-reactor series are genuinely distinct label sets, and
+    // their sum covers all decoded traffic.
+    let total = metrics.counter_total("net_frames_decoded");
+    let r0 = metrics
+        .counter("net_frames_decoded", &[("reactor", "0")])
+        .unwrap();
+    let r1 = metrics
+        .counter("net_frames_decoded", &[("reactor", "1")])
+        .unwrap();
+    assert_eq!(r0 + r1, total);
+
+    drop(client_a);
+    drop(client_b);
+    handle.stop();
+}
+
+#[test]
+fn two_reactor_busy_shedding_is_per_reactor_and_malformed_is_isolated() {
+    // Load-shedding and framing failures stay reactor-local: each
+    // connection's burst against a cap-1 queue earns Busy answers
+    // accounted under its own reactor's label, and a malformed frame
+    // killing one connection leaves connections on both reactors
+    // serving.
+    let params = SketchParams::single_group(256).unwrap();
+    let config = NetServerConfig {
+        max_pending_per_conn: 0,
+        reactors: 2,
+        ..NetServerConfig::default()
+    };
+    let server = NetServer::bind_with("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(1, 1, params, &["v"]));
+
+    // Connection 1 → reactor 0, connection 2 → reactor 1
+    // (least-connections with round-robin tiebreak). A deep retry
+    // budget: with parking disabled every resubmission may be shed
+    // again.
+    let patient = RetryPolicy {
+        max_attempts: 10_000,
+        max_backoff: Duration::from_millis(5),
+    };
+    let mut client_a = AmsClient::connect(addr).unwrap().with_retry_policy(patient);
+    let mut client_b = AmsClient::connect(addr).unwrap().with_retry_policy(patient);
+
+    // Big distinct-value blocks keep the single worker busy long
+    // enough that each client's pipelined burst observably overruns
+    // the cap-1 queue.
+    let values: Vec<u64> = (0..32_768u64).collect();
+    let blocks: Vec<OpBlock> = value_blocks(&values, 4_096).collect();
+    let shed_a = ingest_all(&mut client_a, "v", &blocks);
+    let shed_b = ingest_all(&mut client_b, "v", &blocks);
+    assert!(
+        shed_a > 0 && shed_b > 0,
+        "both connections' bursts must observe load shedding (a={shed_a}, b={shed_b})"
+    );
+    client_a.drain().unwrap();
+
+    let metrics = client_a.metrics().unwrap();
+    for reactor in ["0", "1"] {
+        let busy = metrics.counter("net_busy_responses", &[("reactor", reactor)]);
+        assert!(
+            busy.is_some_and(|c| c > 0),
+            "reactor {reactor} shed nothing: Busy accounting is not per-reactor"
+        );
+    }
+
+    // A byte-soup connection (handed to one reactor) dies alone; both
+    // established clients keep working afterwards.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0xFF; 64]).unwrap();
+    let mut sink = Vec::new();
+    let _ = raw.read_to_end(&mut sink); // server answers error, closes
+    drop(raw);
+    client_a.ingest_values("v", &[1]).unwrap();
+    client_b.ingest_values("v", &[2]).unwrap();
+    client_a.drain().unwrap();
+
+    // Nothing was lost or double-applied across reactors and retries.
+    let snapshot = client_b.snapshot().unwrap();
+    let mut reference: TugOfWarSketch = TugOfWarSketch::new(params, 0xBEEF);
+    reference.extend_values(values.iter().copied());
+    reference.extend_values(values.iter().copied());
+    reference.extend_values([1u64, 2]);
+    assert_eq!(
+        snapshot.sketch("v").unwrap().counters(),
+        reference.counters()
+    );
+
+    drop(client_a);
+    drop(client_b);
+    handle.stop();
+}
+
+#[test]
+fn pipelined_ingest_reuses_one_encode_buffer() {
+    // The zero-alloc pipelining pin: after the first full-size batch
+    // warms the client's encode buffer, further pipelined ingestion —
+    // same-shaped blocks, many batches — must not grow it. Capacity
+    // stability is the observable for "no allocation per frame".
+    let params = SketchParams::new(16, 3).unwrap();
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn(service(2, 64, params, &["v"]));
+
+    let values: Vec<u64> = (0..16_384u64).collect();
+    let blocks: Vec<OpBlock> = value_blocks(&values, 64).collect();
+    let mut client = AmsClient::connect(addr).unwrap();
+
+    ingest_all(&mut client, "v", &blocks);
+    let warmed = client.ingest_encode_capacity();
+    assert!(warmed > 0, "ingest must have sized the encode buffer");
+    for _ in 0..3 {
+        ingest_all(&mut client, "v", &blocks);
+        assert_eq!(
+            client.ingest_encode_capacity(),
+            warmed,
+            "steady-state pipelining must reuse the warmed encode buffer"
+        );
+    }
+    client.drain().unwrap();
     drop(client);
     handle.stop();
 }

@@ -154,6 +154,11 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Hints that at least `additional` more bytes will be appended.
+    /// Sinks that can pre-size (e.g. `Vec<u8>`) do; the default is a
+    /// no-op.
+    fn reserve(&mut self, _additional: usize) {}
+
     /// Appends a little-endian `u16`.
     fn put_u16_le(&mut self, v: u16) {
         self.put_slice(&v.to_le_bytes());
@@ -184,10 +189,18 @@ impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
+
+    fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
 }
 
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        Vec::reserve(self, additional);
     }
 }

@@ -3,10 +3,11 @@
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
 //! item shapes this workspace uses — structs with named fields (including
 //! const-generic and bounded type parameters and `#[serde(with = "...")]`
-//! field attributes), tuple structs, and enums with unit or tuple
-//! variants — by walking the raw token stream directly (no `syn`/`quote`,
-//! which are unavailable offline) and emitting impls of the local `serde`
-//! facade's content-tree traits.
+//! and `#[serde(skip_serializing_if = "...")]` field attributes), tuple
+//! structs, and enums with unit or tuple variants — by walking the raw
+//! token stream directly (no `syn`/`quote`, which are unavailable
+//! offline) and emitting impls of the local `serde` facade's content-tree
+//! traits.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -17,6 +18,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     with: Option<String>,
+    /// Predicate path from `skip_serializing_if = "path"`: when it
+    /// returns true the field is omitted from the serialized map (and
+    /// treated as `Content::Null` when missing on deserialize).
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -76,9 +81,11 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-/// Extracts the `with = "path"` target from a field's attributes, if any.
-fn field_with_attr(tokens: &[TokenTree], mut i: usize) -> Option<String> {
+/// Extracts the `with = "path"` and `skip_serializing_if = "path"`
+/// targets from a field's attributes, if any.
+fn field_serde_attrs(tokens: &[TokenTree], mut i: usize) -> (Option<String>, Option<String>) {
     let mut with = None;
+    let mut skip_if = None;
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
@@ -89,13 +96,18 @@ fn field_with_attr(tokens: &[TokenTree], mut i: usize) -> Option<String> {
                     if id.to_string() == "serde" {
                         if let Some(TokenTree::Group(args)) = inner.get(1) {
                             let args: Vec<TokenTree> = args.stream().into_iter().collect();
-                            // look for: with = "literal"
+                            // look for: <key> = "literal"
                             let mut j = 0;
                             while j < args.len() {
                                 if let TokenTree::Ident(a) = &args[j] {
-                                    if a.to_string() == "with" && j + 2 < args.len() {
-                                        let lit = args[j + 2].to_string();
-                                        with = Some(lit.trim_matches('"').to_string());
+                                    if j + 2 < args.len() {
+                                        let lit =
+                                            args[j + 2].to_string().trim_matches('"').to_string();
+                                        match a.to_string().as_str() {
+                                            "with" => with = Some(lit),
+                                            "skip_serializing_if" => skip_if = Some(lit),
+                                            _ => {}
+                                        }
                                     }
                                 }
                                 j += 1;
@@ -108,7 +120,7 @@ fn field_with_attr(tokens: &[TokenTree], mut i: usize) -> Option<String> {
             _ => break,
         }
     }
-    with
+    (with, skip_if)
 }
 
 /// Skips a visibility qualifier (`pub`, `pub(...)`) at `i`.
@@ -213,7 +225,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let with = field_with_attr(&tokens, i);
+        let (with, skip_if) = field_serde_attrs(&tokens, i);
         i = skip_attrs(&tokens, i);
         i = skip_vis(&tokens, i);
         let name = match tokens.get(i) {
@@ -238,7 +250,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, with });
+        fields.push(Field {
+            name,
+            with,
+            skip_if,
+        });
     }
     fields
 }
@@ -395,9 +411,15 @@ fn derive_serialize_impl(item: &Item) -> String {
                         "{path}::serialize(&self.{n}, ::serde::__private::ContentSerializer::<__S::Error>::new())?"
                     ),
                 };
-                pushes.push_str(&format!(
+                let push = format!(
                     "__entries.push((::serde::Content::Str(\"{n}\".to_string()), {value}));\n"
-                ));
+                );
+                match &f.skip_if {
+                    None => pushes.push_str(&push),
+                    Some(pred) => {
+                        pushes.push_str(&format!("if !{pred}(&self.{n}) {{\n{push}}}\n"));
+                    }
+                }
             }
             format!(
                 "let mut __entries: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();\n\
@@ -474,10 +496,22 @@ fn derive_deserialize_impl(item: &Item) -> String {
                         "{path}::deserialize(::serde::__private::ContentDeserializer::<__D::Error>::new(__v))?"
                     ),
                 };
+                // A field the serializer may omit deserializes from
+                // `Null` when absent (e.g. `Option` fields come back
+                // `None`); all others are required.
+                let lookup = match &f.skip_if {
+                    None => format!(
+                        "::serde::__private::take_entry(&mut __entries, \"{n}\")\
+                         .ok_or_else(|| {err}::custom(\"missing field `{n}`\"))?"
+                    ),
+                    Some(_) => format!(
+                        "::serde::__private::take_entry(&mut __entries, \"{n}\")\
+                         .unwrap_or(::serde::Content::Null)"
+                    ),
+                };
                 inits.push_str(&format!(
                     "{n}: {{\n\
-                     let __v = ::serde::__private::take_entry(&mut __entries, \"{n}\")\
-                     .ok_or_else(|| {err}::custom(\"missing field `{n}`\"))?;\n\
+                     let __v = {lookup};\n\
                      {value}\n\
                      }},\n"
                 ));
