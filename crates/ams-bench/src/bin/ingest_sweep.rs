@@ -22,7 +22,7 @@
 //! reactor — omitted on single-core hosts rather than fabricated.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ams_bench::Workload;
 use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
@@ -31,7 +31,7 @@ use ams_hash::lanes::PlaneScratch;
 use ams_hash::plane::SignPlane;
 use ams_hash::{PolySignPlane, SplitMix64};
 use ams_net::{AmsClient, IngestOutcome, NetServer, NetServerConfig};
-use ams_service::{AmsService, RouterPolicy, ServiceConfig};
+use ams_service::{AmsService, DurabilityConfig, FsyncPolicy, RouterPolicy, ServiceConfig};
 use ams_stream::{value_blocks, CoalesceBuffer, OpBlock};
 use ams_telemetry::noop::{NoopCounter, NoopHistogram};
 use ams_telemetry::MetricsRegistry;
@@ -101,6 +101,33 @@ struct Report {
     /// Instrumented-vs-noop cost of the telemetry kernel on the
     /// block-256 zipf workload (the acceptance bound is ≤ 3%).
     telemetry_overhead: TelemetryOverhead,
+    /// What durable ingest costs, by fsync policy, against the same
+    /// workload with durability off: the price list behind the WAL's
+    /// `FsyncPolicy` choice (group-commit is the headline — the cost
+    /// of ack-after-fsync as `ams-net` clients see it).
+    durability_overhead_pct: DurabilityOverhead,
+}
+
+#[derive(Serialize)]
+struct DurabilityOverhead {
+    /// Durability-off baseline: 1-shard block-256 ingest, acked by an
+    /// applied-cut poll (what `poll_durable` degrades to without a
+    /// WAL).
+    off_melem_s: f64,
+    /// WAL appends, no fsync on the append path (rotation/checkpoint
+    /// still sync): isolates the append + CRC cost.
+    os_buffered_melem_s: f64,
+    /// WAL appends + at-most-one-fsync-per-2ms group commit: the
+    /// recommended durable ingest mode.
+    group_commit_melem_s: f64,
+    /// WAL appends + fsync per record: the latency-floor mode.
+    per_append_melem_s: f64,
+    /// Median per-sample paired slowdown of group-commit vs off, in
+    /// percent (the legs run in strict rotation, so drift cancels —
+    /// the wire-tax method).
+    group_commit_pct: f64,
+    /// Same, for per-append fsync.
+    per_append_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -345,6 +372,105 @@ fn main() {
         sharded_melem_s.insert(shards, rate);
         drop(service);
     }
+
+    // Price the durability layer: the same 1-shard block-256 workload
+    // acked all the way to stable storage (ingest, then a durability
+    // cut polled to completion) under each fsync policy, against a
+    // durability-off baseline doing the equivalent applied-cut wait.
+    // The four legs run in strict rotation each sample so drift lands
+    // on all of them, and the overhead percents are medians of
+    // per-sample paired ratios (the wire-tax method).
+    let durability_overhead_pct = {
+        let bench_dir =
+            std::env::temp_dir().join(format!("ams-bench-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&bench_dir);
+        let build = |dir: Option<&str>, policy: FsyncPolicy| {
+            let mut builder = ServiceConfig::builder()
+                .shards(1)
+                .queue_capacity(64)
+                .sketch_params(params)
+                .seed(1)
+                .router(RouterPolicy::RoundRobin)
+                .publish_every(u64::MAX / 2);
+            if let Some(dir) = dir {
+                builder = builder
+                    .durability(DurabilityConfig::new(bench_dir.join(dir)).with_fsync(policy));
+            }
+            AmsService::start(builder.build().expect("valid service config"), &["v"])
+                .expect("start service")
+        };
+        let legs = [
+            build(None, FsyncPolicy::OsBuffered),
+            build(Some("os-buffered"), FsyncPolicy::OsBuffered),
+            build(
+                Some("group-commit"),
+                FsyncPolicy::GroupCommit {
+                    interval: Duration::from_millis(2),
+                },
+            ),
+            build(Some("per-append"), FsyncPolicy::PerAppend),
+        ];
+        let run = |service: &AmsService| {
+            for block in &blocks_256 {
+                service
+                    .ingest_block("v", block.clone())
+                    .expect("service accepts while running");
+            }
+            let cut = service.durability_cut();
+            while !service.poll_durable(&cut) {
+                std::thread::yield_now();
+            }
+        };
+        const DUR_SAMPLES: usize = 15;
+        let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(DUR_SAMPLES); legs.len()];
+        for leg in &legs {
+            run(leg);
+        }
+        for _ in 0..DUR_SAMPLES {
+            for (leg, slot) in legs.iter().zip(times.iter_mut()) {
+                let start = Instant::now();
+                run(leg);
+                slot.push(start.elapsed().as_secs_f64());
+            }
+        }
+        let rate = |samples: &[f64]| {
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            melem_per_s(UPDATES, sorted[sorted.len() / 2])
+        };
+        let paired_pct = |leg: &[f64], base: &[f64]| {
+            let mut pcts: Vec<f64> = leg
+                .iter()
+                .zip(base)
+                .map(|(l, b)| (l / b - 1.0) * 100.0)
+                .collect();
+            pcts.sort_by(f64::total_cmp);
+            (pcts[pcts.len() / 2] * 100.0).round() / 100.0
+        };
+        let overhead = DurabilityOverhead {
+            off_melem_s: rate(&times[0]),
+            os_buffered_melem_s: rate(&times[1]),
+            group_commit_melem_s: rate(&times[2]),
+            per_append_melem_s: rate(&times[3]),
+            group_commit_pct: paired_pct(&times[2], &times[0]),
+            per_append_pct: paired_pct(&times[3], &times[0]),
+        };
+        eprintln!(
+            "durability: off {:.3}, os-buffered {:.3}, group-commit {:.3} ({:+.2}%), \
+             per-append {:.3} ({:+.2}%) Melem/s",
+            overhead.off_melem_s,
+            overhead.os_buffered_melem_s,
+            overhead.group_commit_melem_s,
+            overhead.group_commit_pct,
+            overhead.per_append_melem_s,
+            overhead.per_append_pct,
+        );
+        for leg in legs {
+            let _ = leg.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&bench_dir);
+        overhead
+    };
 
     // The same series through the framed TCP loopback path: pipelined
     // client ingest (Busy answers resubmitted) + a wire-level drain.
@@ -600,6 +726,7 @@ fn main() {
         latency_p99_ns,
         busy_rate,
         telemetry_overhead,
+        durability_overhead_pct,
     };
     let json = serde_json::to_string(&report).expect("serialize bench report");
     std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");

@@ -1,0 +1,228 @@
+//! Epoch-stamped checkpoints of per-shard sketch state.
+//!
+//! A checkpoint is a JSON document riding the existing **validating**
+//! `TugOfWarSketch` serde wire impls (shape-checked counters + planes),
+//! extended with the stamps recovery needs: the publish epoch, the
+//! applied block/op counts, the WAL position the checkpoint covers
+//! (recovery replays only records past it), and the per-producer
+//! sequence high-water marks that make client resubmission idempotent
+//! across a restart.
+//!
+//! Checkpoints are written atomically — serialized to
+//! `ckpt-<epoch>.json.tmp`, fsynced, then renamed into place and the
+//! directory fsynced — so a crash mid-write leaves at worst an ignored
+//! tmp file, never a half-valid checkpoint under the real name.
+
+use std::path::Path;
+
+use ams_core::{SketchParams, TugOfWarSketch};
+use serde::{Deserialize, Serialize};
+
+use crate::error::DurableError;
+
+/// The shape recovery expects on-disk state to match: a checkpoint
+/// written by a service with different attributes, sketch params, or
+/// seed is rejected (fall back / start fresh) rather than silently
+/// merged into incompatible sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardShape {
+    /// Sketch shape shared by every attribute.
+    pub params: SketchParams,
+    /// Master hash seed.
+    pub seed: u64,
+    /// Registered attribute names, in registration order.
+    pub attributes: Vec<String>,
+}
+
+/// One shard's durable state at a point in time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// The shard index that wrote this checkpoint.
+    pub shard: u64,
+    /// The shard's publish epoch at checkpoint time.
+    pub epoch: u64,
+    /// Blocks applied at checkpoint time (lifetime, including prior
+    /// recoveries).
+    pub blocks: u64,
+    /// Expanded operations applied at checkpoint time.
+    pub ops: u64,
+    /// WAL segment index the checkpoint covers through…
+    pub wal_segment: u64,
+    /// …and the byte offset within it: records at or past this
+    /// position are replayed on recovery, records before it are
+    /// already folded into [`Self::sketches`].
+    pub wal_offset: u64,
+    /// Attribute names, in registration order (validated against the
+    /// recovering service's registration).
+    pub attributes: Vec<String>,
+    /// One sketch per attribute — full validating wire form.
+    pub sketches: Vec<TugOfWarSketch>,
+    /// Per-producer ingest-sequence high-water marks `(producer, seq)`
+    /// covered by this checkpoint, for idempotent client resubmission.
+    pub producers: Vec<(u64, u64)>,
+}
+
+impl ShardCheckpoint {
+    /// Validates this checkpoint against the recovering service's
+    /// shape.
+    ///
+    /// # Errors
+    /// [`DurableError::Shape`] naming the file and the mismatch.
+    pub fn validate(
+        &self,
+        shard: usize,
+        shape: &ShardShape,
+        path: &Path,
+    ) -> Result<(), DurableError> {
+        let fail = |reason: String| {
+            Err(DurableError::Shape {
+                path: path.display().to_string(),
+                reason,
+            })
+        };
+        if self.shard != shard as u64 {
+            return fail(format!(
+                "checkpoint is for shard {}, not {shard}",
+                self.shard
+            ));
+        }
+        if self.attributes != shape.attributes {
+            return fail("attribute registration differs".to_string());
+        }
+        if self.sketches.len() != self.attributes.len() {
+            return fail(format!(
+                "{} sketches for {} attributes",
+                self.sketches.len(),
+                self.attributes.len()
+            ));
+        }
+        for sketch in &self.sketches {
+            if sketch.params() != shape.params {
+                return fail("sketch params differ from the service config".to_string());
+            }
+            if sketch.seed() != shape.seed {
+                return fail("sketch seed differs from the service config".to_string());
+            }
+        }
+        for window in self.producers.windows(2) {
+            if window[1].0 <= window[0].0 {
+                return fail("producer map is not strictly sorted".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses and validates a checkpoint file.
+    ///
+    /// # Errors
+    /// [`DurableError::Io`] when the file cannot be read,
+    /// [`DurableError::CorruptCheckpoint`] when it does not parse
+    /// (truncation, bit flips — the sketch wire impls validate shape
+    /// on read), [`DurableError::Shape`] when it parses but was
+    /// written by a differently-shaped service.
+    pub fn load(path: &Path, shard: usize, shape: &ShardShape) -> Result<Self, DurableError> {
+        let bytes =
+            std::fs::read(path).map_err(|e| DurableError::io(path, "read checkpoint", e))?;
+        let ckpt: ShardCheckpoint =
+            serde_json::from_slice(&bytes).map_err(|e| DurableError::CorruptCheckpoint {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            })?;
+        ckpt.validate(shard, shape, path)?;
+        Ok(ckpt)
+    }
+}
+
+/// The file name a checkpoint of `epoch` is stored under
+/// (lexicographic order == epoch order, so a directory listing sorts
+/// newest-last).
+pub(crate) fn checkpoint_file_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:012}.json")
+}
+
+/// Parses a checkpoint file name back to its epoch.
+pub(crate) fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix("ckpt-")?.strip_suffix(".json")?;
+    if stem.len() != 12 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ShardShape {
+        ShardShape {
+            params: SketchParams::single_group(16).unwrap(),
+            seed: 7,
+            attributes: vec!["a".into(), "b".into()],
+        }
+    }
+
+    fn checkpoint(shape: &ShardShape) -> ShardCheckpoint {
+        ShardCheckpoint {
+            shard: 0,
+            epoch: 3,
+            blocks: 10,
+            ops: 99,
+            wal_segment: 1,
+            wal_offset: 16,
+            attributes: shape.attributes.clone(),
+            sketches: shape
+                .attributes
+                .iter()
+                .map(|_| TugOfWarSketch::new(shape.params, shape.seed))
+                .collect(),
+            producers: vec![(1, 5), (9, 2)],
+        }
+    }
+
+    #[test]
+    fn roundtrips_and_validates() {
+        let shape = shape();
+        let ckpt = checkpoint(&shape);
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: ShardCheckpoint = serde_json::from_str(&json).unwrap();
+        back.validate(0, &shape, Path::new("ckpt-test.json"))
+            .unwrap();
+        assert_eq!(back.blocks, 10);
+        assert_eq!(back.producers, vec![(1, 5), (9, 2)]);
+    }
+
+    #[test]
+    fn shape_mismatches_rejected_with_file_context() {
+        let shape = shape();
+        let ckpt = checkpoint(&shape);
+        let path = Path::new("shard-0/ckpt-000000000003.json");
+        // Wrong shard.
+        let err = ckpt.validate(1, &shape, path).unwrap_err();
+        assert!(err.to_string().contains("ckpt-000000000003.json"));
+        // Wrong seed.
+        let other = ShardShape {
+            seed: 8,
+            ..shape.clone()
+        };
+        assert!(ckpt.validate(0, &other, path).is_err());
+        // Wrong attributes.
+        let other = ShardShape {
+            attributes: vec!["a".into()],
+            ..shape.clone()
+        };
+        assert!(ckpt.validate(0, &other, path).is_err());
+        // Unsorted producer map.
+        let mut bad = checkpoint(&shape);
+        bad.producers = vec![(9, 2), (1, 5)];
+        assert!(bad.validate(0, &shape, path).is_err());
+    }
+
+    #[test]
+    fn file_names_roundtrip_and_sort_by_epoch() {
+        assert_eq!(checkpoint_file_name(42), "ckpt-000000000042.json");
+        assert_eq!(parse_checkpoint_name("ckpt-000000000042.json"), Some(42));
+        assert_eq!(parse_checkpoint_name("ckpt-42.json"), None);
+        assert_eq!(parse_checkpoint_name("seg-00000001.wal"), None);
+        assert!(checkpoint_file_name(9) < checkpoint_file_name(10));
+    }
+}

@@ -1,0 +1,152 @@
+//! Durability-layer errors. Corruption variants carry the offending
+//! file and (for log records) the byte offset, so an operator reading a
+//! recovery report can point a hex dump at the exact spot.
+
+use std::path::Path;
+
+/// Errors from the WAL writer, checkpoint writer, and recovery.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory the operation touched.
+        path: String,
+        /// The failing operation ("open", "append", "fsync", "rename", …).
+        op: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A log segment failed validation at a specific byte offset.
+    /// Recovery *handles* this (truncate / stop replay) — it surfaces
+    /// as an error only when the damage makes the shard unrecoverable.
+    CorruptSegment {
+        /// The segment file.
+        path: String,
+        /// Byte offset of the first bad record (or header byte).
+        offset: u64,
+        /// What failed (CRC mismatch, truncated record, bad header…).
+        reason: &'static str,
+    },
+    /// A checkpoint file failed to parse or validate. Recovery falls
+    /// back to the previous checkpoint; this surfaces as an error only
+    /// through [`DurableError::Unrecoverable`].
+    CorruptCheckpoint {
+        /// The checkpoint file.
+        path: String,
+        /// What failed.
+        reason: String,
+    },
+    /// No valid checkpoint exists **and** the log's early segments have
+    /// already been pruned, so the surviving artifacts cannot
+    /// reconstruct a consistent prefix. Never panics — the caller
+    /// decides whether to start empty or refuse.
+    Unrecoverable {
+        /// The shard directory.
+        path: String,
+        /// Why nothing could be recovered.
+        reason: String,
+    },
+    /// A checkpoint or configuration mismatch: the on-disk state was
+    /// written by a service with a different shape (attributes, sketch
+    /// params, or seed).
+    Shape {
+        /// The offending file.
+        path: String,
+        /// What differs.
+        reason: String,
+    },
+    /// An injected fault from the test-only
+    /// [`FaultPlan`](crate::FaultPlan) fired; the writer is poisoned
+    /// and every subsequent operation fails with
+    /// [`DurableError::Wedged`].
+    Injected {
+        /// Which fault fired ("append", "rotation", "checkpoint").
+        what: &'static str,
+    },
+    /// The writer previously failed (injected fault or real I/O error)
+    /// and refuses further writes: an inconsistent log must not grow.
+    Wedged {
+        /// The operation that originally failed.
+        what: &'static str,
+    },
+}
+
+impl DurableError {
+    /// Helper: wraps an I/O error with file + operation context.
+    pub(crate) fn io(path: &Path, op: &'static str, source: std::io::Error) -> Self {
+        DurableError::Io {
+            path: path.display().to_string(),
+            op,
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io { path, op, source } => {
+                write!(f, "{op} failed on {path}: {source}")
+            }
+            DurableError::CorruptSegment {
+                path,
+                offset,
+                reason,
+            } => write!(f, "corrupt segment {path} at offset {offset}: {reason}"),
+            DurableError::CorruptCheckpoint { path, reason } => {
+                write!(f, "corrupt checkpoint {path}: {reason}")
+            }
+            DurableError::Unrecoverable { path, reason } => {
+                write!(f, "unrecoverable shard state in {path}: {reason}")
+            }
+            DurableError::Shape { path, reason } => {
+                write!(f, "shape mismatch in {path}: {reason}")
+            }
+            DurableError::Injected { what } => {
+                write!(f, "injected {what} fault (FaultPlan)")
+            }
+            DurableError::Wedged { what } => {
+                write!(
+                    f,
+                    "durability writer wedged after failed {what}; refusing further writes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_carries_file_and_offset() {
+        let e = DurableError::CorruptSegment {
+            path: "shard-0/seg-00000003.wal".into(),
+            offset: 4242,
+            reason: "record CRC mismatch",
+        };
+        let text = e.to_string();
+        assert!(text.contains("seg-00000003.wal"), "{text}");
+        assert!(text.contains("4242"), "{text}");
+        assert!(e.source().is_none());
+
+        let e = DurableError::io(
+            Path::new("shard-1"),
+            "fsync",
+            std::io::Error::other("disk on fire"),
+        );
+        assert!(e.to_string().contains("fsync failed on shard-1"));
+        assert!(e.source().is_some());
+    }
+}

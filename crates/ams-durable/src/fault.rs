@@ -1,0 +1,138 @@
+//! Test-only fault injection for the WAL and checkpoint writers.
+//!
+//! A [`FaultPlan`] rides inside
+//! [`DurabilityConfig`](crate::DurabilityConfig) and makes the writer
+//! "crash" deterministically: when a trigger fires, the writer emits
+//! the planned partial bytes (a torn record, a torn segment header, a
+//! torn checkpoint tmp), poisons itself, and fails every subsequent
+//! operation with [`DurableError::Injected`](crate::DurableError).
+//! The kill-and-restart e2e tests then drop the poisoned service and
+//! recover a fresh one from the directory, pinning recovered ≡
+//! never-crashed bit-identity at crash points sampled mid-segment,
+//! mid-rotation, and mid-checkpoint.
+//!
+//! The plan is part of the public API (integration tests in dependent
+//! crates need it) but is inert by default and does nothing in
+//! production configurations.
+
+/// Deterministic crash triggers for the durability writers. All fields
+/// `None` (the default) means no fault ever fires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crash *before* writing the `(n+1)`-th record: the first `n`
+    /// appends succeed, the next one writes nothing and fails — a
+    /// clean cut at a record boundary, mid-segment.
+    pub fail_after_appends: Option<u64>,
+    /// Crash *mid-record* once cumulative appended record bytes would
+    /// cross this threshold: the crossing record is short-written
+    /// exactly at the byte budget (a torn tail for recovery to
+    /// truncate), then the writer fails.
+    pub fail_after_bytes: Option<u64>,
+    /// Crash while rotating *into* the segment with this index: the
+    /// new segment file is created with a torn (half-written) header.
+    pub fail_on_rotation: Option<u64>,
+    /// Crash during the `n`-th checkpoint write (1-based): the tmp
+    /// file is half-written and never renamed into place, so recovery
+    /// must fall back to the previous checkpoint.
+    pub fail_on_checkpoint: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Whether this plan can ever fire.
+    pub fn is_inert(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+}
+
+/// Mutable trigger clocks, owned by the writer.
+#[derive(Debug, Default)]
+pub(crate) struct FaultClock {
+    pub appends: u64,
+    pub bytes: u64,
+    pub checkpoints: u64,
+}
+
+impl FaultClock {
+    /// Checks the append triggers for a record of `len` total bytes
+    /// (header + payload). Returns `None` to proceed, or
+    /// `Some(short_write_len)` — how many of the record's bytes to
+    /// emit before failing (0 = clean cut).
+    pub fn append_fault(&self, plan: &FaultPlan, len: u64) -> Option<u64> {
+        if let Some(n) = plan.fail_after_appends {
+            if self.appends >= n {
+                return Some(0);
+            }
+        }
+        if let Some(budget) = plan.fail_after_bytes {
+            if self.bytes + len > budget {
+                return Some(budget.saturating_sub(self.bytes).min(len));
+            }
+        }
+        None
+    }
+
+    /// Whether rotating into segment `index` should tear.
+    pub fn rotation_fault(&self, plan: &FaultPlan, index: u64) -> bool {
+        plan.fail_on_rotation == Some(index)
+    }
+
+    /// Whether the upcoming checkpoint write (this call increments the
+    /// clock) should tear.
+    pub fn checkpoint_fault(&mut self, plan: &FaultPlan) -> bool {
+        self.checkpoints += 1;
+        plan.fail_on_checkpoint == Some(self.checkpoints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let clock = FaultClock::default();
+        let plan = FaultPlan::default();
+        assert!(plan.is_inert());
+        assert_eq!(clock.append_fault(&plan, 100), None);
+        assert!(!clock.rotation_fault(&plan, 0));
+    }
+
+    #[test]
+    fn append_count_trigger_cuts_cleanly() {
+        let plan = FaultPlan {
+            fail_after_appends: Some(2),
+            ..FaultPlan::default()
+        };
+        let mut clock = FaultClock::default();
+        assert_eq!(clock.append_fault(&plan, 50), None);
+        clock.appends = 2;
+        assert_eq!(clock.append_fault(&plan, 50), Some(0), "clean cut");
+    }
+
+    #[test]
+    fn byte_budget_trigger_short_writes_at_the_boundary() {
+        let plan = FaultPlan {
+            fail_after_bytes: Some(100),
+            ..FaultPlan::default()
+        };
+        let mut clock = FaultClock {
+            bytes: 80,
+            ..FaultClock::default()
+        };
+        assert_eq!(clock.append_fault(&plan, 15), None, "within budget");
+        assert_eq!(clock.append_fault(&plan, 30), Some(20), "torn at byte 100");
+        clock.bytes = 120;
+        assert_eq!(clock.append_fault(&plan, 30), Some(0), "budget exhausted");
+    }
+
+    #[test]
+    fn checkpoint_trigger_counts_attempts() {
+        let plan = FaultPlan {
+            fail_on_checkpoint: Some(2),
+            ..FaultPlan::default()
+        };
+        let mut clock = FaultClock::default();
+        assert!(!clock.checkpoint_fault(&plan));
+        assert!(clock.checkpoint_fault(&plan), "second attempt tears");
+    }
+}

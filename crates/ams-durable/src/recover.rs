@@ -1,0 +1,71 @@
+//! Recovery outcome types: what state came back, and what was skipped.
+
+use std::collections::HashMap;
+
+use ams_core::TugOfWarSketch;
+use serde::Serialize;
+
+use crate::wal::WalPosition;
+
+/// The state a shard worker resumes from after
+/// [`ShardDurable::open`](crate::ShardDurable::open): either the
+/// recovered checkpoint + replayed log tail, or a fresh zero state.
+#[derive(Debug, Clone)]
+pub struct RecoveredShard {
+    /// One sketch per attribute, counters restored and tail replayed.
+    pub sketches: Vec<TugOfWarSketch>,
+    /// Lifetime blocks applied (checkpoint base + replayed tail).
+    pub blocks: u64,
+    /// Lifetime expanded operations applied.
+    pub ops: u64,
+    /// The publish epoch to resume from.
+    pub epoch: u64,
+    /// Per-producer ingest-sequence high-water marks, for idempotent
+    /// client resubmission across the restart.
+    pub producers: HashMap<u64, u64>,
+}
+
+/// An artifact recovery could not use: a corrupt checkpoint that was
+/// skipped (fallback), a torn log tail that was truncated, an orphaned
+/// tmp file that was removed. Carries the file and, where meaningful,
+/// the byte offset of the damage.
+#[derive(Debug, Clone, Serialize)]
+pub struct SkippedArtifact {
+    /// The file.
+    pub path: String,
+    /// Byte offset of the first bad byte, when known (log records);
+    /// `None` for whole-file skips (checkpoints, tmp files).
+    pub offset: Option<u64>,
+    /// Why it was skipped.
+    pub reason: String,
+}
+
+/// What one shard's recovery did — returned alongside the recovered
+/// state so callers (and the service's startup telemetry) can price
+/// and audit the restart.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardRecovery {
+    /// The shard index.
+    pub shard: usize,
+    /// Epoch of the checkpoint recovery loaded (`None` = no usable
+    /// checkpoint, state rebuilt from the log alone).
+    pub checkpoint_epoch: Option<u64>,
+    /// Blocks already folded into the loaded checkpoint.
+    pub checkpoint_blocks: u64,
+    /// Blocks replayed from the log tail through `apply_block`.
+    pub replayed_blocks: u64,
+    /// Expanded operations replayed from the log tail.
+    pub replayed_ops: u64,
+    /// Where the writer resumed appending.
+    pub resumed_at: WalPosition,
+    /// Everything recovery skipped, truncated, or removed.
+    pub skipped: Vec<SkippedArtifact>,
+}
+
+impl ShardRecovery {
+    /// Whether recovery was entirely clean: nothing skipped, nothing
+    /// truncated.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}

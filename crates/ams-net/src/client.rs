@@ -2,8 +2,9 @@
 //! calls, automatic retry on `Busy`, and windowed-pipelined batch
 //! helpers.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -12,7 +13,8 @@ use ams_stream::{OpBlock, Value};
 use ams_telemetry::{Counter, Gauge, MetricsRegistry};
 
 use crate::codec::{
-    encode_ingest_batch_frame_into, encode_ingest_frame_into, FrameDecoder, Request, Response,
+    encode_ingest_batch_frame_ex_into, encode_ingest_batch_frame_into, encode_ingest_frame_ex_into,
+    encode_ingest_frame_into, FrameDecoder, Request, Response,
 };
 use crate::error::NetError;
 
@@ -42,6 +44,51 @@ impl Default for RetryPolicy {
     }
 }
 
+/// When an ingest submission is acknowledged by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// `Ingested` means the block landed in the shard queues (the
+    /// pre-durability contract; the default). Fastest, but a server
+    /// crash can lose acked blocks that were still queued.
+    #[default]
+    Enqueue,
+    /// `Ingested` means the block's WAL record has reached stable
+    /// storage: a crash after the ack cannot lose it. Requires the
+    /// server to run with durability enabled; against a
+    /// durability-off server this degrades to an applied-by-workers
+    /// ack (still stronger than [`AckMode::Enqueue`]).
+    Fsync,
+}
+
+/// How the client re-establishes a dropped connection.
+///
+/// Enabling reconnect also turns on *idempotency tagging*: every
+/// ingest submission carries a `(producer, seq)` tag, and after a
+/// reconnect the client resubmits exactly the unacknowledged suffix
+/// with the **original** sequence numbers, so a server that already
+/// applied a submission (the ack was lost, not the block) skips the
+/// duplicate instead of double-counting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Redial attempts per reconnect before giving up with the last
+    /// connection error.
+    pub max_attempts: usize,
+    /// Backoff before the first redial; doubles each failed attempt.
+    pub base_backoff: Duration,
+    /// Cap on one backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
 /// Outcome of one non-retrying ingest submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestOutcome {
@@ -64,12 +111,14 @@ pub enum IngestOutcome {
 /// | `client_retries` | counter | ingest resubmissions after a `Busy` |
 /// | `client_busy_responses` | counter | `Busy` answers received |
 /// | `client_pipeline_peak` | gauge | high-water in-flight requests in batch pipelining |
+/// | `client_reconnects` | counter | successful transport re-establishments |
 #[derive(Debug)]
 struct ClientTelemetry {
     registry: Arc<MetricsRegistry>,
     retries: Arc<Counter>,
     busy_responses: Arc<Counter>,
     pipeline_peak: Arc<Gauge>,
+    reconnects: Arc<Counter>,
 }
 
 impl ClientTelemetry {
@@ -78,11 +127,13 @@ impl ClientTelemetry {
         let retries = registry.counter("client_retries", &[]);
         let busy_responses = registry.counter("client_busy_responses", &[]);
         let pipeline_peak = registry.gauge("client_pipeline_peak", &[]);
+        let reconnects = registry.counter("client_reconnects", &[]);
         Self {
             registry,
             retries,
             busy_responses,
             pipeline_peak,
+            reconnects,
         }
     }
 }
@@ -107,6 +158,21 @@ pub struct AmsClient {
     /// One encode buffer reused across every ingest frame this client
     /// sends — steady-state ingest encoding allocates nothing.
     encode_buf: Vec<u8>,
+    /// Requested ack semantics for ingest submissions.
+    ack_mode: AckMode,
+    /// Redial behaviour on transport failure; `None` (the default)
+    /// keeps the legacy fail-fast contract and the legacy untagged
+    /// wire frames.
+    reconnect: Option<ReconnectPolicy>,
+    /// Resolved server addresses, kept for redialing.
+    addrs: Vec<SocketAddr>,
+    /// This client's idempotency producer id (nonzero once tagging is
+    /// active; tags with producer 0 are never emitted).
+    producer: u64,
+    /// Next sequence number to assign to a tagged submission.
+    next_seq: u64,
+    /// xorshift state for backoff jitter.
+    rng: u64,
 }
 
 impl AmsClient {
@@ -122,14 +188,32 @@ impl AmsClient {
     /// # Errors
     /// [`NetError::Io`] when the connection fails.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
-        let stream = TcpStream::connect(addr)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = TcpStream::connect(&addrs[..])?;
         let _ = stream.set_nodelay(true);
+        // Producer id: wall-clock nanoseconds mixed with the pid, forced
+        // nonzero (zero is the wire encoding's "untagged" sentinel). Two
+        // clients colliding would need the same pid and the same
+        // nanosecond — and even then they would only share a dedup
+        // stream, not corrupt one.
+        let producer = (std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            ^ (u64::from(std::process::id()) << 32))
+            | 1;
         Ok(Self {
             stream,
             decoder: FrameDecoder::new(),
             retry: RetryPolicy::default(),
             telemetry: ClientTelemetry::new(),
             encode_buf: Vec::new(),
+            ack_mode: AckMode::Enqueue,
+            reconnect: None,
+            addrs,
+            producer,
+            next_seq: 1,
+            rng: producer,
         })
     }
 
@@ -137,6 +221,78 @@ impl AmsClient {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Selects the ingest acknowledgement semantics (see [`AckMode`]).
+    pub fn with_ack_mode(mut self, ack_mode: AckMode) -> Self {
+        self.ack_mode = ack_mode;
+        self
+    }
+
+    /// Enables transparent reconnect-and-resubmit (see
+    /// [`ReconnectPolicy`] for the idempotency-tagging contract this
+    /// switches on).
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
+    }
+
+    /// `(durable, tagged)` for the current configuration: durable acks
+    /// come from [`AckMode::Fsync`], tags from an armed reconnect
+    /// policy. Either one moves ingest onto the extended wire frames;
+    /// with neither, the legacy frames are emitted byte-identically.
+    fn ingest_mode(&self) -> (bool, bool) {
+        (self.ack_mode == AckMode::Fsync, self.reconnect.is_some())
+    }
+
+    /// Whether `error` is a transport failure the reconnect machinery
+    /// should absorb (remote/protocol errors are never retried).
+    fn reconnectable(&self, error: &NetError) -> bool {
+        self.reconnect.is_some() && matches!(error, NetError::Io(_) | NetError::Frame(_))
+    }
+
+    /// A uniform sample in `[0, 1)` from the client's xorshift state.
+    fn jitter(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Re-establishes the connection with capped exponential backoff
+    /// and jitter, resetting the frame decoder (any half-received
+    /// response from the old socket is garbage).
+    ///
+    /// # Errors
+    /// The last dial error once the policy's attempts are exhausted.
+    fn reconnect_now(&mut self) -> Result<(), NetError> {
+        let policy = self.reconnect.unwrap_or_default();
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..policy.max_attempts {
+            let exp = policy
+                .base_backoff
+                .saturating_mul(1u32 << attempt.min(20) as u32)
+                .min(policy.max_backoff);
+            // Jitter in [0.5, 1.0]× so a fleet of clients that died
+            // together does not redial in lockstep.
+            let sleep = exp.mul_f64(0.5 + 0.5 * self.jitter());
+            std::thread::sleep(sleep);
+            match TcpStream::connect(&self.addrs[..]) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    self.stream = stream;
+                    self.decoder = FrameDecoder::new();
+                    self.telemetry.reconnects.inc();
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "reconnect attempts exhausted")
+        })))
     }
 
     fn send(&mut self, request: &Request) -> Result<(), NetError> {
@@ -165,8 +321,21 @@ impl AmsClient {
     }
 
     /// One request/response round trip, mapping protocol-level error
-    /// responses to [`NetError::Remote`].
+    /// responses to [`NetError::Remote`]. With reconnect enabled, a
+    /// transport failure triggers one redial-and-retry — safe because
+    /// every request routed through here (queries, drain, shutdown) is
+    /// idempotent.
     fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        match self.call_once(request) {
+            Err(e) if self.reconnectable(&e) => {
+                self.reconnect_now()?;
+                self.call_once(request)
+            }
+            other => other,
+        }
+    }
+
+    fn call_once(&mut self, request: &Request) -> Result<Response, NetError> {
         self.send(request)?;
         match self.recv()? {
             Response::Error { code, message } => Err(NetError::Remote { code, message }),
@@ -185,12 +354,58 @@ impl AmsClient {
         attribute: &str,
         block: &OpBlock,
     ) -> Result<IngestOutcome, NetError> {
+        let (durable, tagged) = self.ingest_mode();
+        if durable || tagged {
+            let producer = if tagged { self.producer } else { 0 };
+            let seq = if tagged {
+                let s = self.next_seq;
+                self.next_seq += 1;
+                s
+            } else {
+                0
+            };
+            // The same frame (same seq) is rewritten verbatim across
+            // reconnect resubmissions: with nothing later in flight on
+            // this blocking path, a server that already applied it
+            // dedups the duplicate and re-acks.
+            encode_ingest_frame_ex_into(
+                attribute,
+                block,
+                durable,
+                producer,
+                seq,
+                &mut self.encode_buf,
+            )?;
+            return self.exchange_encoded_ingest();
+        }
         // Borrowed encoding into the reused buffer: the block is
         // serialized straight into the frame, never cloned into an
         // owned request, and no frame allocation happens after warm-up.
         encode_ingest_frame_into(attribute, block, &mut self.encode_buf)?;
         self.stream.write_all(&self.encode_buf)?;
         self.recv_ingest_outcome()
+    }
+
+    /// Writes the ingest frame staged in `encode_buf` and reads its
+    /// outcome, transparently redialing and rewriting the *same* frame
+    /// on transport failure when reconnect is enabled.
+    fn exchange_encoded_ingest(&mut self) -> Result<IngestOutcome, NetError> {
+        let budget = self.reconnect.map_or(0, |p| p.max_attempts);
+        let mut resubmits = 0usize;
+        loop {
+            let result = self
+                .stream
+                .write_all(&self.encode_buf)
+                .map_err(NetError::from)
+                .and_then(|()| self.recv_ingest_outcome());
+            match result {
+                Err(e) if self.reconnectable(&e) && resubmits < budget => {
+                    resubmits += 1;
+                    self.reconnect_now()?;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Maps the next response to an ingest outcome.
@@ -273,6 +488,10 @@ impl AmsClient {
         attribute: &str,
         blocks: &[OpBlock],
     ) -> Result<Vec<IngestOutcome>, NetError> {
+        let (durable, tagged) = self.ingest_mode();
+        if durable || tagged {
+            return self.ingest_blocks_ex(attribute, blocks, durable, tagged);
+        }
         let mut outcomes: Vec<IngestOutcome> = Vec::with_capacity(blocks.len());
         let mut sent = 0usize;
         for batch in blocks.chunks(Self::INGEST_BATCH) {
@@ -294,6 +513,108 @@ impl AmsClient {
             outcomes.push(outcome);
         }
         Ok(outcomes)
+    }
+
+    /// The extended-frame variant of [`Self::ingest_blocks`]: same
+    /// windowed pipelining, but each block carries its idempotency tag
+    /// (when tagged) and the durable-ack flag. The in-flight window is
+    /// mirrored client-side as `(seq, block)` pairs so that, on a
+    /// transport failure with reconnect enabled, the *unacknowledged
+    /// suffix* — and nothing else — is resubmitted with its original
+    /// sequence numbers: blocks whose ack was lost are deduped
+    /// server-side, blocks never received are applied normally, and in
+    /// either case exactly one outcome per block comes back.
+    fn ingest_blocks_ex(
+        &mut self,
+        attribute: &str,
+        blocks: &[OpBlock],
+        durable: bool,
+        tagged: bool,
+    ) -> Result<Vec<IngestOutcome>, NetError> {
+        let producer = if tagged { self.producer } else { 0 };
+        let budget = self.reconnect.map_or(0, |p| p.max_attempts);
+        let mut outcomes: Vec<IngestOutcome> = Vec::with_capacity(blocks.len());
+        // The in-flight window, oldest first; survives reconnects so
+        // the suffix can be replayed with its original seqs.
+        let mut inflight: VecDeque<(u64, OpBlock)> = VecDeque::new();
+        let mut next = 0usize;
+        let mut resubmits = 0usize;
+        loop {
+            match self.pump_ingest_ex(
+                attribute,
+                blocks,
+                durable,
+                producer,
+                &mut inflight,
+                &mut next,
+                &mut outcomes,
+            ) {
+                Ok(()) => return Ok(outcomes),
+                Err(e) if tagged && self.reconnectable(&e) && resubmits < budget => {
+                    resubmits += 1;
+                    self.reconnect_now()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt at driving the extended pipeline to completion:
+    /// first re-send whatever the window still holds (non-empty only
+    /// right after a reconnect), then interleave submissions and
+    /// outcome reads under the window bound.
+    #[allow(clippy::too_many_arguments)]
+    fn pump_ingest_ex(
+        &mut self,
+        attribute: &str,
+        blocks: &[OpBlock],
+        durable: bool,
+        producer: u64,
+        inflight: &mut VecDeque<(u64, OpBlock)>,
+        next: &mut usize,
+        outcomes: &mut Vec<IngestOutcome>,
+    ) -> Result<(), NetError> {
+        // Resubmit the unacked suffix, one frame per block (reconnects
+        // are rare; re-batching is not worth the bookkeeping). Original
+        // seqs make already-applied duplicates a server-side skip.
+        for (seq, block) in inflight.iter() {
+            encode_ingest_frame_ex_into(
+                attribute,
+                block,
+                durable,
+                producer,
+                *seq,
+                &mut self.encode_buf,
+            )?;
+            self.stream.write_all(&self.encode_buf)?;
+        }
+        while outcomes.len() < blocks.len() {
+            while *next < blocks.len() && inflight.len() < PIPELINE_WINDOW {
+                let room = PIPELINE_WINDOW - inflight.len();
+                let end = (*next + Self::INGEST_BATCH.min(room)).min(blocks.len());
+                let batch = &blocks[*next..end];
+                let first_seq = self.next_seq;
+                encode_ingest_batch_frame_ex_into(
+                    attribute,
+                    batch,
+                    durable,
+                    producer,
+                    first_seq,
+                    &mut self.encode_buf,
+                )?;
+                self.next_seq += batch.len() as u64;
+                for (j, block) in batch.iter().enumerate() {
+                    inflight.push_back((first_seq + j as u64, block.clone()));
+                }
+                *next = end;
+                self.telemetry.pipeline_peak.raise_to(inflight.len() as i64);
+                self.stream.write_all(&self.encode_buf)?;
+            }
+            let outcome = self.recv_ingest_outcome()?;
+            inflight.pop_front();
+            outcomes.push(outcome);
+        }
+        Ok(())
     }
 
     /// Windowed pipelining over pre-encoded frames: keeps up to

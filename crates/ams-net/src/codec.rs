@@ -63,6 +63,19 @@ const REQ_DRAIN: u8 = 0x06;
 const REQ_SHUTDOWN: u8 = 0x07;
 const REQ_METRICS: u8 = 0x08;
 const REQ_INGEST_BLOCKS: u8 = 0x09;
+const REQ_INGEST_BLOCK_EX: u8 = 0x0A;
+const REQ_INGEST_BLOCKS_EX: u8 = 0x0B;
+
+/// Extended-ingest flag: acknowledge only after the block's effects
+/// are on stable storage (WAL appended + fsynced per the server's
+/// policy), not merely enqueued. Against a server without a
+/// durability layer the ack degrades to after-apply.
+pub const INGEST_FLAG_DURABLE: u8 = 0x01;
+/// Extended-ingest flag: the frame carries a `(producer, seq)`
+/// idempotency tag, letting the service skip resubmitted blocks it
+/// already logged (exactly-once resubmission after a lost ack).
+pub const INGEST_FLAG_TAGGED: u8 = 0x02;
+const INGEST_FLAGS_KNOWN: u8 = INGEST_FLAG_DURABLE | INGEST_FLAG_TAGGED;
 
 const RESP_INGESTED: u8 = 0x81;
 const RESP_BUSY: u8 = 0x82;
@@ -193,6 +206,37 @@ pub enum Request {
         attribute: String,
         /// The blocks, in submission order. Must be non-empty.
         blocks: Vec<OpBlock>,
+    },
+    /// [`Request::IngestBlock`] with ingest options: a durable-ack
+    /// request and/or a `(producer, seq)` idempotency tag (see the
+    /// `INGEST_FLAG_*` constants for the wire flags).
+    IngestBlockEx {
+        /// The registered attribute the block belongs to.
+        attribute: String,
+        /// The updates.
+        block: OpBlock,
+        /// Acknowledge only once the block's effects are durable.
+        durable: bool,
+        /// Idempotency producer id; `0` means untagged.
+        producer: u64,
+        /// Producer-local sequence number (meaningful when
+        /// `producer != 0`).
+        seq: u64,
+    },
+    /// [`Request::IngestBlocks`] with ingest options. Block `i` of the
+    /// batch carries the implicit sequence number `first_seq + i`, so
+    /// one header tags the whole batch.
+    IngestBlocksEx {
+        /// The registered attribute all blocks belong to.
+        attribute: String,
+        /// The blocks, in submission order. Must be non-empty.
+        blocks: Vec<OpBlock>,
+        /// Acknowledge each block only once its effects are durable.
+        durable: bool,
+        /// Idempotency producer id; `0` means untagged.
+        producer: u64,
+        /// Sequence number of the first block; later blocks increment.
+        first_seq: u64,
     },
     /// Ask for the self-join size estimate of one attribute.
     QuerySelfJoin {
@@ -439,6 +483,110 @@ pub fn encode_ingest_frame(attribute: &str, block: &OpBlock) -> Result<Vec<u8>, 
     Ok(out)
 }
 
+/// Writes the extended-ingest option prefix: the flags byte, and the
+/// idempotency tag when `producer != 0`.
+fn put_ingest_options(out: &mut Vec<u8>, durable: bool, producer: u64, seq: u64) {
+    let mut flags = 0u8;
+    if durable {
+        flags |= INGEST_FLAG_DURABLE;
+    }
+    if producer != 0 {
+        flags |= INGEST_FLAG_TAGGED;
+    }
+    out.put_u8(flags);
+    if producer != 0 {
+        out.put_u64_le(producer);
+        out.put_u64_le(seq);
+    }
+}
+
+/// Reads the extended-ingest option prefix written by
+/// [`put_ingest_options`]: `(durable, producer, seq)`.
+fn get_ingest_options(data: &mut &[u8]) -> Result<(bool, u64, u64), FrameError> {
+    if data.remaining() < 1 {
+        return Err(FrameError::Malformed {
+            reason: "truncated ingest flags",
+        });
+    }
+    let flags = data.get_u8();
+    if flags & !INGEST_FLAGS_KNOWN != 0 {
+        return Err(FrameError::Malformed {
+            reason: "unknown ingest flag bits",
+        });
+    }
+    let durable = flags & INGEST_FLAG_DURABLE != 0;
+    let (producer, seq) = if flags & INGEST_FLAG_TAGGED != 0 {
+        if data.remaining() < 16 {
+            return Err(FrameError::Malformed {
+                reason: "truncated ingest tag",
+            });
+        }
+        let producer = data.get_u64_le();
+        if producer == 0 {
+            return Err(FrameError::Malformed {
+                reason: "tagged ingest with zero producer id",
+            });
+        }
+        (producer, data.get_u64_le())
+    } else {
+        (0, 0)
+    };
+    Ok((durable, producer, seq))
+}
+
+/// Encodes an extended `IngestBlockEx` request into `out` as one
+/// complete frame from borrowed parts — the reconnecting client's
+/// tagged/durable ingest hot path (same zero-clone, reused-buffer
+/// contract as [`encode_ingest_frame_into`]).
+///
+/// # Errors
+/// As for [`encode_ingest_frame_into`].
+pub fn encode_ingest_frame_ex_into(
+    attribute: &str,
+    block: &OpBlock,
+    durable: bool,
+    producer: u64,
+    seq: u64,
+    out: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    begin_frame(out);
+    out.put_u8(REQ_INGEST_BLOCK_EX);
+    put_ingest_options(out, durable, producer, seq);
+    put_str(out, attribute)?;
+    block.encode_wire(out);
+    finish_frame(out)
+}
+
+/// Encodes an extended `IngestBlocksEx` batch request into `out` as
+/// one complete frame from borrowed parts. Block `i` carries the
+/// implicit sequence number `first_seq + i`.
+///
+/// # Errors
+/// As for [`encode_ingest_batch_frame_into`].
+pub fn encode_ingest_batch_frame_ex_into(
+    attribute: &str,
+    blocks: &[OpBlock],
+    durable: bool,
+    producer: u64,
+    first_seq: u64,
+    out: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    if blocks.is_empty() {
+        return Err(FrameError::Malformed {
+            reason: "empty ingest batch",
+        });
+    }
+    begin_frame(out);
+    out.put_u8(REQ_INGEST_BLOCKS_EX);
+    put_ingest_options(out, durable, producer, first_seq);
+    put_str(out, attribute)?;
+    out.put_u32_le(blocks.len() as u32);
+    for block in blocks {
+        block.encode_wire(out);
+    }
+    finish_frame(out)
+}
+
 /// Encodes an `IngestBlocks` batch request into `out` as one complete
 /// frame from borrowed parts — the client's coalesced ingest hot path.
 /// One frame carries every block; the server still answers one
@@ -482,6 +630,28 @@ impl Request {
             }
             Request::IngestBlocks { attribute, blocks } => {
                 return encode_ingest_batch_frame_into(attribute, blocks, out);
+            }
+            Request::IngestBlockEx {
+                attribute,
+                block,
+                durable,
+                producer,
+                seq,
+            } => {
+                return encode_ingest_frame_ex_into(
+                    attribute, block, *durable, *producer, *seq, out,
+                );
+            }
+            Request::IngestBlocksEx {
+                attribute,
+                blocks,
+                durable,
+                producer,
+                first_seq,
+            } => {
+                return encode_ingest_batch_frame_ex_into(
+                    attribute, blocks, *durable, *producer, *first_seq, out,
+                );
             }
             Request::QuerySelfJoin { attribute } => {
                 begin_frame(out);
@@ -574,6 +744,49 @@ impl Request {
                     blocks.push(get_block(&mut data)?);
                 }
                 Request::IngestBlocks { attribute, blocks }
+            }
+            REQ_INGEST_BLOCK_EX => {
+                let (durable, producer, seq) = get_ingest_options(&mut data)?;
+                let attribute = get_str(&mut data)?;
+                let block = get_block(&mut data)?;
+                Request::IngestBlockEx {
+                    attribute,
+                    block,
+                    durable,
+                    producer,
+                    seq,
+                }
+            }
+            REQ_INGEST_BLOCKS_EX => {
+                let (durable, producer, first_seq) = get_ingest_options(&mut data)?;
+                let attribute = get_str(&mut data)?;
+                if data.remaining() < 4 {
+                    return Err(FrameError::Malformed {
+                        reason: "truncated batch count",
+                    });
+                }
+                let count = data.get_u32_le() as usize;
+                if count == 0 {
+                    return Err(FrameError::Malformed {
+                        reason: "empty ingest batch",
+                    });
+                }
+                if count > data.remaining() / 5 {
+                    return Err(FrameError::Malformed {
+                        reason: "batch count exceeds body",
+                    });
+                }
+                let mut blocks = Vec::with_capacity(count);
+                for _ in 0..count {
+                    blocks.push(get_block(&mut data)?);
+                }
+                Request::IngestBlocksEx {
+                    attribute,
+                    blocks,
+                    durable,
+                    producer,
+                    first_seq,
+                }
             }
             REQ_QUERY_SELF_JOIN => Request::QuerySelfJoin {
                 attribute: get_str(&mut data)?,
@@ -860,6 +1073,27 @@ mod tests {
                     OpBlock::from_values([3u64, 3, 3]),
                 ],
             },
+            Request::IngestBlockEx {
+                attribute: "clicks".into(),
+                block: OpBlock::from_values([4u64, 4]),
+                durable: true,
+                producer: 0xDEAD_BEEF,
+                seq: 17,
+            },
+            Request::IngestBlockEx {
+                attribute: "clicks".into(),
+                block: OpBlock::from_values([5u64]),
+                durable: false,
+                producer: 0,
+                seq: 0,
+            },
+            Request::IngestBlocksEx {
+                attribute: "clicks".into(),
+                blocks: vec![OpBlock::from_values([1u64]), OpBlock::from_values([2u64])],
+                durable: true,
+                producer: 9,
+                first_seq: 100,
+            },
             Request::QuerySelfJoin {
                 attribute: "π-ratio".into(),
             },
@@ -1001,6 +1235,62 @@ mod tests {
             request.encode(),
             Err(FrameError::Oversized { .. })
         ));
+    }
+
+    #[test]
+    fn malformed_ingest_options_rejected() {
+        // Unknown flag bits fail cleanly.
+        let mut frame = Vec::new();
+        begin_frame(&mut frame);
+        frame.put_u8(REQ_INGEST_BLOCK_EX);
+        frame.put_u8(0x80);
+        put_str(&mut frame, "v").unwrap();
+        OpBlock::from_values([1u64]).encode_wire(&mut frame);
+        finish_frame(&mut frame).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::Malformed {
+                reason: "unknown ingest flag bits",
+            })
+        );
+        // A tagged frame with producer 0 contradicts itself.
+        let mut frame = Vec::new();
+        begin_frame(&mut frame);
+        frame.put_u8(REQ_INGEST_BLOCK_EX);
+        frame.put_u8(INGEST_FLAG_TAGGED);
+        frame.put_u64_le(0);
+        frame.put_u64_le(3);
+        put_str(&mut frame, "v").unwrap();
+        OpBlock::from_values([1u64]).encode_wire(&mut frame);
+        finish_frame(&mut frame).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::Malformed {
+                reason: "tagged ingest with zero producer id",
+            })
+        );
+        // A tag cut off mid-field is caught before any block decode.
+        let mut frame = Vec::new();
+        begin_frame(&mut frame);
+        frame.put_u8(REQ_INGEST_BLOCK_EX);
+        frame.put_u8(INGEST_FLAG_TAGGED);
+        frame.put_u32_le(7);
+        finish_frame(&mut frame).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::Malformed {
+                reason: "truncated ingest tag",
+            })
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 
-use ams_service::DrainCut;
+use ams_service::{DrainCut, DurableCut, IngestTag};
 use ams_stream::OpBlock;
 
 use crate::codec::FrameDecoder;
@@ -84,6 +84,19 @@ pub(crate) enum Slot {
         /// The parked block; each attempt moves it into the service,
         /// which hands it back on refusal (no cloning).
         block: OpBlock,
+        /// The peer asked for an ack only after the block is durable;
+        /// once the retry lands, the slot parks again as
+        /// [`Slot::PendingDurable`] instead of answering immediately.
+        durable: bool,
+        /// The submission's idempotency tag, carried through retries.
+        tag: Option<IngestTag>,
+    },
+    /// An accepted durable-ack ingest waiting for its effects to reach
+    /// stable storage; polled every tick against the service's durable
+    /// watermarks and answered `Ingested` once the cut is covered.
+    PendingDurable {
+        /// The durability target recorded right after acceptance.
+        cut: DurableCut,
     },
     /// A drain waiting for its cut; polled every tick. The cut is
     /// `None` while parked ingests precede it (they are not in the

@@ -51,7 +51,7 @@ pub mod error;
 mod reactor;
 pub mod server;
 
-pub use client::{AmsClient, IngestOutcome, RetryPolicy};
+pub use client::{AckMode, AmsClient, IngestOutcome, ReconnectPolicy, RetryPolicy};
 pub use codec::{ErrorCode, FrameDecoder, FrameError, Request, Response};
 pub use error::NetError;
 pub use server::{NetServer, NetServerConfig, ServerHandle, StopHandle};

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use ams_service::{AmsService, ServiceError, ServiceSnapshot, ServiceStats};
+use ams_service::{AmsService, IngestTag, ServiceError, ServiceSnapshot, ServiceStats};
 use ams_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 
 use crate::codec::{ErrorCode, Request, Response, MAX_FRAME_PAYLOAD};
@@ -173,7 +173,12 @@ fn service_parked(
     for slot in conn.slots.iter_mut() {
         match slot {
             Slot::Ready(_) => {}
-            Slot::PendingIngest { attribute, block } => {
+            Slot::PendingIngest {
+                attribute,
+                block,
+                durable,
+                tag,
+            } => {
                 if ingest_blocked {
                     ingest_parked_before = true;
                     continue;
@@ -181,9 +186,18 @@ fn service_parked(
                 // The service hands the block back on refusal, so a
                 // parked entry is submitted without cloning.
                 let attempt = std::mem::take(block);
-                match service.try_ingest_block_returning(attribute, attempt) {
+                match service.try_ingest_block_tagged_returning(attribute, attempt, *tag) {
                     Ok(()) => {
-                        *slot = Slot::Ready(encoded(pool, &Response::Ingested));
+                        *slot = if *durable {
+                            // Accepted, but the peer wants the ack only
+                            // once it is on stable storage: park again
+                            // on the durability watermark.
+                            Slot::PendingDurable {
+                                cut: service.durability_cut(),
+                            }
+                        } else {
+                            Slot::Ready(encoded(pool, &Response::Ingested))
+                        };
                         progress = true;
                     }
                     Err((returned, ServiceError::WouldBlock { .. })) => {
@@ -195,6 +209,15 @@ fn service_parked(
                         *slot = Slot::Ready(encoded(pool, &ingest_failure(service, other, net)));
                         progress = true;
                     }
+                }
+            }
+            Slot::PendingDurable { cut } => {
+                // Already accepted by the service (so it neither blocks
+                // later parked ingests nor defers drain cuts); waiting
+                // only for the shard workers' fsync watermarks.
+                if service.poll_durable(cut) {
+                    *slot = Slot::Ready(encoded(pool, &Response::Ingested));
+                    progress = true;
                 }
             }
             Slot::PendingDrain { cut } => {
@@ -219,24 +242,39 @@ fn service_parked(
 /// batch ingest requests — batching changes framing, never this
 /// contract. The attribute is only materialized (cloned) on the rare
 /// parking path.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_ingest(
     conn: &mut Connection,
     attribute: &str,
     block: ams_stream::OpBlock,
+    durable: bool,
+    tag: Option<IngestTag>,
     service: &AmsService,
     config: &NetServerConfig,
     net: &NetInstruments,
     pool: &mut FramePool,
 ) {
-    match service.try_ingest_block_returning(attribute, block) {
-        Ok(()) => conn
-            .slots
-            .push_back(Slot::Ready(encoded(pool, &Response::Ingested))),
+    match service.try_ingest_block_tagged_returning(attribute, block, tag) {
+        Ok(()) => {
+            if durable {
+                // The cut recorded right after acceptance covers this
+                // submission; the slot resolves to `Ingested` once the
+                // shard workers' durable watermarks reach it.
+                conn.slots.push_back(Slot::PendingDurable {
+                    cut: service.durability_cut(),
+                });
+            } else {
+                conn.slots
+                    .push_back(Slot::Ready(encoded(pool, &Response::Ingested)));
+            }
+        }
         Err((block, ServiceError::WouldBlock { shard })) => {
             if conn.pending_ingests() < config.max_pending_per_conn {
                 conn.slots.push_back(Slot::PendingIngest {
                     attribute: attribute.to_owned(),
                     block,
+                    durable,
+                    tag,
                 });
             } else {
                 conn.slots
@@ -263,7 +301,9 @@ fn dispatch(
 ) -> bool {
     match request {
         Request::IngestBlock { attribute, block } => {
-            dispatch_ingest(conn, &attribute, block, service, config, net, pool);
+            dispatch_ingest(
+                conn, &attribute, block, false, None, service, config, net, pool,
+            );
         }
         Request::IngestBlocks { attribute, blocks } => {
             // One response slot per block, in order: the batch frame
@@ -272,7 +312,40 @@ fn dispatch(
             // admitted as one frame, so `max_inflight_per_conn` can be
             // exceeded by up to one batch's worth of slots.)
             for block in blocks {
-                dispatch_ingest(conn, &attribute, block, service, config, net, pool);
+                dispatch_ingest(
+                    conn, &attribute, block, false, None, service, config, net, pool,
+                );
+            }
+        }
+        Request::IngestBlockEx {
+            attribute,
+            block,
+            durable,
+            producer,
+            seq,
+        } => {
+            let tag = (producer != 0).then_some(IngestTag { producer, seq });
+            dispatch_ingest(
+                conn, &attribute, block, durable, tag, service, config, net, pool,
+            );
+        }
+        Request::IngestBlocksEx {
+            attribute,
+            blocks,
+            durable,
+            producer,
+            first_seq,
+        } => {
+            // Block i carries the implicit tag (producer, first_seq+i);
+            // everything else is the plain batch contract.
+            for (i, block) in blocks.into_iter().enumerate() {
+                let tag = (producer != 0).then_some(IngestTag {
+                    producer,
+                    seq: first_seq.wrapping_add(i as u64),
+                });
+                dispatch_ingest(
+                    conn, &attribute, block, durable, tag, service, config, net, pool,
+                );
             }
         }
         Request::QuerySelfJoin { attribute } => {

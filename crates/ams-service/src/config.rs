@@ -1,13 +1,15 @@
 //! Service configuration: shard count, queue bounds, sketch shape,
-//! routing policy — assembled through a validating builder.
+//! routing policy, optional durability — assembled through a
+//! validating builder.
 
 use ams_core::SketchParams;
+use ams_durable::DurabilityConfig;
 
 use crate::error::ServiceError;
 use crate::router::RouterPolicy;
 
 /// Validated configuration of an [`AmsService`](crate::AmsService).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     shards: usize,
     queue_capacity: usize,
@@ -15,6 +17,7 @@ pub struct ServiceConfig {
     seed: u64,
     router: RouterPolicy,
     publish_every: u64,
+    durability: Option<DurabilityConfig>,
 }
 
 impl ServiceConfig {
@@ -62,6 +65,16 @@ impl ServiceConfig {
     pub fn publish_every(&self) -> u64 {
         self.publish_every
     }
+
+    /// The durability section, when enabled: every ingested block is
+    /// appended to a per-shard write-ahead log before it is applied,
+    /// state is checkpointed on a cadence, and
+    /// [`AmsService::start`](crate::AmsService::start) recovers from
+    /// the log + checkpoints. `None` (the default) runs fully
+    /// in-memory.
+    pub fn durability(&self) -> Option<&DurabilityConfig> {
+        self.durability.as_ref()
+    }
 }
 
 impl Default for ServiceConfig {
@@ -73,7 +86,7 @@ impl Default for ServiceConfig {
 }
 
 /// Builder for [`ServiceConfig`]; every setter overrides one default.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfigBuilder {
     shards: usize,
     queue_capacity: usize,
@@ -81,6 +94,7 @@ pub struct ServiceConfigBuilder {
     seed: u64,
     router: RouterPolicy,
     publish_every: u64,
+    durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfigBuilder {
@@ -92,6 +106,7 @@ impl Default for ServiceConfigBuilder {
             seed: 0,
             router: RouterPolicy::RoundRobin,
             publish_every: 8,
+            durability: None,
         }
     }
 }
@@ -133,10 +148,18 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Enables durability: per-shard WAL + checkpoints under the
+    /// configured directory, with crash recovery at service start.
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
-    /// [`ServiceError::InvalidConfig`] if any dimension is zero.
+    /// [`ServiceError::InvalidConfig`] if any dimension is zero or the
+    /// durability section is out of range.
     pub fn build(self) -> Result<ServiceConfig, ServiceError> {
         if self.shards == 0 {
             return Err(ServiceError::InvalidConfig {
@@ -153,6 +176,11 @@ impl ServiceConfigBuilder {
                 reason: "publish cadence must be positive",
             });
         }
+        if let Some(durability) = &self.durability {
+            durability
+                .validate()
+                .map_err(|reason| ServiceError::InvalidConfig { reason })?;
+        }
         Ok(ServiceConfig {
             shards: self.shards,
             queue_capacity: self.queue_capacity,
@@ -160,6 +188,7 @@ impl ServiceConfigBuilder {
             seed: self.seed,
             router: self.router,
             publish_every: self.publish_every,
+            durability: self.durability,
         })
     }
 }
@@ -186,6 +215,24 @@ mod tests {
         assert_eq!(config.seed(), 9);
         assert_eq!(config.router(), RouterPolicy::HashPartition);
         assert_eq!(config.publish_every(), 1);
+    }
+
+    #[test]
+    fn durability_section_carried_and_validated() {
+        let config = ServiceConfig::default();
+        assert!(config.durability().is_none(), "in-memory by default");
+        let config = ServiceConfig::builder()
+            .durability(DurabilityConfig::new("/tmp/ams-wal"))
+            .build()
+            .unwrap();
+        assert!(config.durability().is_some());
+        // An invalid durability section fails the service build.
+        assert!(matches!(
+            ServiceConfig::builder()
+                .durability(DurabilityConfig::new("/x").with_keep_checkpoints(1))
+                .build(),
+            Err(ServiceError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub enum ServiceError {
     Closed,
     /// Underlying sketch error (sizing, merge/join compatibility).
     Sketch(SketchError),
+    /// The durability layer failed: the WAL could not be opened or
+    /// recovered at startup, or on-disk state was written by a
+    /// differently-shaped service. Carries the rendered
+    /// [`DurableError`](ams_durable::DurableError) (file and offset
+    /// included where the layer knows them).
+    Durability {
+        /// The rendered durability error.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -50,6 +59,7 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::Closed => write!(f, "service is shut down"),
             ServiceError::Sketch(e) => write!(f, "sketch error: {e}"),
+            ServiceError::Durability { reason } => write!(f, "durability error: {reason}"),
         }
     }
 }
@@ -66,6 +76,14 @@ impl std::error::Error for ServiceError {
 impl From<SketchError> for ServiceError {
     fn from(e: SketchError) -> Self {
         ServiceError::Sketch(e)
+    }
+}
+
+impl From<ams_durable::DurableError> for ServiceError {
+    fn from(e: ams_durable::DurableError) -> Self {
+        ServiceError::Durability {
+            reason: e.to_string(),
+        }
     }
 }
 

@@ -27,6 +27,14 @@
 //! * [`ServiceSnapshot`] — the merge-on-query view answering self-join
 //!   and two-way join estimates; bit-identical to single-sketch
 //!   ingestion of the same stream (pinned by property tests).
+//! * Durability (opt-in via [`ServiceConfigBuilder::durability`]) —
+//!   every block is appended to a per-shard write-ahead log *before*
+//!   it is applied, sketch state is checkpointed on a cadence, and
+//!   [`AmsService::start`] recovers checkpoint + log tail into
+//!   bit-identical counters (the sketches are linear, so replaying a
+//!   logged prefix *is* the never-crashed state). The
+//!   [`AmsService::durability_cut`] / [`AmsService::poll_durable`]
+//!   pair gives front-ends ack-after-fsync.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -44,8 +52,9 @@ mod telemetry;
 
 pub use config::{ServiceConfig, ServiceConfigBuilder};
 pub use error::ServiceError;
+pub use queue::IngestTag;
 pub use router::{Router, RouterPolicy};
-pub use service::{AmsService, DrainCut};
+pub use service::{AmsService, DrainCut, DurableCut};
 pub use snapshot::ServiceSnapshot;
 pub use stats::{ServiceStats, ShardStats};
 
@@ -53,3 +62,10 @@ pub use stats::{ServiceStats, ShardStats};
 // re-exported so front-ends can name the snapshot/registry types
 // without a separate dependency declaration.
 pub use ams_telemetry::{MetricsRegistry, MetricsSnapshot};
+
+// The durability configuration and recovery-report types come from
+// `ams-durable`; re-exported so embedders configure WAL + checkpoints
+// without a separate dependency declaration.
+pub use ams_durable::{
+    DurabilityConfig, DurableError, FaultPlan, FsyncPolicy, ShardRecovery, SkippedArtifact,
+};

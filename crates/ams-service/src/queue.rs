@@ -21,6 +21,19 @@ use std::time::Instant;
 use ams_stream::OpBlock;
 use ams_telemetry::Gauge;
 
+/// A producer/sequence tag carried by an ingest submission, making
+/// resubmission after a reconnect idempotent: each shard worker keeps
+/// a per-producer sequence high-water mark (persisted through the
+/// durability layer) and skips blocks it has already applied. Producer
+/// id `0` is reserved for untagged submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestTag {
+    /// The producer's unique id (client-generated; never 0).
+    pub producer: u64,
+    /// The producer's monotonically increasing submission sequence.
+    pub seq: u64,
+}
+
 /// A unit of shard work: one block destined for one attribute's shard
 /// sketch.
 #[derive(Debug)]
@@ -29,17 +42,26 @@ pub struct ShardTask {
     pub attr: usize,
     /// The updates to apply.
     pub block: OpBlock,
+    /// Idempotency tag, when the producer supplied one.
+    pub tag: Option<IngestTag>,
     /// When the task was built for submission — the worker records
     /// `enqueued_at.elapsed()` at pop time as the queue-wait latency.
     pub enqueued_at: Instant,
 }
 
 impl ShardTask {
-    /// A task stamped with the current time as its enqueue instant.
+    /// An untagged task stamped with the current time as its enqueue
+    /// instant.
     pub fn new(attr: usize, block: OpBlock) -> Self {
+        Self::tagged(attr, block, None)
+    }
+
+    /// A task carrying an optional idempotency tag.
+    pub fn tagged(attr: usize, block: OpBlock, tag: Option<IngestTag>) -> Self {
         Self {
             attr,
             block,
+            tag,
             enqueued_at: Instant::now(),
         }
     }

@@ -1,18 +1,20 @@
 //! The service façade: registration, routed ingestion, queries,
 //! drain and shutdown.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use ams_core::{SelfJoinEstimator, TugOfWarSketch};
+use ams_durable::{ShardDurable, ShardRecovery, ShardShape, WalInstruments};
 use ams_stream::{OpBlock, Value};
 use ams_telemetry::{MetricsRegistry, MetricsSnapshot};
 
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
-use crate::queue::{BlockQueue, PushError, ShardTask};
-use crate::router::Router;
-use crate::shard::ShardWorker;
+use crate::queue::{BlockQueue, IngestTag, PushError, ShardTask};
+use crate::router::{Router, RouterPolicy};
+use crate::shard::{DurableShardState, ShardWorker};
 use crate::snapshot::{ServiceSnapshot, ShardCell};
 use crate::stats::{ServiceStats, ShardStats};
 use crate::telemetry::ServiceTelemetry;
@@ -22,6 +24,16 @@ use crate::telemetry::ServiceTelemetry;
 /// it back to [`AmsService::poll_drained`] until the cut is reached.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DrainCut {
+    /// Per-shard enqueue counts at cut time.
+    targets: Vec<u64>,
+}
+
+/// A recorded durability target: the per-shard block counts that had
+/// been submitted when [`AmsService::durability_cut`] was called. Feed
+/// it back to [`AmsService::poll_durable`] until every one of those
+/// submissions is durable — the primitive behind ack-after-fsync.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableCut {
     /// Per-shard enqueue counts at cut time.
     targets: Vec<u64>,
 }
@@ -60,6 +72,13 @@ pub struct AmsService {
     cells: Vec<Arc<ShardCell>>,
     workers: Vec<JoinHandle<()>>,
     telemetry: ServiceTelemetry,
+    /// Per-shard durable watermarks (empty when durability is off):
+    /// this-lifetime popped blocks whose effects have reached stable
+    /// storage per the fsync policy.
+    durable_watermarks: Vec<Arc<AtomicU64>>,
+    /// What startup recovery did per shard (empty when durability is
+    /// off).
+    recovery: Vec<ShardRecovery>,
 }
 
 impl AmsService {
@@ -100,11 +119,42 @@ impl AmsService {
         let cells: Vec<Arc<ShardCell>> = (0..config.shards())
             .map(|_| Arc::new(ShardCell::new(config.params().total(), names.len())))
             .collect();
+        // Recover durable state before any worker runs: each shard's
+        // WAL is opened, its newest valid checkpoint loaded, and the
+        // log tail replayed; the worker seeds from the recovered state.
+        let mut durable_watermarks = Vec::new();
+        let mut recovery = Vec::new();
+        let mut durable_states: Vec<Option<DurableShardState>> =
+            (0..config.shards()).map(|_| None).collect();
+        if let Some(dcfg) = config.durability() {
+            let shape = ShardShape {
+                params: config.params(),
+                seed: config.seed(),
+                attributes: names.clone(),
+            };
+            for (shard, slot) in durable_states.iter_mut().enumerate() {
+                let instruments = WalInstruments::register(telemetry.registry(), shard);
+                let (wal, recovered, report) =
+                    ShardDurable::open(dcfg, shard, &shape, instruments)?;
+                let watermark = Arc::new(AtomicU64::new(0));
+                durable_watermarks.push(Arc::clone(&watermark));
+                *slot = Some(DurableShardState {
+                    wal,
+                    checkpointed_blocks: report.checkpoint_blocks,
+                    recovered: Some(recovered),
+                    checkpoint_every: dcfg.checkpoint_every_blocks,
+                    watermark,
+                    failed: false,
+                });
+                recovery.push(report);
+            }
+        }
         let workers = queues
             .iter()
             .zip(cells.iter())
+            .zip(durable_states)
             .enumerate()
-            .map(|(shard, (queue, cell))| {
+            .map(|(shard, ((queue, cell), durable))| {
                 let worker = ShardWorker {
                     queue: Arc::clone(queue),
                     cell: Arc::clone(cell),
@@ -114,6 +164,7 @@ impl AmsService {
                     publish_every: config.publish_every(),
                     instruments: telemetry.shards[shard].clone(),
                     sketch_memory: telemetry.sketch_memory.clone(),
+                    durable,
                 };
                 std::thread::Builder::new()
                     .name(format!("ams-shard-{shard}"))
@@ -130,12 +181,27 @@ impl AmsService {
             cells,
             workers,
             telemetry,
+            durable_watermarks,
+            recovery,
         })
     }
 
     /// The service configuration.
     pub fn config(&self) -> ServiceConfig {
-        self.config
+        self.config.clone()
+    }
+
+    /// Whether this service runs with a durability layer.
+    pub fn durability_enabled(&self) -> bool {
+        !self.durable_watermarks.is_empty()
+    }
+
+    /// What startup recovery did, one report per shard — checkpoint
+    /// loaded, blocks replayed, artifacts skipped. Empty when
+    /// durability is off (or nothing was on disk… the reports then
+    /// show zero replay).
+    pub fn recovery(&self) -> &[ShardRecovery] {
+        &self.recovery
     }
 
     /// Registered attribute names, in registration order.
@@ -160,15 +226,51 @@ impl AmsService {
     /// [`ServiceError::UnknownAttribute`] for unregistered names,
     /// [`ServiceError::Closed`] after shutdown began.
     pub fn ingest_block(&self, attribute: &str, block: OpBlock) -> Result<(), ServiceError> {
+        self.ingest_block_tagged(attribute, block, None)
+    }
+
+    /// [`Self::ingest_block`] with an optional idempotency tag. A
+    /// tagged submission carries its producer's id and sequence number
+    /// down to the shard workers, which skip any `(producer, seq)` at
+    /// or below the producer's high-water mark — so a client that
+    /// resubmits after a lost ack (see the `ams-net` reconnect path)
+    /// never double-counts a block that the first attempt already
+    /// logged and applied.
+    ///
+    /// Dedup is only sound when routing is deterministic per value,
+    /// i.e. under [`RouterPolicy::HashPartition`]: a resubmission then
+    /// re-splits identically and meets each target shard's high-water
+    /// mark. Under round-robin the resubmission may land on a *fresh*
+    /// shard whose mark would falsely swallow it, so the tag is
+    /// **dropped** here and resubmission degrades to at-least-once.
+    ///
+    /// # Errors
+    /// As for [`Self::ingest_block`].
+    pub fn ingest_block_tagged(
+        &self,
+        attribute: &str,
+        block: OpBlock,
+        tag: Option<IngestTag>,
+    ) -> Result<(), ServiceError> {
         let attr = self.attr_index(attribute)?;
+        let tag = self.effective_tag(tag);
         for (shard, part) in self.router.route(block) {
             let part_ops = part.ops();
             self.queues[shard]
-                .push(ShardTask::new(attr, part))
+                .push(ShardTask::tagged(attr, part, tag))
                 .map_err(|_| ServiceError::Closed)?;
             self.telemetry.shards[shard].routed_ops.add(part_ops);
         }
         Ok(())
+    }
+
+    /// Keeps an idempotency tag only when the routing policy makes
+    /// worker-side dedup sound (see [`Self::ingest_block_tagged`]).
+    fn effective_tag(&self, tag: Option<IngestTag>) -> Option<IngestTag> {
+        match self.config.router() {
+            RouterPolicy::HashPartition => tag,
+            _ => None,
+        }
     }
 
     /// Submits a block of updates without blocking. All-or-nothing
@@ -203,17 +305,33 @@ impl AmsService {
         attribute: &str,
         block: OpBlock,
     ) -> Result<(), (OpBlock, ServiceError)> {
+        self.try_ingest_block_tagged_returning(attribute, block, None)
+    }
+
+    /// [`Self::try_ingest_block_returning`] with an optional
+    /// idempotency tag, honoured under the same routing condition as
+    /// [`Self::ingest_block_tagged`].
+    ///
+    /// # Errors
+    /// As for [`Self::try_ingest_block_returning`].
+    pub fn try_ingest_block_tagged_returning(
+        &self,
+        attribute: &str,
+        block: OpBlock,
+        tag: Option<IngestTag>,
+    ) -> Result<(), (OpBlock, ServiceError)> {
         let attr = match self.attr_index(attribute) {
             Ok(attr) => attr,
             Err(error) => return Err((block, error)),
         };
+        let tag = self.effective_tag(tag);
         let mut routed = self.router.route(block);
         // Single placement (round-robin, or one shard): plain
         // non-blocking push; the queue hands the task back on refusal.
         if routed.len() == 1 {
             let (shard, part) = routed.pop().expect("one placement");
             let part_ops = part.ops();
-            return match self.queues[shard].try_push(ShardTask::new(attr, part)) {
+            return match self.queues[shard].try_push(ShardTask::tagged(attr, part, tag)) {
                 Ok(()) => {
                     self.telemetry.shards[shard].routed_ops.add(part_ops);
                     Ok(())
@@ -246,7 +364,7 @@ impl AmsService {
         }
         for (shard, part) in routed {
             let part_ops = part.ops();
-            self.queues[shard].push_reserved(ShardTask::new(attr, part));
+            self.queues[shard].push_reserved(ShardTask::tagged(attr, part, tag));
             self.telemetry.shards[shard].routed_ops.add(part_ops);
         }
         Ok(())
@@ -318,11 +436,15 @@ impl AmsService {
     }
 
     /// Waits until every block submitted **before this call** has been
-    /// applied and published, so a subsequent [`Self::snapshot`]
-    /// reflects them all. Concurrent producers may keep submitting;
-    /// their later blocks are not waited for (each shard publishes on
-    /// request after at most one more applied block, regardless of the
-    /// configured cadence).
+    /// **processed** and published, so a subsequent [`Self::snapshot`]
+    /// reflects them all. Processed means taken off the queue: applied,
+    /// or skipped as a tagged duplicate, or discarded by a wedged
+    /// durability writer — a drain is a *processing* barrier, not a
+    /// durability one (durable acks still stall on a wedged shard via
+    /// its frozen watermark; see [`Self::poll_durable`]). Concurrent
+    /// producers may keep submitting; their later blocks are not waited
+    /// for (each shard publishes on request after at most one more
+    /// processed block, regardless of the configured cadence).
     ///
     /// Returns the epoch the drain reached: the **lowest** per-shard
     /// publish epoch observed once every shard had published its drain
@@ -336,14 +458,14 @@ impl AmsService {
         // Request everywhere first, then wait: lagging shards publish
         // in parallel instead of one drain-wait at a time.
         for (cell, &target) in self.cells.iter().zip(&cut.targets) {
-            if cell.progress().blocks < target {
+            if cell.progress().processed < target {
                 cell.request_publish();
             }
         }
         self.cells
             .iter()
             .zip(cut.targets)
-            .map(|(cell, target)| cell.wait_for_blocks(target))
+            .map(|(cell, target)| cell.wait_for_processed(target))
             .min()
             .expect("a service has at least one shard")
     }
@@ -369,7 +491,7 @@ impl AmsService {
         let mut reached = true;
         for (cell, &target) in self.cells.iter().zip(&cut.targets) {
             let progress = cell.progress();
-            if progress.blocks < target {
+            if progress.processed < target {
                 cell.request_publish();
                 reached = false;
             } else {
@@ -377,6 +499,43 @@ impl AmsService {
             }
         }
         (reached && epoch != u64::MAX).then_some(epoch)
+    }
+
+    /// Records the durability target — everything submitted **before
+    /// this call** — without waiting. Poll it to completion with
+    /// [`Self::poll_durable`]: the primitive behind ack-after-fsync
+    /// (`ams-net`'s durable ingest acks ride exactly this pair).
+    pub fn durability_cut(&self) -> DurableCut {
+        DurableCut {
+            targets: self.queues.iter().map(|q| q.pushed()).collect(),
+        }
+    }
+
+    /// Checks one recorded [`DurableCut`] for completion, without
+    /// blocking: `true` once every block submitted before the cut has
+    /// been appended to its shard's WAL **and** fsynced per the
+    /// configured policy. The shard queues are FIFO, so the per-shard
+    /// durable watermark (popped blocks whose effects are on stable
+    /// storage) covering the cut's enqueue count covers every one of
+    /// those submissions.
+    ///
+    /// With durability disabled there is no stable storage to wait
+    /// for; the poll degrades to the [`Self::poll_drained`] condition
+    /// (applied and published), so callers can use one code path for
+    /// both configurations. A shard whose durability layer has failed
+    /// freezes its watermark, and cuts past the failure point never
+    /// complete — exactly like acks against a crashed server.
+    pub fn poll_durable(&self, cut: &DurableCut) -> bool {
+        if self.durable_watermarks.is_empty() {
+            let drained = DrainCut {
+                targets: cut.targets.clone(),
+            };
+            return self.poll_drained(&drained).is_some();
+        }
+        self.durable_watermarks
+            .iter()
+            .zip(&cut.targets)
+            .all(|(watermark, &target)| watermark.load(Ordering::Acquire) >= target)
     }
 
     /// Current depth of one shard's queue (blocks waiting, excluding
@@ -517,7 +676,7 @@ mod tests {
     #[test]
     fn sharded_ingest_matches_single_sketch_exactly() {
         let cfg = config(3);
-        let service = AmsService::start(cfg, &["v"]).unwrap();
+        let service = AmsService::start(cfg.clone(), &["v"]).unwrap();
         let values: Vec<u64> = (0..5_000u64).map(|i| i * i % 257).collect();
         for chunk in values.chunks(128) {
             service.ingest_values("v", chunk).unwrap();
@@ -704,7 +863,7 @@ mod tests {
             .router(crate::RouterPolicy::HashPartition)
             .build()
             .unwrap();
-        let service = AmsService::start(cfg, &["a"]).unwrap();
+        let service = AmsService::start(cfg.clone(), &["a"]).unwrap();
         // 64 distinct values spread over both shards, so a submission
         // exercises the multi-placement reservation path.
         let block = OpBlock::from_values(0..64u64);
@@ -821,7 +980,7 @@ mod tests {
     #[test]
     fn metrics_cover_the_full_ingest_path() {
         let cfg = config(2);
-        let service = AmsService::start(cfg, &["f", "g"]).unwrap();
+        let service = AmsService::start(cfg.clone(), &["f", "g"]).unwrap();
         // Sketch memory is accounted the moment the workers build their
         // sketches: each of 2 shards holds one `params.total()`-word
         // sketch per attribute.

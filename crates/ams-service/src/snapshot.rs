@@ -28,6 +28,12 @@ pub(crate) struct ShardSnapshot {
     pub epoch: u64,
     /// Blocks applied at publish time.
     pub blocks: u64,
+    /// This-lifetime tasks taken off the queue at publish time:
+    /// applied blocks plus dedup-skipped duplicates, *excluding* any
+    /// recovered baseline. The drain clock — drain targets are
+    /// this-lifetime enqueue counts, so neither a recovered shard's
+    /// `blocks` head start nor a skipped duplicate may skew it.
+    pub processed: u64,
     /// Expanded operations applied at publish time.
     pub ops: u64,
     /// One counter vector per registered attribute, in registration
@@ -47,6 +53,9 @@ pub(crate) struct ShardProgress {
     pub blocks: u64,
     /// Expanded operations applied at the last publish.
     pub ops: u64,
+    /// This-lifetime processed tasks at the last publish (see
+    /// [`ShardSnapshot::processed`]).
+    pub processed: u64,
 }
 
 /// The per-shard publish register.
@@ -69,6 +78,7 @@ impl ShardCell {
                 epoch: 0,
                 blocks: 0,
                 ops: 0,
+                processed: 0,
                 counters: vec![vec![0; counters_per_attr]; attrs],
             }),
             progress: Mutex::new(ShardProgress::default()),
@@ -93,6 +103,7 @@ impl ShardCell {
             epoch: snapshot.epoch,
             blocks: snapshot.blocks,
             ops: snapshot.ops,
+            processed: snapshot.processed,
         };
         *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
         let mut progress = self.progress.lock().unwrap_or_else(|e| e.into_inner());
@@ -124,18 +135,18 @@ impl ShardCell {
         *self.progress.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Blocks until at least `target` blocks have been published,
-    /// re-arming the publish request on every wake: the worker consumes
-    /// a request after at most one applied block, which may still be
-    /// short of `target`, so a one-shot request could strand the wait
-    /// under a sustained producer with a large cadence. The request is
-    /// set while holding the progress lock that `publish` also takes,
-    /// so a publish cannot slip between the check and the wait.
-    /// Returns the shard's publish epoch at the moment the target was
-    /// reached.
-    pub(crate) fn wait_for_blocks(&self, target: u64) -> u64 {
+    /// Blocks until at least `target` this-lifetime tasks have been
+    /// processed and published, re-arming the publish request on every
+    /// wake: the worker consumes a request after at most one processed
+    /// task, which may still be short of `target`, so a one-shot
+    /// request could strand the wait under a sustained producer with a
+    /// large cadence. The request is set while holding the progress
+    /// lock that `publish` also takes, so a publish cannot slip
+    /// between the check and the wait. Returns the shard's publish
+    /// epoch at the moment the target was reached.
+    pub(crate) fn wait_for_processed(&self, target: u64) -> u64 {
         let mut progress = self.progress.lock().unwrap_or_else(|e| e.into_inner());
-        while progress.blocks < target {
+        while progress.processed < target {
             self.request_publish();
             progress = self
                 .published

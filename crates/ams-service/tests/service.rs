@@ -56,7 +56,7 @@ proptest! {
             RouterPolicy::RoundRobin
         };
         let cfg = config(shards, router);
-        let service = AmsService::start(cfg, &["v"]).unwrap();
+        let service = AmsService::start(cfg.clone(), &["v"]).unwrap();
         for piece in ops.chunks(chunk) {
             service
                 .ingest_block("v", OpBlock::from_ops(piece.iter().copied()))

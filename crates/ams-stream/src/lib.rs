@@ -10,6 +10,10 @@
 //! * [`block`] — columnar [`OpBlock`] batches (parallel value/delta
 //!   columns with duplicate coalescing), the unit of block-at-a-time
 //!   ingestion across every estimator.
+//! * [`crc`] — the shared CRC-32 kernels (slice-by-8 hot path plus the
+//!   bytewise oracle) that every checksummed byte format in the
+//!   workspace frames with: the `ams-net` wire frames and the
+//!   `ams-durable` WAL records.
 //! * [`multiset`] — an exact [`Multiset`] with incrementally-maintained
 //!   self-join size and exact join sizes: the ground truth every
 //!   experiment compares against (the "full histogram" the paper says is
@@ -34,6 +38,7 @@
 pub mod block;
 pub mod build;
 pub mod canonical;
+pub mod crc;
 pub mod multiset;
 pub mod op;
 pub mod replay;

@@ -13,10 +13,14 @@
 //! * [`service`] — the sharded parallel ingest service (bounded block
 //!   queues, per-shard worker threads, merge-on-query snapshots).
 //! * [`net`] — the framed TCP front-end over the service (non-blocking
-//!   reactor server, blocking client with retry-on-`Busy`).
+//!   reactor server, blocking client with retry-on-`Busy`, reconnect
+//!   with idempotent resubmission, and ack-after-fsync ingest).
+//! * [`durable`] — the persistence layer (segmented CRC-framed WAL,
+//!   epoch-stamped checkpoints, crash recovery with bit-identical
+//!   replay).
 //! * [`telemetry`] — the lock-free metrics kernel (counters, gauges,
 //!   log₂-bucketed latency histograms, registry + text exposition)
-//!   instrumenting the service and net layers.
+//!   instrumenting the service, net, and durability layers.
 //!
 //! See the repository README for a guided tour and the `examples/`
 //! directory for runnable scenarios.
@@ -26,6 +30,7 @@
 
 pub use ams_core as core;
 pub use ams_datagen as datagen;
+pub use ams_durable as durable;
 pub use ams_hash as hash;
 pub use ams_net as net;
 pub use ams_relation as relation;
@@ -39,10 +44,11 @@ pub use ams_core::{
     ThreeWayFamily, ThreeWayRole, TugOfWarSketch, TwJoinSignature,
 };
 pub use ams_datagen::DatasetId;
-pub use ams_net::{AmsClient, NetError, NetServer, NetServerConfig};
+pub use ams_net::{AckMode, AmsClient, NetError, NetServer, NetServerConfig, ReconnectPolicy};
 pub use ams_relation::{Catalog, RelationTracker, TrackerConfig};
 pub use ams_service::{
-    AmsService, RouterPolicy, ServiceConfig, ServiceError, ServiceSnapshot, ServiceStats,
+    AmsService, DurabilityConfig, FaultPlan, FsyncPolicy, RouterPolicy, ServiceConfig,
+    ServiceError, ServiceSnapshot, ServiceStats, ShardRecovery,
 };
 pub use ams_stream::{DeletePattern, ExactTracker, Multiset, Op, StreamBuilder, Value};
 pub use ams_telemetry::{MetricsRegistry, MetricsSnapshot};
