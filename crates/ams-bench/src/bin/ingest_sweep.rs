@@ -30,8 +30,10 @@ use ams_datagen::DatasetId;
 use ams_hash::lanes::PlaneScratch;
 use ams_hash::plane::SignPlane;
 use ams_hash::{PolySignPlane, SplitMix64};
-use ams_net::{AmsClient, IngestOutcome, NetServer, NetServerConfig};
-use ams_service::{AmsService, DurabilityConfig, FsyncPolicy, RouterPolicy, ServiceConfig};
+use ams_net::{AckMode, AmsClient, AssembledTrace, IngestOutcome, NetServer, NetServerConfig};
+use ams_service::{
+    AmsService, DurabilityConfig, FsyncPolicy, RouterPolicy, ServiceConfig, ServiceError,
+};
 use ams_stream::{value_blocks, CoalesceBuffer, OpBlock};
 use ams_telemetry::noop::{NoopCounter, NoopHistogram};
 use ams_telemetry::MetricsRegistry;
@@ -106,6 +108,48 @@ struct Report {
     /// `FsyncPolicy` choice (group-commit is the headline — the cost
     /// of ack-after-fsync as `ams-net` clients see it).
     durability_overhead_pct: DurabilityOverhead,
+    /// Where tail latency goes: per-stage attribution of traced wire
+    /// requests (durable and in-memory legs), plus the price of the
+    /// tracing machinery itself against its disabled noop twin.
+    tail_attribution: TailAttribution,
+}
+
+#[derive(Serialize)]
+struct TailAttribution {
+    /// Traced loopback ingest acked after fsync (group-commit WAL).
+    durable: StageShares,
+    /// Traced loopback ingest acked at acceptance (no WAL).
+    in_memory: StageShares,
+    /// Enabled-vs-disabled cost of the tracing machinery on the
+    /// in-process traced ingest path (the acceptance bound is ≤ 3%).
+    tracing_overhead: TracingOverhead,
+}
+
+#[derive(Serialize)]
+struct StageShares {
+    /// Assembled (tail-sampled) traces behind these numbers.
+    traces: usize,
+    /// End-to-end server latency quantiles over the sampled traces
+    /// (decode pickup → ack encoded).
+    e2e_p50_ns: u64,
+    e2e_p99_ns: u64,
+    /// Per-stage share of the instrumented span total at the median:
+    /// stage p50 duration / p50 of per-trace span sums, in percent.
+    stage_p50_share_pct: BTreeMap<String, f64>,
+    /// Same at the 99th percentile — which stage owns the tail.
+    stage_p99_share_pct: BTreeMap<String, f64>,
+}
+
+#[derive(Serialize)]
+struct TracingOverhead {
+    /// Traced ingest throughput with the trace hub armed.
+    enabled_melem_s: f64,
+    /// The noop twin: identical traced submissions against a disabled
+    /// hub (every record collapses to one relaxed load + branch).
+    disabled_melem_s: f64,
+    /// Median paired slowdown of enabled vs disabled, in percent
+    /// (negative values are measurement noise).
+    overhead_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -706,6 +750,183 @@ fn main() {
         eprintln!("net_scaling: single core, matrix omitted (no parallelism to measure)");
     }
 
+    // Tail-latency attribution: the block-256 workload pushed as traced
+    // requests through the loopback wire (every submission carries a
+    // trace id; the server's tail sampler keeps the slowest), scraped
+    // as assembled traces, and broken down per stage. Two legs: acked
+    // at acceptance (in-memory) and acked after fsync (group-commit
+    // WAL). A third, paired leg prices the tracing machinery itself
+    // against its disabled noop twin on the in-process path.
+    let tail_attribution = {
+        let trace_dir =
+            std::env::temp_dir().join(format!("ams-bench-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&trace_dir);
+        let traced_leg = |durable: bool| -> Vec<AssembledTrace> {
+            let mut builder = ServiceConfig::builder()
+                .shards(1)
+                .queue_capacity(64)
+                .sketch_params(params)
+                .seed(1)
+                .router(RouterPolicy::RoundRobin)
+                .publish_every(u64::MAX / 2);
+            if durable {
+                builder = builder.durability(
+                    DurabilityConfig::new(trace_dir.join("durable")).with_fsync(
+                        FsyncPolicy::GroupCommit {
+                            interval: Duration::from_millis(2),
+                        },
+                    ),
+                );
+            }
+            let service = AmsService::start(builder.build().expect("valid service config"), &["v"])
+                .expect("start service");
+            let server = NetServer::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = server.local_addr();
+            let handle = server.spawn(service);
+            let mut client = AmsClient::connect(addr)
+                .expect("connect loopback")
+                .with_tracing(1);
+            if durable {
+                client = client.with_ack_mode(AckMode::Fsync);
+            }
+            for block in blocks_256.iter().take(64) {
+                client.ingest_block("v", block).expect("traced ingest");
+            }
+            // In-memory acks fire at acceptance; the drain is the
+            // barrier that lands the shard-side spans before scraping.
+            client.drain().expect("wire drain");
+            let traces = client.traces().expect("wire trace scrape");
+            drop(client);
+            handle.stop();
+            traces
+        };
+        let pctl = |sorted: &[u64], q: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            sorted[((sorted.len() as f64 - 1.0) * q).round() as usize]
+        };
+        let shares = |traces: &[AssembledTrace], label: &str| -> StageShares {
+            let mut totals: Vec<u64> = traces.iter().map(|t| t.total_ns).collect();
+            totals.sort_unstable();
+            let mut sums: Vec<u64> = traces.iter().map(|t| t.span_sum_ns()).collect();
+            sums.sort_unstable();
+            let (sum50, sum99) = (pctl(&sums, 0.5).max(1), pctl(&sums, 0.99).max(1));
+            let mut stage_p50 = BTreeMap::new();
+            let mut stage_p99 = BTreeMap::new();
+            for stage in [
+                "decode",
+                "route",
+                "queue",
+                "kernel",
+                "wal_append",
+                "fsync",
+                "durable_wait",
+                "ack",
+            ] {
+                let mut durs: Vec<u64> = traces.iter().map(|t| t.stage_ns(stage)).collect();
+                if durs.iter().all(|&d| d == 0) {
+                    continue;
+                }
+                durs.sort_unstable();
+                let share = |d: u64, total: u64| (d as f64 / total as f64 * 1e4).round() / 1e2;
+                stage_p50.insert(stage.to_string(), share(pctl(&durs, 0.5), sum50));
+                stage_p99.insert(stage.to_string(), share(pctl(&durs, 0.99), sum99));
+            }
+            let out = StageShares {
+                traces: traces.len(),
+                e2e_p50_ns: pctl(&totals, 0.5),
+                e2e_p99_ns: pctl(&totals, 0.99),
+                stage_p50_share_pct: stage_p50,
+                stage_p99_share_pct: stage_p99,
+            };
+            eprintln!(
+                "tail_attribution/{label}: {} traces, e2e p50 {} ns / p99 {} ns, \
+                 p99 shares {:?}",
+                out.traces, out.e2e_p50_ns, out.e2e_p99_ns, out.stage_p99_share_pct
+            );
+            out
+        };
+        let durable = shares(&traced_leg(true), "durable");
+        let in_memory = shares(&traced_leg(false), "in_memory");
+        let _ = std::fs::remove_dir_all(&trace_dir);
+
+        // The noop twin: identical traced submissions through the
+        // in-process service, hub armed vs hub disabled, in strict
+        // alternation (the wire-tax method) so drift cancels.
+        let config = ServiceConfig::builder()
+            .shards(1)
+            .queue_capacity(64)
+            .sketch_params(params)
+            .seed(1)
+            .router(RouterPolicy::RoundRobin)
+            .publish_every(u64::MAX / 2)
+            .build()
+            .expect("valid service config");
+        let service = AmsService::start(config, &["v"]).expect("start service");
+        let hub = service.trace_hub();
+        let mut next_id = 1u64;
+        let run_traced = |service: &AmsService, next_id: &mut u64| {
+            for block in &blocks_256 {
+                *next_id += 1;
+                let mut attempt = block.clone();
+                loop {
+                    match service.try_ingest_block_traced_returning("v", attempt, None, *next_id) {
+                        Ok(_) => break,
+                        Err((back, ServiceError::WouldBlock { .. })) => {
+                            attempt = back;
+                            std::thread::yield_now();
+                        }
+                        Err((_, e)) => panic!("traced ingest failed: {e}"),
+                    }
+                }
+            }
+            service.drain();
+        };
+        run_traced(&service, &mut next_id);
+        const TRACE_SAMPLES: usize = 21;
+        let mut enabled_times = Vec::with_capacity(TRACE_SAMPLES);
+        let mut disabled_times = Vec::with_capacity(TRACE_SAMPLES);
+        for _ in 0..TRACE_SAMPLES {
+            hub.set_enabled(true);
+            let start = Instant::now();
+            run_traced(&service, &mut next_id);
+            enabled_times.push(start.elapsed().as_secs_f64());
+            hub.set_enabled(false);
+            let start = Instant::now();
+            run_traced(&service, &mut next_id);
+            disabled_times.push(start.elapsed().as_secs_f64());
+        }
+        hub.set_enabled(true);
+        let mut pcts: Vec<f64> = enabled_times
+            .iter()
+            .zip(&disabled_times)
+            .map(|(e, d)| (e / d - 1.0) * 100.0)
+            .collect();
+        pcts.sort_by(f64::total_cmp);
+        let median = |mut v: Vec<f64>| {
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let tracing_overhead = TracingOverhead {
+            enabled_melem_s: melem_per_s(UPDATES, median(enabled_times)),
+            disabled_melem_s: melem_per_s(UPDATES, median(disabled_times)),
+            overhead_pct: (pcts[pcts.len() / 2] * 100.0).round() / 100.0,
+        };
+        eprintln!(
+            "tracing overhead: enabled {:.3} vs disabled {:.3} Melem/s ({:+.2}%)",
+            tracing_overhead.enabled_melem_s,
+            tracing_overhead.disabled_melem_s,
+            tracing_overhead.overhead_pct,
+        );
+        drop(service);
+        TailAttribution {
+            durable,
+            in_memory,
+            tracing_overhead,
+        }
+    };
+
     let report = Report {
         workload: "zipf1.0",
         updates: UPDATES,
@@ -727,6 +948,7 @@ fn main() {
         busy_rate,
         telemetry_overhead,
         durability_overhead_pct,
+        tail_attribution,
     };
     let json = serde_json::to_string(&report).expect("serialize bench report");
     std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 use ams_service::{MetricsSnapshot, ServiceSnapshot, ServiceStats};
 use ams_stream::{OpBlock, Value};
-use ams_telemetry::{Counter, Gauge, MetricsRegistry};
+use ams_telemetry::{
+    trace_clock_ns, AssembledTrace, Counter, Gauge, MetricsRegistry, TraceHub, TraceRecorder,
+    TraceStage,
+};
 
 use crate::codec::{
     encode_ingest_batch_frame_ex_into, encode_ingest_batch_frame_into, encode_ingest_frame_ex_into,
@@ -171,8 +174,20 @@ pub struct AmsClient {
     producer: u64,
     /// Next sequence number to assign to a tagged submission.
     next_seq: u64,
-    /// xorshift state for backoff jitter.
+    /// xorshift state for backoff jitter and trace-id generation.
     rng: u64,
+    /// Trace every `trace_every`-th ingest submission (0 = tracing
+    /// off, 1 = every submission).
+    trace_every: u64,
+    /// Submissions since the last traced one.
+    trace_tick: u64,
+    /// Local span hub for the client-side stages of traced requests
+    /// (`client_encode`, `client_recv`); the server's stages live in
+    /// the server's hub and are scraped via [`Self::traces`].
+    trace_hub: TraceHub,
+    /// Recorder into `trace_hub` (one per client — the connection is
+    /// driven by one thread).
+    trace_recorder: TraceRecorder,
 }
 
 impl AmsClient {
@@ -202,6 +217,8 @@ impl AmsClient {
             .unwrap_or(0)
             ^ (u64::from(std::process::id()) << 32))
             | 1;
+        let trace_hub = TraceHub::new();
+        let trace_recorder = trace_hub.recorder();
         Ok(Self {
             stream,
             decoder: FrameDecoder::new(),
@@ -214,6 +231,10 @@ impl AmsClient {
             producer,
             next_seq: 1,
             rng: producer,
+            trace_every: 0,
+            trace_tick: 0,
+            trace_hub,
+            trace_recorder,
         })
     }
 
@@ -237,6 +258,17 @@ impl AmsClient {
         self
     }
 
+    /// Enables request tracing: every `every`-th ingest submission
+    /// (1 = all, 0 = off) carries a fresh nonzero trace id on the
+    /// extended wire frames, making it tail-sampling-eligible
+    /// server-side; the client's own `client_encode`/`client_recv`
+    /// stages land in a local hub readable via
+    /// [`Self::local_traces`].
+    pub fn with_tracing(mut self, every: u64) -> Self {
+        self.trace_every = every;
+        self
+    }
+
     /// `(durable, tagged)` for the current configuration: durable acks
     /// come from [`AckMode::Fsync`], tags from an armed reconnect
     /// policy. Either one moves ingest onto the extended wire frames;
@@ -251,14 +283,34 @@ impl AmsClient {
         self.reconnect.is_some() && matches!(error, NetError::Io(_) | NetError::Frame(_))
     }
 
-    /// A uniform sample in `[0, 1)` from the client's xorshift state.
-    fn jitter(&mut self) -> f64 {
+    /// Advances the client's xorshift state one step.
+    fn next_rng(&mut self) -> u64 {
         let mut x = self.rng;
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
         self.rng = x;
-        (x >> 11) as f64 / (1u64 << 53) as f64
+        x
+    }
+
+    /// A uniform sample in `[0, 1)` from the client's xorshift state.
+    fn jitter(&mut self) -> f64 {
+        (self.next_rng() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The trace id for the next ingest submission: a fresh nonzero id
+    /// every `trace_every`-th call, 0 (untraced) otherwise.
+    fn next_trace_id(&mut self) -> u64 {
+        if self.trace_every == 0 {
+            return 0;
+        }
+        self.trace_tick += 1;
+        if self.trace_tick < self.trace_every {
+            return 0;
+        }
+        self.trace_tick = 0;
+        // Forced nonzero: zero is the wire's "untraced" sentinel.
+        self.next_rng() | 1
     }
 
     /// Re-establishes the connection with capped exponential backoff
@@ -355,7 +407,8 @@ impl AmsClient {
         block: &OpBlock,
     ) -> Result<IngestOutcome, NetError> {
         let (durable, tagged) = self.ingest_mode();
-        if durable || tagged {
+        let trace = self.next_trace_id();
+        if durable || tagged || trace != 0 {
             let producer = if tagged { self.producer } else { 0 };
             let seq = if tagged {
                 let s = self.next_seq;
@@ -368,15 +421,19 @@ impl AmsClient {
             // reconnect resubmissions: with nothing later in flight on
             // this blocking path, a server that already applied it
             // dedups the duplicate and re-acks.
+            let t0 = trace_clock_ns();
             encode_ingest_frame_ex_into(
                 attribute,
                 block,
                 durable,
                 producer,
                 seq,
+                trace,
                 &mut self.encode_buf,
             )?;
-            return self.exchange_encoded_ingest();
+            self.trace_recorder
+                .record_since(trace, TraceStage::ClientEncode, t0);
+            return self.exchange_encoded_ingest(trace);
         }
         // Borrowed encoding into the reused buffer: the block is
         // serialized straight into the frame, never cloned into an
@@ -389,7 +446,7 @@ impl AmsClient {
     /// Writes the ingest frame staged in `encode_buf` and reads its
     /// outcome, transparently redialing and rewriting the *same* frame
     /// on transport failure when reconnect is enabled.
-    fn exchange_encoded_ingest(&mut self) -> Result<IngestOutcome, NetError> {
+    fn exchange_encoded_ingest(&mut self, trace: u64) -> Result<IngestOutcome, NetError> {
         let budget = self.reconnect.map_or(0, |p| p.max_attempts);
         let mut resubmits = 0usize;
         loop {
@@ -397,7 +454,13 @@ impl AmsClient {
                 .stream
                 .write_all(&self.encode_buf)
                 .map_err(NetError::from)
-                .and_then(|()| self.recv_ingest_outcome());
+                .and_then(|()| {
+                    let t0 = trace_clock_ns();
+                    let outcome = self.recv_ingest_outcome();
+                    self.trace_recorder
+                        .record_since(trace, TraceStage::ClientRecv, t0);
+                    outcome
+                });
             match result {
                 Err(e) if self.reconnectable(&e) && resubmits < budget => {
                     resubmits += 1;
@@ -489,7 +552,7 @@ impl AmsClient {
         blocks: &[OpBlock],
     ) -> Result<Vec<IngestOutcome>, NetError> {
         let (durable, tagged) = self.ingest_mode();
-        if durable || tagged {
+        if durable || tagged || self.trace_every != 0 {
             return self.ingest_blocks_ex(attribute, blocks, durable, tagged);
         }
         let mut outcomes: Vec<IngestOutcome> = Vec::with_capacity(blocks.len());
@@ -534,9 +597,10 @@ impl AmsClient {
         let producer = if tagged { self.producer } else { 0 };
         let budget = self.reconnect.map_or(0, |p| p.max_attempts);
         let mut outcomes: Vec<IngestOutcome> = Vec::with_capacity(blocks.len());
-        // The in-flight window, oldest first; survives reconnects so
-        // the suffix can be replayed with its original seqs.
-        let mut inflight: VecDeque<(u64, OpBlock)> = VecDeque::new();
+        // The in-flight window as `(seq, block, trace)`, oldest first;
+        // survives reconnects so the suffix can be replayed with its
+        // original seqs (and trace ids).
+        let mut inflight: VecDeque<(u64, OpBlock, u64)> = VecDeque::new();
         let mut next = 0usize;
         let mut resubmits = 0usize;
         loop {
@@ -570,20 +634,21 @@ impl AmsClient {
         blocks: &[OpBlock],
         durable: bool,
         producer: u64,
-        inflight: &mut VecDeque<(u64, OpBlock)>,
+        inflight: &mut VecDeque<(u64, OpBlock, u64)>,
         next: &mut usize,
         outcomes: &mut Vec<IngestOutcome>,
     ) -> Result<(), NetError> {
         // Resubmit the unacked suffix, one frame per block (reconnects
         // are rare; re-batching is not worth the bookkeeping). Original
         // seqs make already-applied duplicates a server-side skip.
-        for (seq, block) in inflight.iter() {
+        for (seq, block, trace) in inflight.iter() {
             encode_ingest_frame_ex_into(
                 attribute,
                 block,
                 durable,
                 producer,
                 *seq,
+                *trace,
                 &mut self.encode_buf,
             )?;
             self.stream.write_all(&self.encode_buf)?;
@@ -594,24 +659,35 @@ impl AmsClient {
                 let end = (*next + Self::INGEST_BATCH.min(room)).min(blocks.len());
                 let batch = &blocks[*next..end];
                 let first_seq = self.next_seq;
+                // The wire traces a batch's first block only.
+                let trace = self.next_trace_id();
+                let t0 = trace_clock_ns();
                 encode_ingest_batch_frame_ex_into(
                     attribute,
                     batch,
                     durable,
                     producer,
                     first_seq,
+                    trace,
                     &mut self.encode_buf,
                 )?;
+                self.trace_recorder
+                    .record_since(trace, TraceStage::ClientEncode, t0);
                 self.next_seq += batch.len() as u64;
                 for (j, block) in batch.iter().enumerate() {
-                    inflight.push_back((first_seq + j as u64, block.clone()));
+                    let block_trace = if j == 0 { trace } else { 0 };
+                    inflight.push_back((first_seq + j as u64, block.clone(), block_trace));
                 }
                 *next = end;
                 self.telemetry.pipeline_peak.raise_to(inflight.len() as i64);
                 self.stream.write_all(&self.encode_buf)?;
             }
+            let t0 = trace_clock_ns();
             let outcome = self.recv_ingest_outcome()?;
-            inflight.pop_front();
+            if let Some((_, _, trace)) = inflight.pop_front() {
+                self.trace_recorder
+                    .record_since(trace, TraceStage::ClientRecv, t0);
+            }
             outcomes.push(outcome);
         }
         Ok(())
@@ -770,6 +846,28 @@ impl AmsClient {
                 expected: "Metrics",
             }),
         }
+    }
+
+    /// Scrapes the server's tail-sampled request traces over the wire:
+    /// the slowest-N traced requests of the current sampling window,
+    /// each assembled from every server-side stage span still resident
+    /// (decode, route, queue, kernel, and — durability on — wal_append,
+    /// fsync, durable_wait, plus the ack). Slowest first.
+    ///
+    /// # Errors
+    /// Transport or server errors.
+    pub fn traces(&mut self) -> Result<Vec<AssembledTrace>, NetError> {
+        match self.call(&Request::Traces)? {
+            Response::Traces { traces } => Ok(traces),
+            _ => Err(NetError::UnexpectedResponse { expected: "Traces" }),
+        }
+    }
+
+    /// Assembles the client's *own* span rings (`client_encode`,
+    /// `client_recv` stages of traced submissions) — no network round
+    /// trip involved.
+    pub fn local_traces(&self) -> Vec<AssembledTrace> {
+        self.trace_hub.assemble_all()
     }
 
     /// Snapshot of the client's *own* instruments (`client_retries`,

@@ -29,6 +29,7 @@ use bytes::{Buf, BufMut};
 
 use ams_service::{MetricsSnapshot, ServiceSnapshot, ServiceStats};
 use ams_stream::OpBlock;
+use ams_telemetry::AssembledTrace;
 
 /// Frame magic: "AMS" + "N" for the network protocol.
 pub const MAGIC: [u8; 4] = *b"AMSN";
@@ -65,6 +66,7 @@ const REQ_METRICS: u8 = 0x08;
 const REQ_INGEST_BLOCKS: u8 = 0x09;
 const REQ_INGEST_BLOCK_EX: u8 = 0x0A;
 const REQ_INGEST_BLOCKS_EX: u8 = 0x0B;
+const REQ_TRACES: u8 = 0x0C;
 
 /// Extended-ingest flag: acknowledge only after the block's effects
 /// are on stable storage (WAL appended + fsynced per the server's
@@ -75,7 +77,12 @@ pub const INGEST_FLAG_DURABLE: u8 = 0x01;
 /// idempotency tag, letting the service skip resubmitted blocks it
 /// already logged (exactly-once resubmission after a lost ack).
 pub const INGEST_FLAG_TAGGED: u8 = 0x02;
-const INGEST_FLAGS_KNOWN: u8 = INGEST_FLAG_DURABLE | INGEST_FLAG_TAGGED;
+/// Extended-ingest flag: the frame carries a nonzero `u64` trace id —
+/// the request is tail-sampling-eligible and every stage it touches
+/// stamps a span for it (see `ams_telemetry::trace`). For a batch
+/// frame the id traces the batch's first block.
+pub const INGEST_FLAG_TRACED: u8 = 0x04;
+const INGEST_FLAGS_KNOWN: u8 = INGEST_FLAG_DURABLE | INGEST_FLAG_TAGGED | INGEST_FLAG_TRACED;
 
 const RESP_INGESTED: u8 = 0x81;
 const RESP_BUSY: u8 = 0x82;
@@ -86,6 +93,7 @@ const RESP_STATS: u8 = 0x86;
 const RESP_DRAINED: u8 = 0x87;
 const RESP_GOODBYE: u8 = 0x88;
 const RESP_METRICS: u8 = 0x89;
+const RESP_TRACES: u8 = 0x8A;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Why a frame (or its body) failed to decode. The framing layer is
@@ -222,6 +230,8 @@ pub enum Request {
         /// Producer-local sequence number (meaningful when
         /// `producer != 0`).
         seq: u64,
+        /// Trace id; `0` means untraced (see [`INGEST_FLAG_TRACED`]).
+        trace: u64,
     },
     /// [`Request::IngestBlocks`] with ingest options. Block `i` of the
     /// batch carries the implicit sequence number `first_seq + i`, so
@@ -237,6 +247,9 @@ pub enum Request {
         producer: u64,
         /// Sequence number of the first block; later blocks increment.
         first_seq: u64,
+        /// Trace id for the batch's **first block**; `0` means
+        /// untraced (see [`INGEST_FLAG_TRACED`]).
+        trace: u64,
     },
     /// Ask for the self-join size estimate of one attribute.
     QuerySelfJoin {
@@ -259,6 +272,10 @@ pub enum Request {
     /// gauge, and latency histogram registered across the service and
     /// network layers — the wire scraping endpoint.
     Metrics,
+    /// Ask for the tail-sampled request traces assembled from every
+    /// stage's span ring: the slowest-N traced requests of the current
+    /// sampling window, each with its per-stage spans.
+    Traces,
     /// Wait (server-side, without blocking the reactor) until every
     /// block accepted before this request is reflected in snapshots.
     Drain,
@@ -306,6 +323,11 @@ pub enum Response {
     Metrics {
         /// The full instrument snapshot (service + reactor series).
         snapshot: MetricsSnapshot,
+    },
+    /// Answer to [`Request::Traces`].
+    Traces {
+        /// The assembled tail-sampled traces, slowest first.
+        traces: Vec<AssembledTrace>,
     },
     /// Answer to [`Request::Drain`]: the drain cut was reached.
     Drained {
@@ -483,9 +505,10 @@ pub fn encode_ingest_frame(attribute: &str, block: &OpBlock) -> Result<Vec<u8>, 
     Ok(out)
 }
 
-/// Writes the extended-ingest option prefix: the flags byte, and the
-/// idempotency tag when `producer != 0`.
-fn put_ingest_options(out: &mut Vec<u8>, durable: bool, producer: u64, seq: u64) {
+/// Writes the extended-ingest option prefix: the flags byte, the
+/// idempotency tag when `producer != 0`, and the trace id when
+/// `trace != 0`.
+fn put_ingest_options(out: &mut Vec<u8>, durable: bool, producer: u64, seq: u64, trace: u64) {
     let mut flags = 0u8;
     if durable {
         flags |= INGEST_FLAG_DURABLE;
@@ -493,16 +516,22 @@ fn put_ingest_options(out: &mut Vec<u8>, durable: bool, producer: u64, seq: u64)
     if producer != 0 {
         flags |= INGEST_FLAG_TAGGED;
     }
+    if trace != 0 {
+        flags |= INGEST_FLAG_TRACED;
+    }
     out.put_u8(flags);
     if producer != 0 {
         out.put_u64_le(producer);
         out.put_u64_le(seq);
     }
+    if trace != 0 {
+        out.put_u64_le(trace);
+    }
 }
 
 /// Reads the extended-ingest option prefix written by
-/// [`put_ingest_options`]: `(durable, producer, seq)`.
-fn get_ingest_options(data: &mut &[u8]) -> Result<(bool, u64, u64), FrameError> {
+/// [`put_ingest_options`]: `(durable, producer, seq, trace)`.
+fn get_ingest_options(data: &mut &[u8]) -> Result<(bool, u64, u64, u64), FrameError> {
     if data.remaining() < 1 {
         return Err(FrameError::Malformed {
             reason: "truncated ingest flags",
@@ -531,7 +560,23 @@ fn get_ingest_options(data: &mut &[u8]) -> Result<(bool, u64, u64), FrameError> 
     } else {
         (0, 0)
     };
-    Ok((durable, producer, seq))
+    let trace = if flags & INGEST_FLAG_TRACED != 0 {
+        if data.remaining() < 8 {
+            return Err(FrameError::Malformed {
+                reason: "truncated trace id",
+            });
+        }
+        let trace = data.get_u64_le();
+        if trace == 0 {
+            return Err(FrameError::Malformed {
+                reason: "traced ingest with zero trace id",
+            });
+        }
+        trace
+    } else {
+        0
+    };
+    Ok((durable, producer, seq, trace))
 }
 
 /// Encodes an extended `IngestBlockEx` request into `out` as one
@@ -547,11 +592,12 @@ pub fn encode_ingest_frame_ex_into(
     durable: bool,
     producer: u64,
     seq: u64,
+    trace: u64,
     out: &mut Vec<u8>,
 ) -> Result<(), FrameError> {
     begin_frame(out);
     out.put_u8(REQ_INGEST_BLOCK_EX);
-    put_ingest_options(out, durable, producer, seq);
+    put_ingest_options(out, durable, producer, seq, trace);
     put_str(out, attribute)?;
     block.encode_wire(out);
     finish_frame(out)
@@ -569,6 +615,7 @@ pub fn encode_ingest_batch_frame_ex_into(
     durable: bool,
     producer: u64,
     first_seq: u64,
+    trace: u64,
     out: &mut Vec<u8>,
 ) -> Result<(), FrameError> {
     if blocks.is_empty() {
@@ -578,7 +625,7 @@ pub fn encode_ingest_batch_frame_ex_into(
     }
     begin_frame(out);
     out.put_u8(REQ_INGEST_BLOCKS_EX);
-    put_ingest_options(out, durable, producer, first_seq);
+    put_ingest_options(out, durable, producer, first_seq, trace);
     put_str(out, attribute)?;
     out.put_u32_le(blocks.len() as u32);
     for block in blocks {
@@ -637,9 +684,10 @@ impl Request {
                 durable,
                 producer,
                 seq,
+                trace,
             } => {
                 return encode_ingest_frame_ex_into(
-                    attribute, block, *durable, *producer, *seq, out,
+                    attribute, block, *durable, *producer, *seq, *trace, out,
                 );
             }
             Request::IngestBlocksEx {
@@ -648,9 +696,10 @@ impl Request {
                 durable,
                 producer,
                 first_seq,
+                trace,
             } => {
                 return encode_ingest_batch_frame_ex_into(
-                    attribute, blocks, *durable, *producer, *first_seq, out,
+                    attribute, blocks, *durable, *producer, *first_seq, *trace, out,
                 );
             }
             Request::QuerySelfJoin { attribute } => {
@@ -676,6 +725,10 @@ impl Request {
                 begin_frame(out);
                 out.put_u8(REQ_METRICS);
             }
+            Request::Traces => {
+                begin_frame(out);
+                out.put_u8(REQ_TRACES);
+            }
             Request::Drain => {
                 begin_frame(out);
                 out.put_u8(REQ_DRAIN);
@@ -696,6 +749,16 @@ impl Request {
         let mut out = Vec::new();
         self.encode_into(&mut out)?;
         Ok(out)
+    }
+
+    /// The trace id this request carries (`0` = untraced). Only the
+    /// extended ingest forms can be traced; a batch's id covers the
+    /// whole frame.
+    pub fn trace_id(&self) -> u64 {
+        match self {
+            Request::IngestBlockEx { trace, .. } | Request::IngestBlocksEx { trace, .. } => *trace,
+            _ => 0,
+        }
     }
 
     /// Decodes a request from a verified frame body (as returned by
@@ -746,7 +809,7 @@ impl Request {
                 Request::IngestBlocks { attribute, blocks }
             }
             REQ_INGEST_BLOCK_EX => {
-                let (durable, producer, seq) = get_ingest_options(&mut data)?;
+                let (durable, producer, seq, trace) = get_ingest_options(&mut data)?;
                 let attribute = get_str(&mut data)?;
                 let block = get_block(&mut data)?;
                 Request::IngestBlockEx {
@@ -755,10 +818,11 @@ impl Request {
                     durable,
                     producer,
                     seq,
+                    trace,
                 }
             }
             REQ_INGEST_BLOCKS_EX => {
-                let (durable, producer, first_seq) = get_ingest_options(&mut data)?;
+                let (durable, producer, first_seq, trace) = get_ingest_options(&mut data)?;
                 let attribute = get_str(&mut data)?;
                 if data.remaining() < 4 {
                     return Err(FrameError::Malformed {
@@ -786,6 +850,7 @@ impl Request {
                     durable,
                     producer,
                     first_seq,
+                    trace,
                 }
             }
             REQ_QUERY_SELF_JOIN => Request::QuerySelfJoin {
@@ -798,6 +863,7 @@ impl Request {
             REQ_SNAPSHOT => Request::Snapshot,
             REQ_STATS => Request::Stats,
             REQ_METRICS => Request::Metrics,
+            REQ_TRACES => Request::Traces,
             REQ_DRAIN => Request::Drain,
             REQ_SHUTDOWN => Request::Shutdown,
             kind => return Err(FrameError::UnknownKind { kind }),
@@ -847,6 +913,10 @@ impl Response {
             Response::Metrics { snapshot } => {
                 out.put_u8(RESP_METRICS);
                 put_json(out, snapshot)?;
+            }
+            Response::Traces { traces } => {
+                out.put_u8(RESP_TRACES);
+                put_json(out, traces)?;
             }
             Response::Drained { epoch } => {
                 out.put_u8(RESP_DRAINED);
@@ -927,6 +997,9 @@ impl Response {
             },
             RESP_METRICS => Response::Metrics {
                 snapshot: get_json(&mut data)?,
+            },
+            RESP_TRACES => Response::Traces {
+                traces: get_json(&mut data)?,
             },
             RESP_DRAINED => {
                 need(8, &data)?;
@@ -1079,6 +1152,7 @@ mod tests {
                 durable: true,
                 producer: 0xDEAD_BEEF,
                 seq: 17,
+                trace: 0,
             },
             Request::IngestBlockEx {
                 attribute: "clicks".into(),
@@ -1086,6 +1160,23 @@ mod tests {
                 durable: false,
                 producer: 0,
                 seq: 0,
+                trace: 0,
+            },
+            Request::IngestBlockEx {
+                attribute: "clicks".into(),
+                block: OpBlock::from_values([6u64, 6]),
+                durable: true,
+                producer: 0xDEAD_BEEF,
+                seq: 18,
+                trace: 0xFACE_FEED,
+            },
+            Request::IngestBlockEx {
+                attribute: "clicks".into(),
+                block: OpBlock::from_values([8u64]),
+                durable: false,
+                producer: 0,
+                seq: 0,
+                trace: u64::MAX,
             },
             Request::IngestBlocksEx {
                 attribute: "clicks".into(),
@@ -1093,6 +1184,15 @@ mod tests {
                 durable: true,
                 producer: 9,
                 first_seq: 100,
+                trace: 0,
+            },
+            Request::IngestBlocksEx {
+                attribute: "clicks".into(),
+                blocks: vec![OpBlock::from_values([3u64])],
+                durable: false,
+                producer: 0,
+                first_seq: 0,
+                trace: 0x1234_5678_9ABC,
             },
             Request::QuerySelfJoin {
                 attribute: "π-ratio".into(),
@@ -1104,6 +1204,7 @@ mod tests {
             Request::Snapshot,
             Request::Stats,
             Request::Metrics,
+            Request::Traces,
             Request::Drain,
             Request::Shutdown,
         ];
@@ -1291,6 +1392,81 @@ mod tests {
                 reason: "truncated ingest tag",
             })
         );
+        // A traced frame with trace id 0 contradicts itself.
+        let mut frame = Vec::new();
+        begin_frame(&mut frame);
+        frame.put_u8(REQ_INGEST_BLOCK_EX);
+        frame.put_u8(INGEST_FLAG_TRACED);
+        frame.put_u64_le(0);
+        put_str(&mut frame, "v").unwrap();
+        OpBlock::from_values([1u64]).encode_wire(&mut frame);
+        finish_frame(&mut frame).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::Malformed {
+                reason: "traced ingest with zero trace id",
+            })
+        );
+        // A trace id cut off mid-field is caught before any block decode.
+        let mut frame = Vec::new();
+        begin_frame(&mut frame);
+        frame.put_u8(REQ_INGEST_BLOCK_EX);
+        frame.put_u8(INGEST_FLAG_TRACED);
+        frame.put_u32_le(7);
+        finish_frame(&mut frame).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::Malformed {
+                reason: "truncated trace id",
+            })
+        );
+    }
+
+    #[test]
+    fn traces_response_roundtrips() {
+        use ams_telemetry::TraceSpan;
+        let traces = vec![
+            AssembledTrace {
+                trace_id: 0xABCD,
+                total_ns: 125_000,
+                spans: vec![
+                    TraceSpan {
+                        stage: "decode".into(),
+                        start_ns: 10,
+                        dur_ns: 900,
+                    },
+                    TraceSpan {
+                        stage: "wal_append".into(),
+                        start_ns: 2_000,
+                        dur_ns: 40_000,
+                    },
+                ],
+            },
+            AssembledTrace {
+                trace_id: 7,
+                total_ns: 0,
+                spans: Vec::new(),
+            },
+        ];
+        let response = Response::Traces { traces };
+        let frame = response.encode().unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(Response::decode(&body).unwrap(), response);
+        // The empty scrape (nothing sampled yet) is also a valid frame.
+        let empty = Response::Traces { traces: Vec::new() };
+        let frame = empty.encode().unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(Response::decode(&body).unwrap(), empty);
     }
 
     #[test]

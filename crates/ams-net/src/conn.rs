@@ -24,6 +24,7 @@ use std::net::TcpStream;
 
 use ams_service::{DrainCut, DurableCut, IngestTag};
 use ams_stream::OpBlock;
+use ams_telemetry::TraceCtx;
 
 use crate::codec::FrameDecoder;
 
@@ -90,6 +91,9 @@ pub(crate) enum Slot {
         durable: bool,
         /// The submission's idempotency tag, carried through retries.
         tag: Option<IngestTag>,
+        /// The request's trace context, carried through retries so the
+        /// eventual acceptance and ack still stamp their spans.
+        trace: TraceCtx,
     },
     /// An accepted durable-ack ingest waiting for its effects to reach
     /// stable storage; polled every tick against the service's durable
@@ -97,6 +101,15 @@ pub(crate) enum Slot {
     PendingDurable {
         /// The durability target recorded right after acceptance.
         cut: DurableCut,
+        /// The request's trace context (for the ack span and the tail
+        /// sampler's end-to-end offer).
+        trace: TraceCtx,
+        /// Trace-clock start of the `durable_wait` span, re-anchored on
+        /// every unsuccessful poll so the recorded span measures the
+        /// reactor's *detection* latency and never double-counts the
+        /// shard-side wal/fsync spans it would otherwise overlap. Zero
+        /// when untraced.
+        wait_from: u64,
     },
     /// A drain waiting for its cut; polled every tick. The cut is
     /// `None` while parked ingests precede it (they are not in the

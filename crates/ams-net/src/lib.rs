@@ -55,3 +55,8 @@ pub use client::{AckMode, AmsClient, IngestOutcome, ReconnectPolicy, RetryPolicy
 pub use codec::{ErrorCode, FrameDecoder, FrameError, Request, Response};
 pub use error::NetError;
 pub use server::{NetServer, NetServerConfig, ServerHandle, StopHandle};
+
+// Assembled traces travel over the wire (`Request::Traces`);
+// re-exported so wire consumers can name the span types without a
+// separate `ams-telemetry` dependency declaration.
+pub use ams_telemetry::{AssembledTrace, TraceSpan};

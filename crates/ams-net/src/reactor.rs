@@ -31,7 +31,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use ams_service::{AmsService, IngestTag, ServiceError, ServiceSnapshot, ServiceStats};
-use ams_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
+use ams_telemetry::{
+    trace_clock_ns, Counter, Gauge, LatencyHistogram, MetricsRegistry, TraceCtx, TraceHub,
+    TraceRecorder, TraceStage,
+};
 
 use crate::codec::{ErrorCode, Request, Response, MAX_FRAME_PAYLOAD};
 use crate::conn::{Connection, FramePool, Slot};
@@ -104,6 +107,61 @@ impl NetInstruments {
     }
 }
 
+/// One reactor's tracing handles: the service's [`TraceHub`] (shared
+/// tail sampler + enable flag) and this thread's own span recorder.
+/// Every helper is guarded so untraced requests — and every request
+/// while the hub is disabled — never read the trace clock.
+struct ReactorTracing {
+    hub: Arc<TraceHub>,
+    recorder: TraceRecorder,
+}
+
+impl ReactorTracing {
+    /// A span-start timestamp for trace `id`, or 0 when the span
+    /// should not be recorded (untraced, or hub disabled).
+    fn start(&self, id: u64) -> u64 {
+        if id != 0 && self.recorder.armed() {
+            trace_clock_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Records `stage` from a [`Self::start`] timestamp (0 = skip).
+    fn span_since(&self, id: u64, stage: TraceStage, t0: u64) {
+        if t0 != 0 {
+            self.recorder.record_since(id, stage, t0);
+        }
+    }
+
+    /// Records the `route` span as ending at the service's handoff
+    /// instant (queue entry of the traced placement) rather than at
+    /// call return: the shard worker may have dequeued — and preempted
+    /// this thread — before the submit call came back, and that time
+    /// belongs to the shard-side spans, not to routing.
+    fn route_span(&self, id: u64, t0: u64, handoff: u64) {
+        if t0 != 0 {
+            self.recorder
+                .record(id, TraceStage::Route, t0, handoff.saturating_sub(t0));
+        }
+    }
+
+    /// Encodes the final response of a traced request: stamps the
+    /// `ack` span around the encode and offers the request's
+    /// end-to-end server latency to the tail sampler.
+    fn finish(&self, ctx: TraceCtx, pool: &mut FramePool, response: &Response) -> Vec<u8> {
+        let t0 = self.start(ctx.id);
+        let frame = encoded(pool, response);
+        if t0 != 0 {
+            self.recorder.record_since(ctx.id, TraceStage::Ack, t0);
+            self.hub
+                .sampler()
+                .offer(ctx.id, trace_clock_ns().saturating_sub(ctx.begin_ns));
+        }
+        frame
+    }
+}
+
 /// Encodes a response into a pooled buffer, demoting encode failures
 /// (e.g. a snapshot too large for one frame) to a small protocol-level
 /// error frame.
@@ -165,6 +223,7 @@ fn service_parked(
     conn: &mut Connection,
     service: &AmsService,
     net: &NetInstruments,
+    tracing: &ReactorTracing,
     pool: &mut FramePool,
 ) -> bool {
     let mut progress = false;
@@ -178,6 +237,7 @@ fn service_parked(
                 block,
                 durable,
                 tag,
+                trace,
             } => {
                 if ingest_blocked {
                     ingest_parked_before = true;
@@ -186,17 +246,20 @@ fn service_parked(
                 // The service hands the block back on refusal, so a
                 // parked entry is submitted without cloning.
                 let attempt = std::mem::take(block);
-                match service.try_ingest_block_tagged_returning(attribute, attempt, *tag) {
-                    Ok(()) => {
+                match service.try_ingest_block_traced_returning(attribute, attempt, *tag, trace.id)
+                {
+                    Ok(_) => {
                         *slot = if *durable {
                             // Accepted, but the peer wants the ack only
                             // once it is on stable storage: park again
                             // on the durability watermark.
                             Slot::PendingDurable {
                                 cut: service.durability_cut(),
+                                trace: *trace,
+                                wait_from: tracing.start(trace.id),
                             }
                         } else {
-                            Slot::Ready(encoded(pool, &Response::Ingested))
+                            Slot::Ready(tracing.finish(*trace, pool, &Response::Ingested))
                         };
                         progress = true;
                     }
@@ -211,13 +274,22 @@ fn service_parked(
                     }
                 }
             }
-            Slot::PendingDurable { cut } => {
+            Slot::PendingDurable {
+                cut,
+                trace,
+                wait_from,
+            } => {
                 // Already accepted by the service (so it neither blocks
                 // later parked ingests nor defers drain cuts); waiting
                 // only for the shard workers' fsync watermarks.
                 if service.poll_durable(cut) {
-                    *slot = Slot::Ready(encoded(pool, &Response::Ingested));
+                    tracing.span_since(trace.id, TraceStage::DurableWait, *wait_from);
+                    *slot = Slot::Ready(tracing.finish(*trace, pool, &Response::Ingested));
                     progress = true;
+                } else {
+                    // Re-anchor so the eventual span measures detection
+                    // latency, not the shard work it would overlap.
+                    *wait_from = tracing.start(trace.id);
                 }
             }
             Slot::PendingDrain { cut } => {
@@ -249,60 +321,90 @@ fn dispatch_ingest(
     block: ams_stream::OpBlock,
     durable: bool,
     tag: Option<IngestTag>,
+    trace: TraceCtx,
     service: &AmsService,
     config: &NetServerConfig,
     net: &NetInstruments,
+    tracing: &ReactorTracing,
     pool: &mut FramePool,
 ) {
-    match service.try_ingest_block_tagged_returning(attribute, block, tag) {
-        Ok(()) => {
+    let route_t0 = tracing.start(trace.id);
+    let submitted = service.try_ingest_block_traced_returning(attribute, block, tag, trace.id);
+    match submitted {
+        Ok(handoff) => {
+            tracing.route_span(trace.id, route_t0, handoff);
             if durable {
                 // The cut recorded right after acceptance covers this
                 // submission; the slot resolves to `Ingested` once the
                 // shard workers' durable watermarks reach it.
                 conn.slots.push_back(Slot::PendingDurable {
                     cut: service.durability_cut(),
+                    trace,
+                    wait_from: tracing.start(trace.id),
                 });
             } else {
-                conn.slots
-                    .push_back(Slot::Ready(encoded(pool, &Response::Ingested)));
+                conn.slots.push_back(Slot::Ready(tracing.finish(
+                    trace,
+                    pool,
+                    &Response::Ingested,
+                )));
             }
         }
         Err((block, ServiceError::WouldBlock { shard })) => {
+            // A refused submission did spend its time routing; the
+            // retry (if parked) re-routes under its own span.
+            tracing.span_since(trace.id, TraceStage::Route, route_t0);
             if conn.pending_ingests() < config.max_pending_per_conn {
                 conn.slots.push_back(Slot::PendingIngest {
                     attribute: attribute.to_owned(),
                     block,
                     durable,
                     tag,
+                    trace,
                 });
             } else {
                 conn.slots
                     .push_back(Slot::Ready(encoded(pool, &busy(service, shard, net))));
             }
         }
-        Err((_, other)) => conn.slots.push_back(Slot::Ready(encoded(
-            pool,
-            &ingest_failure(service, other, net),
-        ))),
+        Err((_, other)) => {
+            tracing.span_since(trace.id, TraceStage::Route, route_t0);
+            conn.slots.push_back(Slot::Ready(encoded(
+                pool,
+                &ingest_failure(service, other, net),
+            )));
+        }
     }
 }
 
 /// Handles one decoded request, appending the resulting slot(s) to the
 /// connection. Returns `true` when the request asked for server
 /// shutdown.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     conn: &mut Connection,
     request: Request,
+    recv_ns: u64,
     service: &AmsService,
     config: &NetServerConfig,
     net: &NetInstruments,
+    tracing: &ReactorTracing,
     pool: &mut FramePool,
 ) -> bool {
     match request {
         Request::IngestBlock { attribute, block } => {
             dispatch_ingest(
-                conn, &attribute, block, false, None, service, config, net, pool,
+                conn,
+                &attribute,
+                block,
+                false,
+                None,
+                TraceCtx::none(),
+                service,
+                config,
+                net,
+                tracing,
+                pool,
             );
         }
         Request::IngestBlocks { attribute, blocks } => {
@@ -313,7 +415,17 @@ fn dispatch(
             // exceeded by up to one batch's worth of slots.)
             for block in blocks {
                 dispatch_ingest(
-                    conn, &attribute, block, false, None, service, config, net, pool,
+                    conn,
+                    &attribute,
+                    block,
+                    false,
+                    None,
+                    TraceCtx::none(),
+                    service,
+                    config,
+                    net,
+                    tracing,
+                    pool,
                 );
             }
         }
@@ -323,10 +435,15 @@ fn dispatch(
             durable,
             producer,
             seq,
+            trace,
         } => {
             let tag = (producer != 0).then_some(IngestTag { producer, seq });
+            let ctx = TraceCtx {
+                id: trace,
+                begin_ns: recv_ns,
+            };
             dispatch_ingest(
-                conn, &attribute, block, durable, tag, service, config, net, pool,
+                conn, &attribute, block, durable, tag, ctx, service, config, net, tracing, pool,
             );
         }
         Request::IngestBlocksEx {
@@ -335,16 +452,27 @@ fn dispatch(
             durable,
             producer,
             first_seq,
+            trace,
         } => {
             // Block i carries the implicit tag (producer, first_seq+i);
-            // everything else is the plain batch contract.
+            // everything else is the plain batch contract. A traced
+            // batch attributes the whole frame to its first block, so
+            // one trace never owns overlapping per-block spans.
             for (i, block) in blocks.into_iter().enumerate() {
                 let tag = (producer != 0).then_some(IngestTag {
                     producer,
                     seq: first_seq.wrapping_add(i as u64),
                 });
+                let ctx = if i == 0 {
+                    TraceCtx {
+                        id: trace,
+                        begin_ns: recv_ns,
+                    }
+                } else {
+                    TraceCtx::none()
+                };
                 dispatch_ingest(
-                    conn, &attribute, block, durable, tag, service, config, net, pool,
+                    conn, &attribute, block, durable, tag, ctx, service, config, net, tracing, pool,
                 );
             }
         }
@@ -388,6 +516,13 @@ fn dispatch(
             let snapshot = service.metrics_snapshot();
             conn.slots
                 .push_back(Slot::Ready(encoded(pool, &Response::Metrics { snapshot })));
+        }
+        Request::Traces => {
+            // Scrape-time assembly: group the span rings by trace id
+            // for the tail-sampled (slowest) requests of the window.
+            let traces = service.traces();
+            conn.slots
+                .push_back(Slot::Ready(encoded(pool, &Response::Traces { traces })));
         }
         Request::Drain => {
             // The cut must cover every ingest this connection was (or
@@ -458,6 +593,10 @@ fn reactor_loop(
     config: NetServerConfig,
 ) {
     let net = NetInstruments::new(&service.registry(), index);
+    let tracing = ReactorTracing {
+        hub: service.trace_hub(),
+        recorder: service.trace_hub().recorder(),
+    };
     let mut conns: Vec<Connection> = Vec::new();
     let mut scratch = vec![0u8; 16 * 1024];
     let mut pool = FramePool::new();
@@ -492,7 +631,7 @@ fn reactor_loop(
         }
         for conn in conns.iter_mut() {
             // 2. Retry ring + parked drains.
-            progress |= service_parked(conn, &service, &net, &mut pool);
+            progress |= service_parked(conn, &service, &net, &tracing, &mut pool);
             // 3. Read and dispatch new requests, with per-connection
             //    admission bounds so one peer cannot balloon server
             //    memory: stop reading while too many responses are in
@@ -513,6 +652,14 @@ fn reactor_loop(
                     net.read_gated.inc();
                 }
                 while conn.slots.len() < config.max_inflight_per_conn {
+                    // One clock read per frame while tracing is armed;
+                    // none at all when the hub is disabled — this is
+                    // the whole per-frame cost of the tracing noop twin.
+                    let recv_ns = if tracing.recorder.armed() {
+                        trace_clock_ns()
+                    } else {
+                        0
+                    };
                     // Zero-copy decode: the frame body is borrowed from
                     // the decoder's buffer and turned into an owned
                     // Request in the same statement.
@@ -527,7 +674,14 @@ fn reactor_loop(
                     };
                     match decoded {
                         Ok(request) => {
-                            if dispatch(conn, request, &service, &config, &net, &mut pool) {
+                            let trace = request.trace_id();
+                            if trace != 0 {
+                                tracing.span_since(trace, TraceStage::Decode, recv_ns);
+                            }
+                            if dispatch(
+                                conn, request, recv_ns, &service, &config, &net, &tracing,
+                                &mut pool,
+                            ) {
                                 // Shutdown: stop decoding this
                                 // connection so no pipelined later
                                 // request is answered ahead of the

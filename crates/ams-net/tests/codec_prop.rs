@@ -201,4 +201,48 @@ proptest! {
             let _ = Request::decode(&body);
         }
     }
+
+    /// The trace context survives the extended ingest frames exactly —
+    /// flagged (nonzero id, `TRACED` flag, 8 extra bytes) and unflagged
+    /// (zero id, flag absent) alike, on both the single-block and batch
+    /// forms, independent of the durable/tagged options around it.
+    #[test]
+    fn trace_context_roundtrips_flagged_and_unflagged(
+        attribute in attr_name(),
+        single_block in block(),
+        blocks in proptest::collection::vec(block(), 1..4),
+        durable in any::<bool>(),
+        producer in any::<u64>(),
+        seq in any::<u64>(),
+        trace in (any::<u64>(), any::<bool>())
+            .prop_map(|(id, flagged)| if flagged { id | 1 } else { 0 }),
+    ) {
+        let single = Request::IngestBlockEx {
+            attribute: attribute.clone(),
+            block: single_block,
+            durable,
+            producer,
+            seq,
+            trace,
+        };
+        let frame = single.encode().unwrap();
+        let body = decode_one(&frame).unwrap().expect("whole frame decodes");
+        let back = Request::decode(&body).unwrap();
+        prop_assert_eq!(back.trace_id(), trace);
+        prop_assert_eq!(back, single);
+
+        let batch = Request::IngestBlocksEx {
+            attribute,
+            blocks,
+            durable,
+            producer,
+            first_seq: seq,
+            trace,
+        };
+        let frame = batch.encode().unwrap();
+        let body = decode_one(&frame).unwrap().expect("whole frame decodes");
+        let back = Request::decode(&body).unwrap();
+        prop_assert_eq!(back.trace_id(), trace);
+        prop_assert_eq!(back, batch);
+    }
 }

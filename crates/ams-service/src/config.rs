@@ -18,6 +18,7 @@ pub struct ServiceConfig {
     router: RouterPolicy,
     publish_every: u64,
     durability: Option<DurabilityConfig>,
+    heavy_keys: usize,
 }
 
 impl ServiceConfig {
@@ -75,6 +76,15 @@ impl ServiceConfig {
     pub fn durability(&self) -> Option<&DurabilityConfig> {
         self.durability.as_ref()
     }
+
+    /// Heavy-key observation capacity: when positive, every ingest
+    /// feeds a per-attribute SpaceSaving summary of this many keys and
+    /// the top ranks surface as `service_heavy_keys{attribute,rank}`
+    /// gauges. `0` (the default) disables the observer entirely — no
+    /// lock, no gauges, no cost on the ingest path.
+    pub fn heavy_keys(&self) -> usize {
+        self.heavy_keys
+    }
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +105,7 @@ pub struct ServiceConfigBuilder {
     router: RouterPolicy,
     publish_every: u64,
     durability: Option<DurabilityConfig>,
+    heavy_keys: usize,
 }
 
 impl Default for ServiceConfigBuilder {
@@ -107,6 +118,7 @@ impl Default for ServiceConfigBuilder {
             router: RouterPolicy::RoundRobin,
             publish_every: 8,
             durability: None,
+            heavy_keys: 0,
         }
     }
 }
@@ -155,6 +167,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Enables heavy-key observation with a SpaceSaving summary of
+    /// `capacity` keys per attribute (`0` keeps it off).
+    pub fn heavy_keys(mut self, capacity: usize) -> Self {
+        self.heavy_keys = capacity;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -189,6 +208,7 @@ impl ServiceConfigBuilder {
             router: self.router,
             publish_every: self.publish_every,
             durability: self.durability,
+            heavy_keys: self.heavy_keys,
         })
     }
 }
@@ -202,12 +222,14 @@ mod tests {
         let config = ServiceConfig::default();
         assert_eq!(config.shards(), 4);
         assert_eq!(config.queue_capacity(), 32);
+        assert_eq!(config.heavy_keys(), 0, "heavy-key observer off by default");
         let config = ServiceConfig::builder()
             .shards(2)
             .queue_capacity(7)
             .seed(9)
             .router(RouterPolicy::HashPartition)
             .publish_every(1)
+            .heavy_keys(8)
             .build()
             .unwrap();
         assert_eq!(config.shards(), 2);
@@ -215,6 +237,7 @@ mod tests {
         assert_eq!(config.seed(), 9);
         assert_eq!(config.router(), RouterPolicy::HashPartition);
         assert_eq!(config.publish_every(), 1);
+        assert_eq!(config.heavy_keys(), 8);
     }
 
     #[test]

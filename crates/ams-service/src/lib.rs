@@ -35,12 +35,24 @@
 //!   logged prefix *is* the never-crashed state). The
 //!   [`AmsService::durability_cut`] / [`AmsService::poll_durable`]
 //!   pair gives front-ends ack-after-fsync.
+//! * Request tracing — a sampled ingest carries a `trace_id` down the
+//!   shard path; workers stamp queue/kernel/WAL/fsync spans into
+//!   bounded per-thread rings on the service's [`TraceHub`], the tail
+//!   sampler keeps the slowest requests per window, and
+//!   [`AmsService::traces`] assembles them on demand (the wire
+//!   `Traces` request is exactly this call).
+//! * Heavy-key observation (opt-in via
+//!   [`ServiceConfigBuilder::heavy_keys`]) — a fixed-capacity
+//!   SpaceSaving summary per attribute, surfaced as
+//!   `service_heavy_keys{attribute,rank}` gauges and
+//!   [`AmsService::heavy_keys`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod config;
 pub mod error;
+pub mod heavy;
 pub mod queue;
 pub mod router;
 mod shard;
@@ -52,6 +64,7 @@ mod telemetry;
 
 pub use config::{ServiceConfig, ServiceConfigBuilder};
 pub use error::ServiceError;
+pub use heavy::{HeavyEntry, HeavyKeys, SpaceSaving};
 pub use queue::IngestTag;
 pub use router::{Router, RouterPolicy};
 pub use service::{AmsService, DrainCut, DurableCut};
@@ -61,7 +74,7 @@ pub use stats::{ServiceStats, ShardStats};
 // The service's observability surface is built on `ams-telemetry`;
 // re-exported so front-ends can name the snapshot/registry types
 // without a separate dependency declaration.
-pub use ams_telemetry::{MetricsRegistry, MetricsSnapshot};
+pub use ams_telemetry::{AssembledTrace, MetricsRegistry, MetricsSnapshot, TraceHub, TraceSpan};
 
 // The durability configuration and recovery-report types come from
 // `ams-durable`; re-exported so embedders configure WAL + checkpoints

@@ -44,6 +44,10 @@ pub struct ShardTask {
     pub block: OpBlock,
     /// Idempotency tag, when the producer supplied one.
     pub tag: Option<IngestTag>,
+    /// Trace id of the request this task belongs to (0 = untraced);
+    /// the worker stamps queue/kernel/WAL spans for it (see
+    /// `ams_telemetry::trace`).
+    pub trace: u64,
     /// When the task was built for submission — the worker records
     /// `enqueued_at.elapsed()` at pop time as the queue-wait latency.
     pub enqueued_at: Instant,
@@ -58,10 +62,16 @@ impl ShardTask {
 
     /// A task carrying an optional idempotency tag.
     pub fn tagged(attr: usize, block: OpBlock, tag: Option<IngestTag>) -> Self {
+        Self::traced(attr, block, tag, 0)
+    }
+
+    /// A task carrying an optional idempotency tag and a trace id.
+    pub fn traced(attr: usize, block: OpBlock, tag: Option<IngestTag>, trace: u64) -> Self {
         Self {
             attr,
             block,
             tag,
+            trace,
             enqueued_at: Instant::now(),
         }
     }

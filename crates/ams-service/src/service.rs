@@ -8,10 +8,11 @@ use std::thread::JoinHandle;
 use ams_core::{SelfJoinEstimator, TugOfWarSketch};
 use ams_durable::{ShardDurable, ShardRecovery, ShardShape, WalInstruments};
 use ams_stream::{OpBlock, Value};
-use ams_telemetry::{MetricsRegistry, MetricsSnapshot};
+use ams_telemetry::{trace_clock_ns, AssembledTrace, MetricsRegistry, MetricsSnapshot, TraceHub};
 
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
+use crate::heavy::{HeavyEntry, HeavyKeys};
 use crate::queue::{BlockQueue, IngestTag, PushError, ShardTask};
 use crate::router::{Router, RouterPolicy};
 use crate::shard::{DurableShardState, ShardWorker};
@@ -79,6 +80,13 @@ pub struct AmsService {
     /// What startup recovery did per shard (empty when durability is
     /// off).
     recovery: Vec<ShardRecovery>,
+    /// The request-tracing hub: every shard worker records spans into
+    /// its own ring here, the tail sampler keeps the slowest traces,
+    /// and front-ends borrow recorders for their wire-side spans.
+    trace_hub: Arc<TraceHub>,
+    /// Per-attribute heavy-key observers (empty when
+    /// [`ServiceConfig::heavy_keys`] is zero).
+    heavy: Vec<HeavyKeys>,
 }
 
 impl AmsService {
@@ -108,6 +116,15 @@ impl AmsService {
             .map(|_| TugOfWarSketch::new(config.params(), config.seed()))
             .collect();
         let telemetry = ServiceTelemetry::new(config.shards(), &names);
+        let trace_hub = Arc::new(TraceHub::new());
+        let heavy: Vec<HeavyKeys> = if config.heavy_keys() > 0 {
+            names
+                .iter()
+                .map(|name| HeavyKeys::register(telemetry.registry(), name, config.heavy_keys()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let queues: Vec<Arc<BlockQueue>> = (0..config.shards())
             .map(|shard| {
                 Arc::new(BlockQueue::with_depth_gauge(
@@ -165,6 +182,7 @@ impl AmsService {
                     instruments: telemetry.shards[shard].clone(),
                     sketch_memory: telemetry.sketch_memory.clone(),
                     durable,
+                    recorder: trace_hub.recorder(),
                 };
                 std::thread::Builder::new()
                     .name(format!("ams-shard-{shard}"))
@@ -183,6 +201,8 @@ impl AmsService {
             telemetry,
             durable_watermarks,
             recovery,
+            trace_hub,
+            heavy,
         })
     }
 
@@ -254,6 +274,7 @@ impl AmsService {
     ) -> Result<(), ServiceError> {
         let attr = self.attr_index(attribute)?;
         let tag = self.effective_tag(tag);
+        self.observe_heavy(attr, &block);
         for (shard, part) in self.router.route(block) {
             let part_ops = part.ops();
             self.queues[shard]
@@ -262,6 +283,13 @@ impl AmsService {
             self.telemetry.shards[shard].routed_ops.add(part_ops);
         }
         Ok(())
+    }
+
+    /// Feeds the attribute's heavy-key observer, when configured.
+    fn observe_heavy(&self, attr: usize, block: &OpBlock) {
+        if let Some(heavy) = self.heavy.get(attr) {
+            heavy.observe_block(block);
+        }
     }
 
     /// Keeps an idempotency tag only when the routing policy makes
@@ -320,21 +348,53 @@ impl AmsService {
         block: OpBlock,
         tag: Option<IngestTag>,
     ) -> Result<(), (OpBlock, ServiceError)> {
+        self.try_ingest_block_traced_returning(attribute, block, tag, 0)
+            .map(|_| ())
+    }
+
+    /// [`Self::try_ingest_block_tagged_returning`] carrying a request
+    /// trace id (`0` = untraced). When the router splits the block over
+    /// several shards, the trace rides the **first** placement only:
+    /// per-shard spans of one trace then never overlap, so an assembled
+    /// trace's span sum stays bounded by the request's end-to-end
+    /// latency.
+    ///
+    /// On success the returned value is the trace-clock instant at
+    /// which the traced placement entered its shard queue (`0` when
+    /// untraced): the handoff point where ownership of the request's
+    /// latency passes from the caller's `route` stage to the shard's
+    /// `queue` stage. Callers end their route span *there* rather than
+    /// at return, because the shard worker may already be processing
+    /// the task (and preempting this thread) before this call comes
+    /// back — wall-clock after the handoff belongs to the shard-side
+    /// spans, and counting it under `route` too would double-book it.
+    ///
+    /// # Errors
+    /// As for [`Self::try_ingest_block_tagged_returning`].
+    pub fn try_ingest_block_traced_returning(
+        &self,
+        attribute: &str,
+        block: OpBlock,
+        tag: Option<IngestTag>,
+        trace: u64,
+    ) -> Result<u64, (OpBlock, ServiceError)> {
         let attr = match self.attr_index(attribute) {
             Ok(attr) => attr,
             Err(error) => return Err((block, error)),
         };
         let tag = self.effective_tag(tag);
+        self.observe_heavy(attr, &block);
         let mut routed = self.router.route(block);
         // Single placement (round-robin, or one shard): plain
         // non-blocking push; the queue hands the task back on refusal.
         if routed.len() == 1 {
             let (shard, part) = routed.pop().expect("one placement");
             let part_ops = part.ops();
-            return match self.queues[shard].try_push(ShardTask::tagged(attr, part, tag)) {
+            let handoff = if trace != 0 { trace_clock_ns() } else { 0 };
+            return match self.queues[shard].try_push(ShardTask::traced(attr, part, tag, trace)) {
                 Ok(()) => {
                     self.telemetry.shards[shard].routed_ops.add(part_ops);
-                    Ok(())
+                    Ok(handoff)
                 }
                 Err(PushError::Full(task)) => Err((task.block, ServiceError::WouldBlock { shard })),
                 Err(PushError::Closed(task)) => Err((task.block, ServiceError::Closed)),
@@ -362,12 +422,17 @@ impl AmsService {
                 return Err((back, error));
             }
         }
-        for (shard, part) in routed {
+        let mut handoff = 0;
+        for (i, (shard, part)) in routed.into_iter().enumerate() {
             let part_ops = part.ops();
-            self.queues[shard].push_reserved(ShardTask::tagged(attr, part, tag));
+            let part_trace = if i == 0 { trace } else { 0 };
+            if part_trace != 0 {
+                handoff = trace_clock_ns();
+            }
+            self.queues[shard].push_reserved(ShardTask::traced(attr, part, tag, part_trace));
             self.telemetry.shards[shard].routed_ops.add(part_ops);
         }
-        Ok(())
+        Ok(handoff)
     }
 
     /// Convenience: run-coalesces a value slice into a block and
@@ -603,6 +668,31 @@ impl AmsService {
     /// [`MetricsSnapshot::render_text`].
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.telemetry.registry().snapshot()
+    }
+
+    /// The request-tracing hub behind this service. Front-ends borrow
+    /// per-thread recorders from it for their wire-side spans, offer
+    /// completed requests to its tail sampler, and flip sampling with
+    /// [`TraceHub::set_enabled`].
+    pub fn trace_hub(&self) -> Arc<TraceHub> {
+        Arc::clone(&self.trace_hub)
+    }
+
+    /// Assembles the tail-sampled traces — the slowest requests of the
+    /// current window, each with its recorded stage spans grouped and
+    /// ordered. This is what the wire `Traces` request returns.
+    pub fn traces(&self) -> Vec<AssembledTrace> {
+        self.trace_hub.assemble()
+    }
+
+    /// The heavy-key observer's current top entries for one attribute,
+    /// heaviest first. Empty when [`ServiceConfig::heavy_keys`] is zero.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownAttribute`] for unregistered names.
+    pub fn heavy_keys(&self, attribute: &str) -> Result<Vec<HeavyEntry>, ServiceError> {
+        let attr = self.attr_index(attribute)?;
+        Ok(self.heavy.get(attr).map(HeavyKeys::top).unwrap_or_default())
     }
 
     /// Graceful shutdown: closes the queues (rejecting further
@@ -1072,6 +1162,96 @@ mod tests {
         assert!(second.max_queue_depth() >= 1);
         assert!(second.blocks_enqueued() > idle.blocks_enqueued());
         assert!(second.ops_ingested() > idle.ops_ingested());
+    }
+
+    #[test]
+    fn heavy_key_observer_surfaces_dominant_keys() {
+        let cfg = ServiceConfig::builder()
+            .shards(2)
+            .sketch_params(SketchParams::single_group(64).unwrap())
+            .heavy_keys(4)
+            .seed(2)
+            .build()
+            .unwrap();
+        let service = AmsService::start(cfg, &["a", "b"]).unwrap();
+        // Key 7 dominates attribute "a"; attribute "b" stays untouched.
+        let skewed: Vec<u64> = (0..300u64)
+            .map(|i| if i % 3 == 0 { 99 } else { 7 })
+            .collect();
+        service.ingest_values("a", &skewed).unwrap();
+        service.drain();
+        let top = service.heavy_keys("a").unwrap();
+        assert_eq!(top[0].key, 7);
+        assert!(top[0].count >= 200);
+        assert_eq!(top[1].key, 99);
+        assert!(service.heavy_keys("b").unwrap().is_empty());
+        assert!(service.heavy_keys("zz").is_err());
+        // The top ranks surface as gauges in the metrics snapshot.
+        let snap = service.metrics_snapshot();
+        assert_eq!(
+            snap.gauge(
+                "service_heavy_key_value",
+                &[("attribute", "a"), ("rank", "0")]
+            ),
+            Some(7)
+        );
+        assert_eq!(
+            snap.gauge("service_heavy_keys", &[("attribute", "a"), ("rank", "0")]),
+            Some(top[0].count as i64)
+        );
+    }
+
+    #[test]
+    fn heavy_keys_disabled_by_default() {
+        let service = AmsService::start(config(1), &["a"]).unwrap();
+        service.ingest_values("a", &[7, 7, 7]).unwrap();
+        service.drain();
+        assert!(service.heavy_keys("a").unwrap().is_empty());
+        assert_eq!(
+            service
+                .metrics_snapshot()
+                .gauge("service_heavy_keys", &[("attribute", "a"), ("rank", "0")]),
+            None
+        );
+    }
+
+    #[test]
+    fn traced_ingest_records_queue_and_kernel_spans() {
+        let service = AmsService::start(config(2), &["a"]).unwrap();
+        let block = OpBlock::from_values(0..32u64);
+        service
+            .try_ingest_block_traced_returning("a", block, None, 0xBEEF)
+            .unwrap();
+        service.drain();
+        let traces = service.trace_hub().assemble_all();
+        let trace = traces
+            .iter()
+            .find(|t| t.trace_id == 0xBEEF)
+            .expect("traced request assembled");
+        assert!(
+            trace.spans.iter().any(|s| s.stage == "queue"),
+            "queue span recorded"
+        );
+        assert!(
+            trace.spans.iter().any(|s| s.stage == "kernel"),
+            "kernel span recorded"
+        );
+        assert_eq!(trace.stage_ns("wal_append"), 0, "no WAL when in-memory");
+        // Untraced ingest records nothing.
+        service.ingest_values("a", &[1, 2, 3]).unwrap();
+        service.drain();
+        assert_eq!(service.trace_hub().assemble_all().len(), traces.len());
+    }
+
+    #[test]
+    fn disabled_hub_records_no_spans_even_for_traced_requests() {
+        let service = AmsService::start(config(1), &["a"]).unwrap();
+        service.trace_hub().set_enabled(false);
+        service
+            .try_ingest_block_traced_returning("a", OpBlock::from_values(0..8u64), None, 0xF00D)
+            .unwrap();
+        service.drain();
+        assert!(service.trace_hub().assemble_all().is_empty());
     }
 
     #[test]

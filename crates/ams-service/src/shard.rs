@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
 use ams_durable::{RecoveredShard, ShardDurable};
-use ams_telemetry::{Gauge, MemoryTracker};
+use ams_telemetry::{trace_clock_ns, Gauge, MemoryTracker, TraceRecorder, TraceStage};
 
 use crate::queue::BlockQueue;
 use crate::snapshot::{ShardCell, ShardSnapshot};
@@ -59,6 +59,9 @@ pub(crate) struct ShardWorker {
     pub sketch_memory: Vec<Arc<Gauge>>,
     /// The durability layer, when the service config enables it.
     pub durable: Option<DurableShardState>,
+    /// This worker's span recorder (one per thread: single-writer by
+    /// construction). Untraced tasks cost one relaxed load + branch.
+    pub recorder: TraceRecorder,
 }
 
 impl ShardWorker {
@@ -131,9 +134,18 @@ impl ShardWorker {
             publish(&sketches, epoch, blocks, ops, popped);
         }
         while let Some(task) = self.queue.pop() {
-            self.instruments
-                .queue_wait_ns
-                .record_duration(task.enqueued_at.elapsed());
+            let wait = task.enqueued_at.elapsed();
+            self.instruments.queue_wait_ns.record_duration(wait);
+            // Span sites below are guarded so untraced tasks (the vast
+            // majority under sampling) never read the trace clock.
+            let traced = task.trace != 0 && self.recorder.armed();
+            if traced {
+                self.recorder.record_ending_now(
+                    task.trace,
+                    TraceStage::Queue,
+                    u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
             popped += 1;
             // Durability front half: dedup, then write-ahead log.
             let mut skip = false;
@@ -153,15 +165,19 @@ impl ShardWorker {
                         // skip, but still advance the watermark below —
                         // its effects are durable by definition.
                         skip = true;
-                    } else if d
-                        .wal
-                        .append(task.attr as u32, producer, seq, &task.block)
-                        .is_err()
-                    {
-                        d.failed = true;
-                        skip = true;
-                    } else if producer != 0 {
-                        producers.insert(producer, seq);
+                    } else {
+                        let t0 = if traced { trace_clock_ns() } else { 0 };
+                        let appended = d.wal.append(task.attr as u32, producer, seq, &task.block);
+                        if traced {
+                            self.recorder
+                                .record_since(task.trace, TraceStage::WalAppend, t0);
+                        }
+                        if appended.is_err() {
+                            d.failed = true;
+                            skip = true;
+                        } else if producer != 0 {
+                            producers.insert(producer, seq);
+                        }
                     }
                 }
             }
@@ -170,7 +186,12 @@ impl ShardWorker {
                 ops += task_ops;
                 {
                     let _span = self.instruments.ingest_ns.time();
+                    let t0 = if traced { trace_clock_ns() } else { 0 };
                     sketches[task.attr].apply_block(&task.block);
+                    if traced {
+                        self.recorder
+                            .record_since(task.trace, TraceStage::Kernel, t0);
+                    }
                 }
                 blocks += 1;
                 self.instruments.blocks_ingested.inc();
@@ -201,8 +222,15 @@ impl ShardWorker {
                     // worst-case ack-after-fsync latency under light
                     // load is one pop, not one group-commit interval.
                     let force = self.queue.depth() == 0;
+                    let t0 = if traced { trace_clock_ns() } else { 0 };
                     match d.wal.maybe_sync(force) {
-                        Ok(true) => d.watermark.store(popped, Ordering::Release),
+                        Ok(true) => {
+                            if traced {
+                                self.recorder
+                                    .record_since(task.trace, TraceStage::Fsync, t0);
+                            }
+                            d.watermark.store(popped, Ordering::Release);
+                        }
                         Ok(false) => {}
                         Err(_) => d.failed = true,
                     }

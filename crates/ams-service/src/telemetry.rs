@@ -14,6 +14,8 @@
 //! | `service_ingest_ns{shard}` | histogram | `apply_block` kernel latency per block |
 //! | `service_queue_depth{shard}` | gauge | queued blocks, sampled on push/pop |
 //! | `service_sketch_memory_words{attribute}` | gauge | live sketch words across all shards |
+//! | `service_heavy_keys{attribute,rank}` | gauge | estimated count of the rank-th heaviest key (opt-in, see [`crate::heavy`]) |
+//! | `service_heavy_key_value{attribute,rank}` | gauge | that key's value as `i64` (opt-in, see [`crate::heavy`]) |
 //!
 //! All handles are `Arc`s over relaxed atomics (see `ams-telemetry`):
 //! the workers and producers record without locks; the registry's

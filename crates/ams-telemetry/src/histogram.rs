@@ -48,6 +48,16 @@ fn bucket_upper(b: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of a bucket's value range.
+#[inline]
+fn bucket_lower(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
 /// A concurrent latency histogram over power-of-two nanosecond buckets.
 ///
 /// All updates are relaxed atomics: recording is lock-free,
@@ -178,11 +188,16 @@ impl HistogramSnapshot {
         }
     }
 
-    /// The `q`-quantile (`0 < q ≤ 1`) as an upper bound in
-    /// nanoseconds: the inclusive upper edge of the bucket holding the
-    /// rank-`⌈q·count⌉` sample, capped at the observed maximum (so the
-    /// top bucket reports the real max, not `u64::MAX`). Returns 0 for
-    /// an empty histogram. Non-decreasing in `q` by construction.
+    /// The `q`-quantile (`0 < q ≤ 1`) in nanoseconds, linearly
+    /// interpolated within the bucket holding the rank-`⌈q·count⌉`
+    /// sample: if that bucket holds `n` samples and the rank falls
+    /// `pos` deep into it, the estimate is `pos/n` of the way across
+    /// the bucket's value range, capped at the observed maximum (so
+    /// the top bucket reports the real max, not `u64::MAX`, and
+    /// `quantile(1.0) == max` exactly). Returns 0 for an empty
+    /// histogram. Non-decreasing in `q`: `pos` is monotone within a
+    /// bucket and each bucket's range starts past the previous one's
+    /// end.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -190,25 +205,30 @@ impl HistogramSnapshot {
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
+            let before = seen;
             seen += n;
             if seen >= rank {
-                return bucket_upper(b).min(self.max);
+                let lower = bucket_lower(b);
+                let upper = bucket_upper(b).min(self.max);
+                let pos = rank - before; // 1..=n, n ≥ 1 here
+                let width = upper.saturating_sub(lower) as u128;
+                return lower + (width * pos as u128 / n as u128) as u64;
             }
         }
         self.max
     }
 
-    /// Median upper bound, in nanoseconds.
+    /// Interpolated median, in nanoseconds.
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
-    /// 90th-percentile upper bound, in nanoseconds.
+    /// Interpolated 90th percentile, in nanoseconds.
     pub fn p90(&self) -> u64 {
         self.quantile(0.90)
     }
 
-    /// 99th-percentile upper bound, in nanoseconds.
+    /// Interpolated 99th percentile, in nanoseconds.
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
@@ -253,12 +273,41 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 100);
         assert_eq!(s.max, 1_000_000);
-        assert!(s.p50() >= 100 && s.p50() < 200, "p50 = {}", s.p50());
-        // p90 rank 90 still falls in the fast bucket; p99 is slow.
-        assert!(s.p90() < 200, "p90 = {}", s.p90());
-        assert!(s.p99() >= 1_000_000, "p99 = {}", s.p99());
-        assert_eq!(s.p99().min(s.max), s.max, "quantiles capped at max");
+        // Interpolated estimates stay inside the bucket that holds the
+        // true quantile: p50 and p90 in 100's bucket [64, 128), p99 in
+        // 1ms's bucket [2^19, max].
+        assert!(s.p50() >= 64 && s.p50() < 128, "p50 = {}", s.p50());
+        assert!(s.p90() >= 64 && s.p90() < 128, "p90 = {}", s.p90());
+        assert!(
+            s.p99() >= 524_288 && s.p99() <= 1_000_000,
+            "p99 = {}",
+            s.p99()
+        );
+        assert_eq!(s.quantile(1.0), s.max, "full quantile is the max");
         assert!((s.mean() - (90.0 * 100.0 + 10.0 * 1e6) / 100.0).abs() < 1e-9);
+    }
+
+    /// Within-bucket linear interpolation, pinned against the exact
+    /// quantiles of a known stream: 512 values uniformly filling one
+    /// bucket ([512, 1024)), where linear interpolation is the right
+    /// model and the old upper-bound answer was off by up to 2×.
+    #[test]
+    fn interpolated_quantiles_track_exact_quantiles() {
+        let h = LatencyHistogram::new();
+        for v in 512u64..1024 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for q in [0.01f64, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+            let rank = ((q * 512.0).ceil() as u64).clamp(1, 512);
+            let exact = 512 + rank - 1; // rank-th smallest sample
+            let got = s.quantile(q);
+            let err = got.abs_diff(exact);
+            assert!(err <= 2, "q={q}: interpolated {got} vs exact {exact}");
+        }
+        // The regression this fixes: the pre-interpolation quantile
+        // answered the bucket's upper edge (1023) for every q.
+        assert!(s.p50() < 800, "p50 = {} is not the bucket edge", s.p50());
     }
 
     #[test]

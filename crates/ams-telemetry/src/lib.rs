@@ -27,6 +27,11 @@
 //!   `name{label="v"} value` text exposition.
 //! * [`noop`] — API-identical zero-cost twins, the baseline a bench
 //!   harness compares against to price the instrumentation itself.
+//! * [`trace`] — per-request tracing: bounded per-thread span rings
+//!   ([`SpanRing`]: overwrite-oldest, exact drop counter, fixed
+//!   footprint), a completion-time tail sampler keeping the slowest-N
+//!   requests per window, and scrape-time assembly of complete
+//!   stage-by-stage traces ([`TraceHub::assemble`]).
 //!
 //! The registry lock is touched only at registration and snapshot
 //! time; handles returned by registration are plain `Arc`s over the
@@ -42,9 +47,14 @@ pub mod memory;
 pub mod noop;
 pub mod registry;
 pub mod timer;
+pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::{HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use memory::MemoryTracker;
 pub use registry::{MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use timer::ScopedTimer;
+pub use trace::{
+    trace_clock_ns, AssembledTrace, SpanRecord, SpanRing, TailSampler, TraceCtx, TraceHub,
+    TraceRecorder, TraceSpan, TraceStage,
+};

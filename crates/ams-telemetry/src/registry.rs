@@ -237,12 +237,30 @@ impl MetricsSnapshot {
         merged
     }
 
-    /// Prometheus-style text exposition: one `name{label="v"} value`
-    /// line per scalar, and `_count` / `_sum_ns` / `_max_ns` /
-    /// `_p50_ns` / `_p90_ns` / `_p99_ns` lines per histogram.
+    /// Prometheus text exposition: every metric family is preceded by
+    /// its `# HELP` / `# TYPE` header (so a stock Prometheus scrape
+    /// accepts the output), followed by one `name{label="v"} value`
+    /// line per sample. Scalars expose their own kind; each histogram
+    /// expands into six derived families — `_count` (counter) and
+    /// `_sum_ns` / `_max_ns` / `_p50_ns` / `_p90_ns` / `_p99_ns`
+    /// (gauges) — grouped per family across label sets, as the format
+    /// requires.
     pub fn render_text(&self) -> String {
         use std::fmt::Write;
-        let mut out = String::new();
+        // family name → (type, help, sample lines), in first-seen
+        // order (samples are already sorted by (name, labels), so
+        // families come out sorted too).
+        let mut families: Vec<(String, &'static str, String, Vec<String>)> = Vec::new();
+        let line = |families: &mut Vec<(String, &'static str, String, Vec<String>)>,
+                    family: String,
+                    kind: &'static str,
+                    help: String,
+                    rendered: String| {
+            match families.iter_mut().find(|(name, ..)| *name == family) {
+                Some((_, _, _, lines)) => lines.push(rendered),
+                None => families.push((family, kind, help, vec![rendered])),
+            }
+        };
         for s in &self.samples {
             let labels = if s.labels.is_empty() {
                 String::new()
@@ -255,20 +273,47 @@ impl MetricsSnapshot {
                 format!("{{{}}}", inner.join(","))
             };
             match &s.value {
-                MetricValue::Counter(v) => {
-                    let _ = writeln!(out, "{}{labels} {v}", s.name);
-                }
-                MetricValue::Gauge(v) => {
-                    let _ = writeln!(out, "{}{labels} {v}", s.name);
-                }
+                MetricValue::Counter(v) => line(
+                    &mut families,
+                    s.name.clone(),
+                    "counter",
+                    format!("Monotone event count `{}`.", s.name),
+                    format!("{}{labels} {v}", s.name),
+                ),
+                MetricValue::Gauge(v) => line(
+                    &mut families,
+                    s.name.clone(),
+                    "gauge",
+                    format!("Instantaneous level `{}`.", s.name),
+                    format!("{}{labels} {v}", s.name),
+                ),
                 MetricValue::Histogram(h) => {
-                    let _ = writeln!(out, "{}_count{labels} {}", s.name, h.count);
-                    let _ = writeln!(out, "{}_sum_ns{labels} {}", s.name, h.sum);
-                    let _ = writeln!(out, "{}_max_ns{labels} {}", s.name, h.max);
-                    let _ = writeln!(out, "{}_p50_ns{labels} {}", s.name, h.p50());
-                    let _ = writeln!(out, "{}_p90_ns{labels} {}", s.name, h.p90());
-                    let _ = writeln!(out, "{}_p99_ns{labels} {}", s.name, h.p99());
+                    let derived: [(&str, &'static str, &str, u64); 6] = [
+                        ("_count", "counter", "sample count", h.count),
+                        ("_sum_ns", "gauge", "sample sum (ns)", h.sum),
+                        ("_max_ns", "gauge", "largest sample (ns)", h.max),
+                        ("_p50_ns", "gauge", "interpolated p50 (ns)", h.p50()),
+                        ("_p90_ns", "gauge", "interpolated p90 (ns)", h.p90()),
+                        ("_p99_ns", "gauge", "interpolated p99 (ns)", h.p99()),
+                    ];
+                    for (suffix, kind, what, value) in derived {
+                        line(
+                            &mut families,
+                            format!("{}{suffix}", s.name),
+                            kind,
+                            format!("Log2-bucketed latency histogram `{}`: {what}.", s.name),
+                            format!("{}{suffix}{labels} {value}", s.name),
+                        );
+                    }
                 }
+            }
+        }
+        let mut out = String::new();
+        for (family, kind, help, lines) in families {
+            let _ = writeln!(out, "# HELP {family} {help}");
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            for rendered in lines {
+                let _ = writeln!(out, "{rendered}");
             }
         }
         out
@@ -359,6 +404,53 @@ mod tests {
         assert!(text.contains("depth 4"), "{text}");
         assert!(text.contains("lat_count{shard=\"1\"} 1"), "{text}");
         assert!(text.contains("lat_p99_ns{shard=\"1\"} 100"), "{text}");
+    }
+
+    /// The Prometheus exposition contract, pinned line by line: every
+    /// family opens with `# HELP` then `# TYPE` (correct kind), every
+    /// family's samples sit contiguously under its header, and no
+    /// sample line appears before its header.
+    #[test]
+    fn text_exposition_emits_help_and_type_headers() {
+        let registry = MetricsRegistry::new();
+        registry.counter("reqs", &[("kind", "ingest")]).add(12);
+        registry.counter("reqs", &[("kind", "query")]).add(3);
+        registry.gauge("depth", &[]).set(4);
+        registry.histogram("lat", &[("shard", "0")]).record(100);
+        registry.histogram("lat", &[("shard", "1")]).record(200);
+        let text = registry.snapshot().render_text();
+        let lines: Vec<&str> = text.lines().collect();
+
+        // Exact header lines for each exposed family kind.
+        assert!(lines.contains(&"# TYPE reqs counter"), "{text}");
+        assert!(lines.contains(&"# TYPE depth gauge"), "{text}");
+        assert!(lines.contains(&"# TYPE lat_count counter"), "{text}");
+        assert!(lines.contains(&"# TYPE lat_p99_ns gauge"), "{text}");
+        assert!(lines.contains(&"# HELP reqs Monotone event count `reqs`."));
+
+        // Both label sets of a family sit directly under one header,
+        // with HELP immediately before TYPE.
+        let type_at = lines.iter().position(|l| *l == "# TYPE reqs counter");
+        let type_at = type_at.expect("reqs TYPE header present");
+        assert!(lines[type_at - 1].starts_with("# HELP reqs "), "{text}");
+        assert_eq!(lines[type_at + 1], "reqs{kind=\"ingest\"} 12");
+        assert_eq!(lines[type_at + 2], "reqs{kind=\"query\"} 3");
+
+        // Histogram-derived families group across shards too.
+        let count_at = lines.iter().position(|l| *l == "# TYPE lat_count counter");
+        let count_at = count_at.expect("lat_count TYPE header present");
+        assert_eq!(lines[count_at + 1], "lat_count{shard=\"0\"} 1");
+        assert_eq!(lines[count_at + 2], "lat_count{shard=\"1\"} 1");
+
+        // No sample line precedes its family header.
+        for (i, l) in lines.iter().enumerate() {
+            if l.starts_with("depth ") {
+                assert!(
+                    lines[..i].contains(&"# TYPE depth gauge"),
+                    "sample before header: {text}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -126,6 +126,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {line}");
     }
 
+    // Request tracing, end to end: a second, durable service traced at
+    // every submission. Each ingest carries a trace id on the wire;
+    // the reactor, shard worker, and WAL stamp their stages into
+    // bounded span rings; the slowest requests survive tail sampling
+    // and come back fully assembled from a `Traces` scrape.
+    let trace_dir = std::env::temp_dir().join(format!("ams-net-tracking-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let durable_config = ServiceConfig::builder()
+        .shards(SHARDS)
+        .queue_capacity(64)
+        .sketch_params(SketchParams::new(64, 4)?)
+        .seed(0xC0_FFEE)
+        .router(RouterPolicy::HashPartition)
+        .durability(ams::service::DurabilityConfig::new(&trace_dir))
+        .build()?;
+    let durable_service = AmsService::start(durable_config, &["v"])?;
+    let durable_server = NetServer::bind("127.0.0.1:0")?;
+    let durable_addr = durable_server.local_addr();
+    let durable_handle = durable_server.spawn(durable_service);
+    let mut traced = AmsClient::connect(durable_addr)?
+        .with_ack_mode(ams::AckMode::Fsync)
+        .with_tracing(1);
+    for block in blocks.iter().take(8) {
+        traced.ingest_block("v", block)?;
+    }
+    let traces = traced.traces()?;
+    println!(
+        "\nassembled traces from the tail sampler ({} kept), slowest first:",
+        traces.len()
+    );
+    let slowest = traces
+        .iter()
+        .max_by_key(|t| t.total_ns)
+        .expect("traced ingests were sampled");
+    println!(
+        "  trace {:#018x}: {} ns end to end on the server",
+        slowest.trace_id, slowest.total_ns
+    );
+    for span in &slowest.spans {
+        println!("    span {}: {} ns", span.stage, span.dur_ns);
+    }
+    assert!(
+        slowest.stage_ns("wal_append") > 0,
+        "a durable traced ingest must carry a WAL-append span"
+    );
+    assert!(
+        slowest.stage_ns("durable_wait") > 0,
+        "fsync acks wait on the durable watermark"
+    );
+    let local = traced.local_traces();
+    println!(
+        "  client-side legs (local hub): {} traces with encode/recv spans",
+        local.len()
+    );
+    drop(traced);
+    durable_handle.stop();
+    let _ = std::fs::remove_dir_all(&trace_dir);
+
     // Graceful shutdown over the wire: the Goodbye frame carries the
     // final snapshot and lifetime stats.
     let (final_snapshot, stats) = client.shutdown()?;
