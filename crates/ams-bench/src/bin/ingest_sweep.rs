@@ -26,6 +26,8 @@ use std::time::{Duration, Instant};
 
 use ams_bench::Workload;
 use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
+use ams_datagen::uniform::UniformGenerator;
+use ams_datagen::zipf::ZipfGenerator;
 use ams_datagen::DatasetId;
 use ams_hash::lanes::PlaneScratch;
 use ams_hash::plane::SignPlane;
@@ -34,7 +36,7 @@ use ams_net::{AckMode, AmsClient, AssembledTrace, IngestOutcome, NetServer, NetS
 use ams_service::{
     AmsService, DurabilityConfig, FsyncPolicy, RouterPolicy, ServiceConfig, ServiceError,
 };
-use ams_stream::{value_blocks, CoalesceBuffer, OpBlock};
+use ams_stream::{value_blocks, CoalesceBuffer, Multiset, OpBlock};
 use ams_telemetry::noop::{NoopCounter, NoopHistogram};
 use ams_telemetry::MetricsRegistry;
 use serde::Serialize;
@@ -103,6 +105,17 @@ struct Report {
     /// Instrumented-vs-noop cost of the telemetry kernel on the
     /// block-256 zipf workload (the acceptance bound is ≤ 3%).
     telemetry_overhead: TelemetryOverhead,
+    /// Estimator accuracy through the service-side health probes
+    /// (median-of-means confidence interval, shadow audit, heavy-key
+    /// skew), over independent sketch seeds on the skewed and the flat
+    /// stream: the CI must cover the exact answer at the configured
+    /// rate.
+    accuracy: AccuracyBlock,
+    /// Enabled-vs-noop cost of the health observatory — event emission
+    /// on the ingest path plus one full events + health scrape per run
+    /// — against the same service with the hub disabled (the
+    /// acceptance bound is ≤ 3%).
+    observability_overhead: ObservabilityOverhead,
     /// What durable ingest costs, by fsync policy, against the same
     /// workload with durability off: the price list behind the WAL's
     /// `FsyncPolicy` choice (group-commit is the headline — the cost
@@ -184,6 +197,47 @@ struct TelemetryOverhead {
     instrumented_melem_s: f64,
     /// `(noop - instrumented) / noop`, in percent (negative values are
     /// measurement noise: the instrumented leg ran faster).
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct AccuracyBlock {
+    /// Independent sketch seeds per stream.
+    seeds: usize,
+    /// The paper's relative error bound `4/√s1` every reported
+    /// interval is at least as wide as.
+    error_bound: f64,
+    /// zipf z = 1.0 over a 1 000-value domain (the skewed regime).
+    zipf: AccuracyStream,
+    /// Uniform over a 32 768-value domain (the flat, hardest regime
+    /// for positional sampling; tug-of-war's CI still covers).
+    uniform: AccuracyStream,
+}
+
+#[derive(Serialize)]
+struct AccuracyStream {
+    /// Fraction of seeds whose reported confidence interval contained
+    /// the exact self-join size.
+    ci_coverage_rate: f64,
+    /// Median over seeds of `|estimate − exact| / exact`.
+    median_rel_error: f64,
+    /// Median over seeds of the shadow audit's observed relative error
+    /// on its sampled substream.
+    median_audited_rel_error: f64,
+    /// Median over seeds of the heavy-key skew score.
+    median_skew_score: f64,
+}
+
+#[derive(Serialize)]
+struct ObservabilityOverhead {
+    /// Ingest+drain with the event hub armed plus one events + health
+    /// scrape per run (the full observatory surface).
+    enabled_melem_s: f64,
+    /// The noop twin: hub disabled (every emit collapses to one
+    /// relaxed load + branch), no scrapes.
+    disabled_melem_s: f64,
+    /// Median paired slowdown of enabled vs disabled, in percent
+    /// (negative values are measurement noise).
     overhead_pct: f64,
 }
 
@@ -385,6 +439,151 @@ fn main() {
         noop_melem_s: noop,
         instrumented_melem_s: instrumented,
         overhead_pct,
+    };
+
+    // Estimator accuracy over independent sketch seeds, through the
+    // full service-side probe path: ingest a fixed stream, drain to a
+    // consistent cut, and ask the health engine for the per-attribute
+    // confidence interval, the shadow audit's observed error, and the
+    // heavy-key skew score. Coverage is counted against the exact
+    // self-join size of the same stream.
+    let accuracy = {
+        const ACC_SEEDS: u64 = 11;
+        let median_f64 = |mut v: Vec<f64>| -> f64 {
+            if v.is_empty() {
+                return 0.0;
+            }
+            v.sort_by(f64::total_cmp);
+            (v[v.len() / 2] * 1e4).round() / 1e4
+        };
+        let probe_stream = |label: &str, values: &[u64]| -> AccuracyStream {
+            let exact = Multiset::from_values(values.iter().copied()).self_join_size() as f64;
+            let mut covered = 0usize;
+            let mut rel_errors = Vec::new();
+            let mut audited = Vec::new();
+            let mut skews = Vec::new();
+            for seed in 1..=ACC_SEEDS {
+                let config = ServiceConfig::builder()
+                    .shards(1)
+                    .queue_capacity(64)
+                    .sketch_params(params)
+                    .seed(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .router(RouterPolicy::RoundRobin)
+                    .publish_every(u64::MAX / 2)
+                    .heavy_keys(8)
+                    .audit_every(4)
+                    .build()
+                    .expect("valid service config");
+                let service = AmsService::start(config, &["v"]).expect("start service");
+                for block in value_blocks(values, SHARD_BLOCK) {
+                    service
+                        .ingest_block("v", block)
+                        .expect("service accepts while running");
+                }
+                service.drain();
+                let report = service.health();
+                let probe = report.accuracy_for("v").expect("tracked attribute");
+                if probe.covers(exact) {
+                    covered += 1;
+                }
+                rel_errors.push((probe.estimate - exact).abs() / exact);
+                if let Some(e) = probe.observed_rel_error {
+                    audited.push(e);
+                }
+                skews.push(probe.skew_score);
+                let _ = service.shutdown();
+            }
+            let stream = AccuracyStream {
+                ci_coverage_rate: (covered as f64 / ACC_SEEDS as f64 * 1e4).round() / 1e4,
+                median_rel_error: median_f64(rel_errors),
+                median_audited_rel_error: median_f64(audited),
+                median_skew_score: median_f64(skews),
+            };
+            eprintln!(
+                "accuracy/{label}: CI coverage {:.2}, median rel error {:.4}, \
+                 audited {:.4}, skew {:.3}",
+                stream.ci_coverage_rate,
+                stream.median_rel_error,
+                stream.median_audited_rel_error,
+                stream.median_skew_score,
+            );
+            stream
+        };
+        let zipf_values = ZipfGenerator::new(1_000, 1.0).generate(0xACCE55, UPDATES);
+        let uniform_values = UniformGenerator::new(32_768).generate(0xACCE55, UPDATES);
+        AccuracyBlock {
+            seeds: ACC_SEEDS as usize,
+            error_bound: 4.0 / (SKETCH_S as f64).sqrt(),
+            zipf: probe_stream("zipf", &zipf_values),
+            uniform: probe_stream("uniform", &uniform_values),
+        }
+    };
+
+    // Price the observatory itself: the same ingest+drain loop with the
+    // event hub armed plus one full events + health scrape per run,
+    // against the identical service with the hub disabled and no
+    // scrapes. Strict alternation (the wire-tax method) so drift lands
+    // on both legs; the acceptance bound is ≤ 3%.
+    let observability_overhead = {
+        let config = ServiceConfig::builder()
+            .shards(1)
+            .queue_capacity(64)
+            .sketch_params(params)
+            .seed(1)
+            .router(RouterPolicy::RoundRobin)
+            .build()
+            .expect("valid service config");
+        let service = AmsService::start(config, &["v"]).expect("start service");
+        let hub = service.event_hub();
+        let run = |scrape: bool| {
+            for block in &blocks_256 {
+                service
+                    .ingest_block("v", block.clone())
+                    .expect("service accepts while running");
+            }
+            service.drain();
+            if scrape {
+                let _ = service.events();
+                let _ = service.health();
+            }
+        };
+        run(true);
+        run(false);
+        const OBS_SAMPLES: usize = 21;
+        let mut enabled_times = Vec::with_capacity(OBS_SAMPLES);
+        let mut disabled_times = Vec::with_capacity(OBS_SAMPLES);
+        for _ in 0..OBS_SAMPLES {
+            hub.set_enabled(true);
+            let start = Instant::now();
+            run(true);
+            enabled_times.push(start.elapsed().as_secs_f64());
+            hub.set_enabled(false);
+            let start = Instant::now();
+            run(false);
+            disabled_times.push(start.elapsed().as_secs_f64());
+        }
+        hub.set_enabled(true);
+        let mut pcts: Vec<f64> = enabled_times
+            .iter()
+            .zip(&disabled_times)
+            .map(|(e, d)| (e / d - 1.0) * 100.0)
+            .collect();
+        pcts.sort_by(f64::total_cmp);
+        let median = |mut v: Vec<f64>| {
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let out = ObservabilityOverhead {
+            enabled_melem_s: melem_per_s(UPDATES, median(enabled_times)),
+            disabled_melem_s: melem_per_s(UPDATES, median(disabled_times)),
+            overhead_pct: (pcts[pcts.len() / 2] * 100.0).round() / 100.0,
+        };
+        eprintln!(
+            "observability overhead: enabled {:.3} vs disabled {:.3} Melem/s ({:+.2}%)",
+            out.enabled_melem_s, out.disabled_melem_s, out.overhead_pct,
+        );
+        drop(service);
+        out
     };
 
     // Sharded ingest service: aggregate throughput of ingest+drain on
@@ -947,6 +1146,8 @@ fn main() {
         latency_p99_ns,
         busy_rate,
         telemetry_overhead,
+        accuracy,
+        observability_overhead,
         durability_overhead_pct,
         tail_attribution,
     };

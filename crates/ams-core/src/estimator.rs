@@ -47,6 +47,65 @@ pub fn median_of_means(estimates: &[f64], s1: usize, s2: usize) -> f64 {
     median(&mut group_means).expect("s2 > 0")
 }
 
+/// A median-of-means estimate together with the confidence interval
+/// its group-mean spread implies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateInterval {
+    /// The median of the group means.
+    pub estimate: f64,
+    /// Interval lower bound (clamped at 0 — self-join sizes are
+    /// nonnegative).
+    pub lower: f64,
+    /// Interval upper bound.
+    pub upper: f64,
+}
+
+impl EstimateInterval {
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+
+    /// Half-width relative to the estimate (0 when the estimate is 0).
+    pub fn rel_half_width(&self) -> f64 {
+        if self.estimate == 0.0 {
+            0.0
+        } else {
+            (self.upper - self.lower) / 2.0 / self.estimate
+        }
+    }
+}
+
+/// Builds a confidence interval around the median of `group_means`.
+///
+/// The half-width is the larger of two spreads: the paper's a-priori
+/// bound `error_bound · estimate` (Theorem 2.2's `4/√s1`, which holds
+/// with probability `1 − 2^(−s2/2)` regardless of the data), and the
+/// *empirical* spread — the maximum absolute deviation of any group
+/// mean from their median. Each group mean is an unbiased estimate of
+/// the same quantity, so their dispersion is a direct observation of
+/// the estimator's variance on *this* stream; taking the max of the
+/// two spreads keeps the interval honest both when the data is kinder
+/// than the worst case (paper bound dominates, interval stays
+/// calibrated) and when a pathological stream inflates the variance
+/// beyond what `s1` averaging absorbed (empirical spread dominates).
+///
+/// # Panics
+/// Panics if `group_means` is empty.
+pub fn interval_from_group_means(group_means: &mut [f64], error_bound: f64) -> EstimateInterval {
+    let estimate = median(group_means).expect("at least one group mean");
+    let empirical = group_means
+        .iter()
+        .map(|&m| (m - estimate).abs())
+        .fold(0.0, f64::max);
+    let half_width = (error_bound * estimate.abs()).max(empirical);
+    EstimateInterval {
+        estimate,
+        lower: (estimate - half_width).max(0.0),
+        upper: estimate + half_width,
+    }
+}
+
 /// Median-of-means where some atomic estimators may be missing (the
 /// sample-count situation: points not currently in the sample are
 /// ignored). `estimates[j*s1 + i]` of `None` is skipped; a group with no
@@ -105,6 +164,34 @@ mod tests {
     #[should_panic(expected = "estimate count must be s1*s2")]
     fn shape_mismatch_panics() {
         let _ = median_of_means(&[1.0, 2.0], 3, 1);
+    }
+
+    #[test]
+    fn interval_uses_the_wider_of_paper_and_empirical_spread() {
+        // Tight group means: the paper bound dominates.
+        let mut means = [100.0, 101.0, 99.0];
+        let iv = interval_from_group_means(&mut means, 0.5);
+        assert_eq!(iv.estimate, 100.0);
+        assert_eq!(iv.lower, 50.0);
+        assert_eq!(iv.upper, 150.0);
+        assert!(iv.contains(100.0) && iv.contains(51.0) && !iv.contains(151.0));
+        assert_eq!(iv.rel_half_width(), 0.5);
+        // Wild group means: the empirical spread dominates.
+        let mut means = [100.0, 300.0, 90.0];
+        let iv = interval_from_group_means(&mut means, 0.5);
+        assert_eq!(iv.estimate, 100.0);
+        assert_eq!(iv.upper, 300.0);
+        assert_eq!(iv.lower, 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn interval_on_zero_estimate_is_degenerate() {
+        let mut means = [0.0, 0.0];
+        let iv = interval_from_group_means(&mut means, 0.5);
+        assert_eq!(iv.estimate, 0.0);
+        assert_eq!((iv.lower, iv.upper), (0.0, 0.0));
+        assert_eq!(iv.rel_half_width(), 0.0);
+        assert!(iv.contains(0.0));
     }
 
     #[test]

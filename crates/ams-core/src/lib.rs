@@ -83,6 +83,7 @@ pub mod tugofwar;
 pub use ams_stream::SelfJoinEstimator;
 pub use delta::DeltaTracker;
 pub use error::SketchError;
+pub use estimator::{interval_from_group_means, EstimateInterval};
 pub use histogram::CompressedHistogram;
 pub use join::{
     JoinSignatureFamily, SampleJoinSignature, ThreeWayFamily, ThreeWayRole, ThreeWaySignature,

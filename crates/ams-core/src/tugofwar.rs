@@ -256,6 +256,30 @@ impl<H: SignFamily> TugOfWarSketch<H> {
             .collect()
     }
 
+    /// The `s2` group means of the atomic estimates — each an unbiased
+    /// self-join estimate with variance reduced by `s1`-averaging; the
+    /// published estimate is their median. Exposed so observers can
+    /// price the estimator's *spread* (confidence intervals, health
+    /// monitoring) without re-deriving the group layout.
+    pub fn group_means(&self) -> Vec<f64> {
+        self.atomic_estimates()
+            .chunks_exact(self.params.s1())
+            .map(|group| group.iter().sum::<f64>() / self.params.s1() as f64)
+            .collect()
+    }
+
+    /// The estimate with the confidence interval its group-mean spread
+    /// implies: half-width is the larger of the paper's
+    /// [`SketchParams::error_bound`] and the empirical deviation of
+    /// the group means from their median
+    /// (see [`crate::estimator::interval_from_group_means`]).
+    pub fn estimate_interval(&self) -> crate::estimator::EstimateInterval {
+        crate::estimator::interval_from_group_means(
+            &mut self.group_means(),
+            self.params.error_bound(),
+        )
+    }
+
     /// Checks shape/seed compatibility for merge/inner-product.
     fn check_compatible(&self, other: &Self) -> Result<(), SketchError> {
         if self.params != other.params {
@@ -500,6 +524,37 @@ mod tests {
             "relative error {rel} exceeds bound {}",
             p.error_bound()
         );
+    }
+
+    #[test]
+    fn group_means_median_is_the_estimate() {
+        let mut tw: TugOfWarSketch = TugOfWarSketch::new(params(16, 5), 17);
+        tw.extend_values((0..2_000u64).map(|i| i % 37));
+        let mut means = tw.group_means();
+        assert_eq!(means.len(), 5);
+        assert_eq!(crate::estimator::median(&mut means), Some(tw.estimate()));
+    }
+
+    #[test]
+    fn estimate_interval_covers_exact_on_zipfish_data() {
+        // Theorem 2.2 at s1=64, s2=5: rel error ≤ 0.5 with prob
+        // ≥ 1 − 2^(−2.5) ≈ 0.82 per seed; the interval is at least
+        // that wide, so coverage over seeds must be comfortably high.
+        let values: Vec<u64> = (0..20_000u64).map(|i| i % 100 * (i % 7)).collect();
+        let exact = Multiset::from_values(values.iter().copied()).self_join_size() as f64;
+        let mut covered = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut tw: TugOfWarSketch = TugOfWarSketch::new(params(64, 5), seed);
+            tw.extend_values(values.iter().copied());
+            let iv = tw.estimate_interval();
+            assert_eq!(iv.estimate, tw.estimate());
+            assert!(iv.lower <= iv.estimate && iv.estimate <= iv.upper);
+            if iv.contains(exact) {
+                covered += 1;
+            }
+        }
+        assert!(covered >= trials * 8 / 10, "covered {covered}/{trials}");
     }
 
     #[test]

@@ -8,11 +8,11 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ams_service::{MetricsSnapshot, ServiceSnapshot, ServiceStats};
+use ams_service::{HealthReport, MetricsSnapshot, ServiceEvent, ServiceSnapshot, ServiceStats};
 use ams_stream::{OpBlock, Value};
 use ams_telemetry::{
-    trace_clock_ns, AssembledTrace, Counter, Gauge, MetricsRegistry, TraceHub, TraceRecorder,
-    TraceStage,
+    trace_clock_ns, AssembledTrace, Counter, EventCode, EventHub, EventRecorder, Gauge,
+    MetricsRegistry, TraceHub, TraceRecorder, TraceStage,
 };
 
 use crate::codec::{
@@ -188,6 +188,11 @@ pub struct AmsClient {
     /// Recorder into `trace_hub` (one per client — the connection is
     /// driven by one thread).
     trace_recorder: TraceRecorder,
+    /// Local structured-event hub: the client's own lifecycle events
+    /// (reconnects) land here, readable via [`Self::local_events`].
+    event_hub: EventHub,
+    /// Recorder into `event_hub` (one per client).
+    event_recorder: EventRecorder,
 }
 
 impl AmsClient {
@@ -219,6 +224,8 @@ impl AmsClient {
             | 1;
         let trace_hub = TraceHub::new();
         let trace_recorder = trace_hub.recorder();
+        let event_hub = EventHub::new();
+        let event_recorder = event_hub.recorder();
         Ok(Self {
             stream,
             decoder: FrameDecoder::new(),
@@ -235,6 +242,8 @@ impl AmsClient {
             trace_tick: 0,
             trace_hub,
             trace_recorder,
+            event_hub,
+            event_recorder,
         })
     }
 
@@ -337,6 +346,8 @@ impl AmsClient {
                     self.stream = stream;
                     self.decoder = FrameDecoder::new();
                     self.telemetry.reconnects.inc();
+                    self.event_recorder
+                        .emit(EventCode::Reconnect, attempt as u64, 0);
                     return Ok(());
                 }
                 Err(e) => last = Some(e),
@@ -863,11 +874,46 @@ impl AmsClient {
         }
     }
 
+    /// Scrapes the server's structured event rings over the wire:
+    /// shard lifecycle (start/stop, recovery, publishes, checkpoints),
+    /// WAL rotation and failures, dedup skips, sheds, read gates, and
+    /// reactor start/stop — merged oldest first.
+    ///
+    /// # Errors
+    /// Transport or server errors.
+    pub fn events(&mut self) -> Result<Vec<ServiceEvent>, NetError> {
+        match self.call(&Request::Events)? {
+            Response::Events { events } => Ok(events),
+            _ => Err(NetError::UnexpectedResponse { expected: "Events" }),
+        }
+    }
+
+    /// Scrapes the server's health report over the wire: windowed
+    /// derived signals graded against thresholds, per-attribute
+    /// estimator accuracy (estimate, confidence interval, audited
+    /// error, skew), and the folded Healthy/Degraded/Unhealthy
+    /// verdict.
+    ///
+    /// # Errors
+    /// Transport or server errors.
+    pub fn health(&mut self) -> Result<HealthReport, NetError> {
+        match self.call(&Request::Health)? {
+            Response::Health { health } => Ok(health),
+            _ => Err(NetError::UnexpectedResponse { expected: "Health" }),
+        }
+    }
+
     /// Assembles the client's *own* span rings (`client_encode`,
     /// `client_recv` stages of traced submissions) — no network round
     /// trip involved.
     pub fn local_traces(&self) -> Vec<AssembledTrace> {
         self.trace_hub.assemble_all()
+    }
+
+    /// The client's *own* structured events (reconnects) — no network
+    /// round trip involved.
+    pub fn local_events(&self) -> Vec<ServiceEvent> {
+        self.event_hub.collect_wire()
     }
 
     /// Snapshot of the client's *own* instruments (`client_retries`,

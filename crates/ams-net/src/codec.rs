@@ -27,7 +27,7 @@
 
 use bytes::{Buf, BufMut};
 
-use ams_service::{MetricsSnapshot, ServiceSnapshot, ServiceStats};
+use ams_service::{HealthReport, MetricsSnapshot, ServiceEvent, ServiceSnapshot, ServiceStats};
 use ams_stream::OpBlock;
 use ams_telemetry::AssembledTrace;
 
@@ -67,6 +67,8 @@ const REQ_INGEST_BLOCKS: u8 = 0x09;
 const REQ_INGEST_BLOCK_EX: u8 = 0x0A;
 const REQ_INGEST_BLOCKS_EX: u8 = 0x0B;
 const REQ_TRACES: u8 = 0x0C;
+const REQ_EVENTS: u8 = 0x0D;
+const REQ_HEALTH: u8 = 0x0E;
 
 /// Extended-ingest flag: acknowledge only after the block's effects
 /// are on stable storage (WAL appended + fsynced per the server's
@@ -94,6 +96,8 @@ const RESP_DRAINED: u8 = 0x87;
 const RESP_GOODBYE: u8 = 0x88;
 const RESP_METRICS: u8 = 0x89;
 const RESP_TRACES: u8 = 0x8A;
+const RESP_EVENTS: u8 = 0x8B;
+const RESP_HEALTH: u8 = 0x8C;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Why a frame (or its body) failed to decode. The framing layer is
@@ -276,6 +280,16 @@ pub enum Request {
     /// stage's span ring: the slowest-N traced requests of the current
     /// sampling window, each with its per-stage spans.
     Traces,
+    /// Ask for the structured lifecycle events resident in every
+    /// stage's bounded event ring (shard start/stop, recovery,
+    /// publishes, checkpoints, WAL rotation/failure, sheds, gates,
+    /// reconnects), merged in timestamp order.
+    Events,
+    /// Ask for the health scrape: windowed derived signals graded
+    /// against thresholds, per-attribute estimator accuracy (estimate,
+    /// confidence interval, audited error, skew), and the folded
+    /// Healthy/Degraded/Unhealthy verdict.
+    Health,
     /// Wait (server-side, without blocking the reactor) until every
     /// block accepted before this request is reflected in snapshots.
     Drain,
@@ -328,6 +342,16 @@ pub enum Response {
     Traces {
         /// The assembled tail-sampled traces, slowest first.
         traces: Vec<AssembledTrace>,
+    },
+    /// Answer to [`Request::Events`].
+    Events {
+        /// The resident structured events, oldest first.
+        events: Vec<ServiceEvent>,
+    },
+    /// Answer to [`Request::Health`].
+    Health {
+        /// The full health scrape.
+        health: HealthReport,
     },
     /// Answer to [`Request::Drain`]: the drain cut was reached.
     Drained {
@@ -729,6 +753,14 @@ impl Request {
                 begin_frame(out);
                 out.put_u8(REQ_TRACES);
             }
+            Request::Events => {
+                begin_frame(out);
+                out.put_u8(REQ_EVENTS);
+            }
+            Request::Health => {
+                begin_frame(out);
+                out.put_u8(REQ_HEALTH);
+            }
             Request::Drain => {
                 begin_frame(out);
                 out.put_u8(REQ_DRAIN);
@@ -864,6 +896,8 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_METRICS => Request::Metrics,
             REQ_TRACES => Request::Traces,
+            REQ_EVENTS => Request::Events,
+            REQ_HEALTH => Request::Health,
             REQ_DRAIN => Request::Drain,
             REQ_SHUTDOWN => Request::Shutdown,
             kind => return Err(FrameError::UnknownKind { kind }),
@@ -917,6 +951,14 @@ impl Response {
             Response::Traces { traces } => {
                 out.put_u8(RESP_TRACES);
                 put_json(out, traces)?;
+            }
+            Response::Events { events } => {
+                out.put_u8(RESP_EVENTS);
+                put_json(out, events)?;
+            }
+            Response::Health { health } => {
+                out.put_u8(RESP_HEALTH);
+                put_json(out, health)?;
             }
             Response::Drained { epoch } => {
                 out.put_u8(RESP_DRAINED);
@@ -1000,6 +1042,12 @@ impl Response {
             },
             RESP_TRACES => Response::Traces {
                 traces: get_json(&mut data)?,
+            },
+            RESP_EVENTS => Response::Events {
+                events: get_json(&mut data)?,
+            },
+            RESP_HEALTH => Response::Health {
+                health: get_json(&mut data)?,
             },
             RESP_DRAINED => {
                 need(8, &data)?;
@@ -1205,6 +1253,8 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Traces,
+            Request::Events,
+            Request::Health,
             Request::Drain,
             Request::Shutdown,
         ];
@@ -1467,6 +1517,72 @@ mod tests {
         decoder.feed(&frame);
         let body = decoder.next_frame().unwrap().unwrap();
         assert_eq!(Response::decode(&body).unwrap(), empty);
+    }
+
+    #[test]
+    fn events_response_roundtrips() {
+        let events = vec![
+            ServiceEvent {
+                level: "info".into(),
+                code: "shard_start".into(),
+                at_ns: 10,
+                key: 0,
+                value: 0,
+            },
+            ServiceEvent {
+                level: "error".into(),
+                code: "wal_append_failed".into(),
+                at_ns: 999,
+                key: 3,
+                value: 42,
+            },
+        ];
+        let response = Response::Events { events };
+        let frame = response.encode().unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(Response::decode(&body).unwrap(), response);
+        // The empty scrape (no events resident) is also a valid frame.
+        let empty = Response::Events { events: Vec::new() };
+        let frame = empty.encode().unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(Response::decode(&body).unwrap(), empty);
+    }
+
+    #[test]
+    fn health_response_roundtrips() {
+        use ams_service::{AccuracyReport, HealthSignal, HealthVerdict};
+        let health = ams_service::HealthReport {
+            verdict: HealthVerdict::Degraded(vec!["shed_rate 0.0600 >= 0.0100".into()]),
+            signals: vec![HealthSignal::grade("shed_rate", 0.06, 0.01, 0.25)],
+            accuracy: vec![AccuracyReport {
+                attribute: "clicks".into(),
+                estimate: 1234.5,
+                ci_lower: 900.0,
+                ci_upper: 1600.0,
+                error_bound: 0.5,
+                audited_exact: Some(1200.0),
+                observed_rel_error: Some(0.028),
+                skew_score: 0.31,
+            }],
+        };
+        let response = Response::Health { health };
+        let frame = response.encode().unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        let body = decoder.next_frame().unwrap().unwrap();
+        let back = Response::decode(&body).unwrap();
+        assert_eq!(back, response);
+        match back {
+            Response::Health { health } => {
+                assert_eq!(health.verdict.name(), "Degraded");
+                assert!(health.accuracy_for("clicks").unwrap().covers(1000.0));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
     }
 
     #[test]

@@ -32,8 +32,8 @@ use std::time::Instant;
 
 use ams_service::{AmsService, IngestTag, ServiceError, ServiceSnapshot, ServiceStats};
 use ams_telemetry::{
-    trace_clock_ns, Counter, Gauge, LatencyHistogram, MetricsRegistry, TraceCtx, TraceHub,
-    TraceRecorder, TraceStage,
+    trace_clock_ns, Counter, EventCode, EventRecorder, Gauge, LatencyHistogram, MetricsRegistry,
+    TraceCtx, TraceHub, TraceRecorder, TraceStage,
 };
 
 use crate::codec::{ErrorCode, Request, Response, MAX_FRAME_PAYLOAD};
@@ -72,6 +72,8 @@ const HOT_TICKS: u32 = 8;
 /// | `net_read_gated` | counter | connection-ticks reads were paused by admission bounds |
 /// | `net_retry_ring_occupancy` | gauge | parked ingests across this reactor's connections |
 struct NetInstruments {
+    /// This reactor's index, the `key` of its structured events.
+    reactor: u64,
     tick_ns: Arc<LatencyHistogram>,
     frames_decoded: Arc<Counter>,
     frames_encoded: Arc<Counter>,
@@ -80,13 +82,19 @@ struct NetInstruments {
     busy_responses: Arc<Counter>,
     read_gated: Arc<Counter>,
     retry_ring: Arc<Gauge>,
+    /// This thread's structured-event recorder on the service's event
+    /// hub: sheds and read gates land next to the shard lifecycle
+    /// events in one `Request::Events` scrape. Per-thread rings mean a
+    /// shedding storm here can never evict a shard worker's events.
+    events: EventRecorder,
 }
 
 impl NetInstruments {
-    fn new(registry: &MetricsRegistry, reactor: usize) -> Self {
+    fn new(registry: &MetricsRegistry, reactor: usize, events: EventRecorder) -> Self {
         let index = reactor.to_string();
         let labels: [(&str, &str); 1] = [("reactor", index.as_str())];
         Self {
+            reactor: reactor as u64,
             tick_ns: registry.histogram("net_tick_ns", &labels),
             frames_decoded: registry.counter("net_frames_decoded", &labels),
             frames_encoded: registry.counter("net_frames_encoded", &labels),
@@ -95,6 +103,7 @@ impl NetInstruments {
             busy_responses: registry.counter("net_busy_responses", &labels),
             read_gated: registry.counter("net_read_gated", &labels),
             retry_ring: registry.gauge("net_retry_ring_occupancy", &labels),
+            events,
         }
     }
 
@@ -188,6 +197,8 @@ fn busy_hint_micros(service: &AmsService, shard: usize) -> u32 {
 
 fn busy(service: &AmsService, shard: usize, net: &NetInstruments) -> Response {
     net.busy_responses.inc();
+    net.events
+        .emit(EventCode::BusyShed, net.reactor, shard as u64);
     Response::Busy {
         shard: shard as u32,
         retry_hint_micros: busy_hint_micros(service, shard),
@@ -524,6 +535,22 @@ fn dispatch(
             conn.slots
                 .push_back(Slot::Ready(encoded(pool, &Response::Traces { traces })));
         }
+        Request::Events => {
+            // Scrape-time merge of every thread's event ring (shard
+            // workers and reactors alike), oldest first.
+            let events = service.events();
+            conn.slots
+                .push_back(Slot::Ready(encoded(pool, &Response::Events { events })));
+        }
+        Request::Health => {
+            // The full scrape: windowed signals, per-attribute
+            // accuracy, folded verdict — and the mirrored gauges land
+            // in the registry as a side effect, so a Metrics scrape
+            // right after sees the same numbers.
+            let health = service.health();
+            conn.slots
+                .push_back(Slot::Ready(encoded(pool, &Response::Health { health })));
+        }
         Request::Drain => {
             // The cut must cover every ingest this connection was (or
             // will be) acknowledged for before the Drained answer —
@@ -592,11 +619,12 @@ fn reactor_loop(
     coord: Arc<Coordinator>,
     config: NetServerConfig,
 ) {
-    let net = NetInstruments::new(&service.registry(), index);
+    let net = NetInstruments::new(&service.registry(), index, service.event_hub().recorder());
     let tracing = ReactorTracing {
         hub: service.trace_hub(),
         recorder: service.trace_hub().recorder(),
     };
+    net.events.emit(EventCode::ReactorStart, net.reactor, 0);
     let mut conns: Vec<Connection> = Vec::new();
     let mut scratch = vec![0u8; 16 * 1024];
     let mut pool = FramePool::new();
@@ -650,6 +678,8 @@ fn reactor_loop(
                     progress |= fed > 0;
                 } else {
                     net.read_gated.inc();
+                    net.events
+                        .emit(EventCode::ReadGate, net.reactor, conn.slots.len() as u64);
                 }
                 while conn.slots.len() < config.max_inflight_per_conn {
                     // One clock read per frame while tracing is armed;
@@ -747,6 +777,8 @@ fn reactor_loop(
     // Quiesce: drop this reactor's service handle *before* checking in,
     // so once the acceptor observes `quiesced == N` under the lock it
     // holds the only remaining `Arc` and can unwrap + stop the service.
+    net.events
+        .emit(EventCode::ReactorStop, net.reactor, conns.len() as u64);
     drop(service);
     let final_state = {
         let mut state = coord.state.lock().expect("coordinator never panics");

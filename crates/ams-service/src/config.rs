@@ -19,6 +19,7 @@ pub struct ServiceConfig {
     publish_every: u64,
     durability: Option<DurabilityConfig>,
     heavy_keys: usize,
+    audit_every: u64,
 }
 
 impl ServiceConfig {
@@ -85,6 +86,18 @@ impl ServiceConfig {
     pub fn heavy_keys(&self) -> usize {
         self.heavy_keys
     }
+
+    /// Shadow-audit sampling cadence: when positive, every `k`-th
+    /// submitted block per attribute also feeds a shadow tug-of-war
+    /// sketch *and* an exact tracker, so health scrapes can report the
+    /// estimator's **observed** relative error on a representative
+    /// substream. Steady-state cost is one relaxed counter increment
+    /// per block plus one extra sketch+exact application every `k`
+    /// blocks (≈ `1/k` of one shard's kernel work). `0` (the default)
+    /// disables auditing entirely.
+    pub fn audit_every(&self) -> u64 {
+        self.audit_every
+    }
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +119,7 @@ pub struct ServiceConfigBuilder {
     publish_every: u64,
     durability: Option<DurabilityConfig>,
     heavy_keys: usize,
+    audit_every: u64,
 }
 
 impl Default for ServiceConfigBuilder {
@@ -119,6 +133,7 @@ impl Default for ServiceConfigBuilder {
             publish_every: 8,
             durability: None,
             heavy_keys: 0,
+            audit_every: 0,
         }
     }
 }
@@ -174,6 +189,14 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Enables the shadow-audit sampler: every `k`-th block per
+    /// attribute also feeds a shadow sketch + exact tracker pair
+    /// (`0` keeps it off).
+    pub fn audit_every(mut self, k: u64) -> Self {
+        self.audit_every = k;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -209,6 +232,7 @@ impl ServiceConfigBuilder {
             publish_every: self.publish_every,
             durability: self.durability,
             heavy_keys: self.heavy_keys,
+            audit_every: self.audit_every,
         })
     }
 }
@@ -223,6 +247,7 @@ mod tests {
         assert_eq!(config.shards(), 4);
         assert_eq!(config.queue_capacity(), 32);
         assert_eq!(config.heavy_keys(), 0, "heavy-key observer off by default");
+        assert_eq!(config.audit_every(), 0, "audit sampler off by default");
         let config = ServiceConfig::builder()
             .shards(2)
             .queue_capacity(7)
@@ -230,6 +255,7 @@ mod tests {
             .router(RouterPolicy::HashPartition)
             .publish_every(1)
             .heavy_keys(8)
+            .audit_every(16)
             .build()
             .unwrap();
         assert_eq!(config.shards(), 2);
@@ -238,6 +264,7 @@ mod tests {
         assert_eq!(config.router(), RouterPolicy::HashPartition);
         assert_eq!(config.publish_every(), 1);
         assert_eq!(config.heavy_keys(), 8);
+        assert_eq!(config.audit_every(), 16);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Windowed health derivation: thresholds, the scrape-to-scrape
+//! window, and the load-imbalance rule.
+//!
+//! [`crate::AmsService::health`] turns raw telemetry into graded
+//! signals. The *window* is the span since the previous health scrape
+//! (the first scrape's window starts at service start): rates and the
+//! imbalance ratio are computed over counter **deltas** inside that
+//! window, so a long-running service reports current behaviour, not
+//! lifetime averages. This module owns the pieces that are pure data
+//! plumbing — the baselines, the thresholds, and the imbalance rule —
+//! so they can be tested without spinning up a service.
+
+use std::sync::Mutex;
+
+/// Grading thresholds for the derived health signals. Every signal is
+/// oriented so *higher is worse*; a value `>=` the degraded/unhealthy
+/// threshold crosses into that status (see
+/// `ams_telemetry::HealthSignal`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthThresholds {
+    /// Queue saturation (max shard queue depth / capacity): degraded at.
+    pub queue_saturation_degraded: f64,
+    /// Queue saturation: unhealthy at.
+    pub queue_saturation_unhealthy: f64,
+    /// Shed rate (busy responses / decoded frames in window): degraded at.
+    pub shed_degraded: f64,
+    /// Shed rate: unhealthy at.
+    pub shed_unhealthy: f64,
+    /// Shard imbalance ratio (see [`imbalance_ratio`]): degraded at.
+    pub imbalance_degraded: f64,
+    /// Shard imbalance ratio: unhealthy at.
+    pub imbalance_unhealthy: f64,
+    /// Minimum routed ops in the window before the imbalance signal is
+    /// graded at all — tiny windows are all noise.
+    pub imbalance_min_ops: u64,
+    /// WAL fsync p99 budget in nanoseconds; the signal value is
+    /// `p99 / budget`.
+    pub fsync_budget_ns: u64,
+    /// Fsync p99/budget ratio: degraded at.
+    pub fsync_degraded: f64,
+    /// Fsync p99/budget ratio: unhealthy at.
+    pub fsync_unhealthy: f64,
+    /// Observed audit relative error, as a multiple of the sketch's
+    /// a-priori `error_bound()`: degraded at.
+    pub rel_error_degraded_bounds: f64,
+    /// Observed audit relative error (multiple of the bound): unhealthy at.
+    pub rel_error_unhealthy_bounds: f64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        Self {
+            queue_saturation_degraded: 0.75,
+            queue_saturation_unhealthy: 0.95,
+            shed_degraded: 0.01,
+            shed_unhealthy: 0.25,
+            imbalance_degraded: 4.0,
+            imbalance_unhealthy: 16.0,
+            imbalance_min_ops: 256,
+            fsync_budget_ns: 50_000_000,
+            fsync_degraded: 1.0,
+            fsync_unhealthy: 10.0,
+            rel_error_degraded_bounds: 1.0,
+            rel_error_unhealthy_bounds: 2.0,
+        }
+    }
+}
+
+/// Max/min load-imbalance over per-shard routed-op deltas.
+///
+/// The rule, chosen so the ratio is always finite and hand-computable:
+/// `max / min` when every shard saw work; when some shard saw **zero**
+/// ops the ratio is `max` itself (as if the starved shard had seen one
+/// op), and an entirely idle window is perfectly balanced (`1.0`).
+pub fn imbalance_ratio(deltas: &[u64]) -> f64 {
+    let max = deltas.iter().copied().max().unwrap_or(0);
+    let min = deltas.iter().copied().min().unwrap_or(0);
+    if max == 0 {
+        1.0
+    } else if min == 0 {
+        max as f64
+    } else {
+        max as f64 / min as f64
+    }
+}
+
+/// Counter deltas over one scrape-to-scrape window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WindowDeltas {
+    /// Routed ops per shard.
+    pub routed: Vec<u64>,
+    /// Ops applied by workers, summed over shards.
+    pub ingested_ops: u64,
+    /// Busy responses shed by the net layer.
+    pub busy: u64,
+    /// Frames decoded by the net layer.
+    pub decoded: u64,
+}
+
+/// The rolling baseline: cumulative counter values at the previous
+/// health scrape.
+#[derive(Debug, Default)]
+pub(crate) struct HealthWindow {
+    prev: Mutex<Baseline>,
+}
+
+#[derive(Debug, Default)]
+struct Baseline {
+    routed: Vec<u64>,
+    ingested_ops: u64,
+    busy: u64,
+    decoded: u64,
+}
+
+impl HealthWindow {
+    /// Computes the deltas since the previous scrape and advances the
+    /// baseline to the given cumulative values. Counters are monotone;
+    /// `saturating_sub` guards the (restart) edge anyway.
+    pub fn advance(
+        &self,
+        routed: &[u64],
+        ingested_ops: u64,
+        busy: u64,
+        decoded: u64,
+    ) -> WindowDeltas {
+        let mut prev = self.prev.lock().unwrap_or_else(|e| e.into_inner());
+        if prev.routed.len() != routed.len() {
+            prev.routed = vec![0; routed.len()];
+        }
+        let deltas = WindowDeltas {
+            routed: routed
+                .iter()
+                .zip(prev.routed.iter())
+                .map(|(&now, &then)| now.saturating_sub(then))
+                .collect(),
+            ingested_ops: ingested_ops.saturating_sub(prev.ingested_ops),
+            busy: busy.saturating_sub(prev.busy),
+            decoded: decoded.saturating_sub(prev.decoded),
+        };
+        prev.routed.copy_from_slice(routed);
+        prev.ingested_ops = ingested_ops;
+        prev.busy = busy;
+        prev.decoded = decoded;
+        deltas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_rule_is_total_and_hand_computable() {
+        assert_eq!(imbalance_ratio(&[]), 1.0, "no shards: balanced");
+        assert_eq!(imbalance_ratio(&[0, 0, 0]), 1.0, "idle window: balanced");
+        assert_eq!(imbalance_ratio(&[100, 100]), 1.0);
+        assert_eq!(imbalance_ratio(&[300, 100]), 3.0);
+        assert_eq!(
+            imbalance_ratio(&[40, 0]),
+            40.0,
+            "starved shard counts as one op"
+        );
+        assert_eq!(imbalance_ratio(&[9, 3, 6]), 3.0);
+    }
+
+    #[test]
+    fn window_advances_and_deltas_are_per_scrape() {
+        let window = HealthWindow::default();
+        let first = window.advance(&[10, 20], 25, 1, 100);
+        assert_eq!(first.routed, vec![10, 20], "first window starts at zero");
+        assert_eq!(
+            (first.ingested_ops, first.busy, first.decoded),
+            (25, 1, 100)
+        );
+        let second = window.advance(&[15, 30], 40, 1, 150);
+        assert_eq!(second.routed, vec![5, 10]);
+        assert_eq!(
+            (second.ingested_ops, second.busy, second.decoded),
+            (15, 0, 50)
+        );
+    }
+
+    #[test]
+    fn default_thresholds_are_ordered() {
+        let t = HealthThresholds::default();
+        assert!(t.queue_saturation_degraded < t.queue_saturation_unhealthy);
+        assert!(t.shed_degraded < t.shed_unhealthy);
+        assert!(t.imbalance_degraded < t.imbalance_unhealthy);
+        assert!(t.fsync_degraded < t.fsync_unhealthy);
+        assert!(t.rel_error_degraded_bounds < t.rel_error_unhealthy_bounds);
+    }
+}

@@ -46,12 +46,27 @@
 //!   SpaceSaving summary per attribute, surfaced as
 //!   `service_heavy_keys{attribute,rank}` gauges and
 //!   [`AmsService::heavy_keys`].
+//! * Structured events — shard workers record lifecycle events
+//!   (start/stop, recovery, publish, checkpoint, WAL rotation and
+//!   failures, dedup skips) into bounded per-thread rings on the
+//!   service's event hub; [`AmsService::events`] collects them in
+//!   timestamp order (the wire `Events` request is exactly this call).
+//! * Health scrapes — [`AmsService::health`] grades windowed signals
+//!   (queue saturation, shed rate, shard imbalance, WAL fsync budget)
+//!   against [`HealthThresholds`], pairs every attribute's estimate
+//!   with its median-of-means confidence interval, the shadow audit's
+//!   observed relative error (opt-in via
+//!   [`ServiceConfigBuilder::audit_every`]) and the heavy-key skew
+//!   score, and folds one Healthy/Degraded/Unhealthy verdict (the wire
+//!   `Health` request is exactly this call).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod audit;
 pub mod config;
 pub mod error;
+pub mod health;
 pub mod heavy;
 pub mod queue;
 pub mod router;
@@ -64,6 +79,7 @@ mod telemetry;
 
 pub use config::{ServiceConfig, ServiceConfigBuilder};
 pub use error::ServiceError;
+pub use health::{imbalance_ratio, HealthThresholds};
 pub use heavy::{HeavyEntry, HeavyKeys, SpaceSaving};
 pub use queue::IngestTag;
 pub use router::{Router, RouterPolicy};
@@ -74,7 +90,11 @@ pub use stats::{ServiceStats, ShardStats};
 // The service's observability surface is built on `ams-telemetry`;
 // re-exported so front-ends can name the snapshot/registry types
 // without a separate dependency declaration.
-pub use ams_telemetry::{AssembledTrace, MetricsRegistry, MetricsSnapshot, TraceHub, TraceSpan};
+pub use ams_telemetry::{
+    AccuracyReport, AssembledTrace, EventCode, EventHub, EventLevel, HealthReport, HealthSignal,
+    HealthVerdict, MetricsRegistry, MetricsSnapshot, ServiceEvent, SignalStatus, TraceHub,
+    TraceSpan,
+};
 
 // The durability configuration and recovery-report types come from
 // `ams-durable`; re-exported so embedders configure WAL + checkpoints

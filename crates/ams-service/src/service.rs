@@ -8,10 +8,15 @@ use std::thread::JoinHandle;
 use ams_core::{SelfJoinEstimator, TugOfWarSketch};
 use ams_durable::{ShardDurable, ShardRecovery, ShardShape, WalInstruments};
 use ams_stream::{OpBlock, Value};
-use ams_telemetry::{trace_clock_ns, AssembledTrace, MetricsRegistry, MetricsSnapshot, TraceHub};
+use ams_telemetry::{
+    trace_clock_ns, AccuracyReport, AssembledTrace, EventCode, EventHub, HealthReport,
+    HealthSignal, HealthVerdict, MetricsRegistry, MetricsSnapshot, ServiceEvent, TraceHub,
+};
 
+use crate::audit::AuditSampler;
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
+use crate::health::{imbalance_ratio, HealthThresholds, HealthWindow};
 use crate::heavy::{HeavyEntry, HeavyKeys};
 use crate::queue::{BlockQueue, IngestTag, PushError, ShardTask};
 use crate::router::{Router, RouterPolicy};
@@ -87,6 +92,16 @@ pub struct AmsService {
     /// Per-attribute heavy-key observers (empty when
     /// [`ServiceConfig::heavy_keys`] is zero).
     heavy: Vec<HeavyKeys>,
+    /// The structured event hub: shard workers record lifecycle events
+    /// into bounded per-thread rings here, and front-ends borrow
+    /// recorders for their own events (shedding, reconnects).
+    event_hub: Arc<EventHub>,
+    /// The shadow-audit sampler (`None` when
+    /// [`ServiceConfig::audit_every`] is zero).
+    audit: Option<AuditSampler>,
+    /// Scrape-to-scrape counter baselines for the windowed health
+    /// signals.
+    health_window: HealthWindow,
 }
 
 impl AmsService {
@@ -117,6 +132,15 @@ impl AmsService {
             .collect();
         let telemetry = ServiceTelemetry::new(config.shards(), &names);
         let trace_hub = Arc::new(TraceHub::new());
+        let event_hub = Arc::new(EventHub::new());
+        let audit = (config.audit_every() > 0).then(|| {
+            AuditSampler::new(
+                config.audit_every(),
+                names.len(),
+                config.params(),
+                config.seed(),
+            )
+        });
         let heavy: Vec<HeavyKeys> = if config.heavy_keys() > 0 {
             names
                 .iter()
@@ -183,6 +207,8 @@ impl AmsService {
                     sketch_memory: telemetry.sketch_memory.clone(),
                     durable,
                     recorder: trace_hub.recorder(),
+                    shard: shard as u64,
+                    events: event_hub.recorder(),
                 };
                 std::thread::Builder::new()
                     .name(format!("ams-shard-{shard}"))
@@ -203,6 +229,9 @@ impl AmsService {
             recovery,
             trace_hub,
             heavy,
+            event_hub,
+            audit,
+            health_window: HealthWindow::default(),
         })
     }
 
@@ -285,10 +314,14 @@ impl AmsService {
         Ok(())
     }
 
-    /// Feeds the attribute's heavy-key observer, when configured.
+    /// Feeds the attribute's heavy-key observer and shadow-audit
+    /// sampler, when configured.
     fn observe_heavy(&self, attr: usize, block: &OpBlock) {
         if let Some(heavy) = self.heavy.get(attr) {
             heavy.observe_block(block);
+        }
+        if let Some(audit) = &self.audit {
+            audit.observe(attr, block);
         }
     }
 
@@ -683,6 +716,234 @@ impl AmsService {
     /// ordered. This is what the wire `Traces` request returns.
     pub fn traces(&self) -> Vec<AssembledTrace> {
         self.trace_hub.assemble()
+    }
+
+    /// The structured event hub behind this service. Front-ends borrow
+    /// per-thread recorders from it for their own lifecycle events
+    /// (Busy shedding, read-gate trips, reactor start/stop) and flip
+    /// recording with `EventHub::set_enabled`.
+    pub fn event_hub(&self) -> Arc<EventHub> {
+        Arc::clone(&self.event_hub)
+    }
+
+    /// The resident structured events across every recorder ring, in
+    /// timestamp order — shard lifecycle (start/stop), recovery,
+    /// publishes, checkpoints, WAL rotation/truncation/failures, dedup
+    /// skips, plus whatever events front-ends recorded. Rings are
+    /// bounded and overwrite their oldest entries; the exact overwrite
+    /// count is `EventHub::dropped_events`. This is what the wire
+    /// `Events` request returns.
+    pub fn events(&self) -> Vec<ServiceEvent> {
+        self.event_hub.collect_wire()
+    }
+
+    /// One health scrape with the default [`HealthThresholds`]: grades
+    /// the windowed signals, assembles per-attribute accuracy reports,
+    /// folds the verdict, and mirrors everything into gauges. This is
+    /// what the wire `Health` request returns.
+    pub fn health(&self) -> HealthReport {
+        self.health_with(&HealthThresholds::default())
+    }
+
+    /// [`Self::health`] graded against caller-supplied thresholds.
+    ///
+    /// The *window* for rates and the imbalance ratio is the span since
+    /// the previous health scrape (first scrape: since start). Signals,
+    /// all oriented higher-is-worse:
+    ///
+    /// * `queue_saturation` — worst shard's queue depth / capacity.
+    /// * `shed_rate` — net-layer Busy responses per decoded frame in
+    ///   the window (0 without a net front-end).
+    /// * `ingest_stall` — 1 when ops were routed this window but none
+    ///   were applied (wedged workers).
+    /// * `shard_imbalance_ratio` — max/min windowed routed ops (see
+    ///   [`imbalance_ratio`]); only graded once the window carries at
+    ///   least `imbalance_min_ops` ops.
+    /// * `wal_fsync_p99_budget` — lifetime fsync p99 over the budget
+    ///   (durability only, once any fsync happened).
+    /// * `wal_append_failures` — WAL append failures resident in the
+    ///   event rings (durability only; any failure is Unhealthy).
+    /// * `audit_rel_error_bounds` — worst observed audit relative error
+    ///   as a multiple of the sketch's a-priori `error_bound()` (audit
+    ///   sampler only).
+    pub fn health_with(&self, thresholds: &HealthThresholds) -> HealthReport {
+        let snap = self.metrics_snapshot();
+        let routed: Vec<u64> = (0..self.config.shards())
+            .map(|shard| {
+                let id = shard.to_string();
+                snap.counter("service_routed_ops", &[("shard", id.as_str())])
+                    .unwrap_or(0)
+            })
+            .collect();
+        let deltas = self.health_window.advance(
+            &routed,
+            snap.counter_total("service_ops_ingested"),
+            snap.counter_total("net_busy_responses"),
+            snap.counter_total("net_frames_decoded"),
+        );
+
+        let mut signals = Vec::new();
+        let saturation = self
+            .queues
+            .iter()
+            .map(|q| q.depth() as f64 / q.capacity() as f64)
+            .fold(0.0, f64::max);
+        signals.push(HealthSignal::grade(
+            "queue_saturation",
+            saturation,
+            thresholds.queue_saturation_degraded,
+            thresholds.queue_saturation_unhealthy,
+        ));
+        let shed = if deltas.decoded > 0 {
+            deltas.busy as f64 / deltas.decoded as f64
+        } else {
+            0.0
+        };
+        signals.push(HealthSignal::grade(
+            "shed_rate",
+            shed,
+            thresholds.shed_degraded,
+            thresholds.shed_unhealthy,
+        ));
+        let window_ops: u64 = deltas.routed.iter().sum();
+        let stall = if window_ops > 0 && deltas.ingested_ops == 0 {
+            1.0
+        } else {
+            0.0
+        };
+        signals.push(HealthSignal::grade("ingest_stall", stall, 1.0, 2.0));
+        let ratio = imbalance_ratio(&deltas.routed);
+        if window_ops >= thresholds.imbalance_min_ops {
+            signals.push(HealthSignal::grade(
+                "shard_imbalance_ratio",
+                ratio,
+                thresholds.imbalance_degraded,
+                thresholds.imbalance_unhealthy,
+            ));
+        }
+        if self.durability_enabled() {
+            let fsync = snap.merged_histogram("wal_fsync_ns");
+            if fsync.count > 0 {
+                signals.push(HealthSignal::grade(
+                    "wal_fsync_p99_budget",
+                    fsync.p99() as f64 / thresholds.fsync_budget_ns as f64,
+                    thresholds.fsync_degraded,
+                    thresholds.fsync_unhealthy,
+                ));
+            }
+            let failures = self
+                .event_hub
+                .collect()
+                .iter()
+                .filter(|e| e.code == EventCode::WalAppendFailed)
+                .count();
+            signals.push(HealthSignal::grade(
+                "wal_append_failures",
+                failures as f64,
+                1.0,
+                1.0,
+            ));
+        }
+
+        let error_bound = self.config.params().error_bound();
+        let mut worst_rel_error: Option<f64> = None;
+        let accuracy: Vec<AccuracyReport> = self
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(attr, name)| {
+                let interval = self
+                    .merged_sketch(name)
+                    .expect("registered attribute")
+                    .estimate_interval();
+                let reading = self.audit.as_ref().and_then(|a| a.reading(attr));
+                if let Some(r) = &reading {
+                    worst_rel_error = Some(worst_rel_error.unwrap_or(0.0).max(r.rel_error));
+                }
+                // SpaceSaving counts sum to the total observed weight,
+                // so the top entry's share is the heavy-key skew.
+                let skew_score = self
+                    .heavy
+                    .get(attr)
+                    .map(|h| {
+                        let top = h.top();
+                        let total: u64 = top.iter().map(|e| e.count).sum();
+                        match top.first() {
+                            Some(first) if total > 0 => first.count as f64 / total as f64,
+                            _ => 0.0,
+                        }
+                    })
+                    .unwrap_or(0.0);
+                AccuracyReport {
+                    attribute: name.clone(),
+                    estimate: interval.estimate,
+                    ci_lower: interval.lower,
+                    ci_upper: interval.upper,
+                    error_bound,
+                    audited_exact: reading.as_ref().map(|r| r.exact),
+                    observed_rel_error: reading.as_ref().map(|r| r.rel_error),
+                    skew_score,
+                }
+            })
+            .collect();
+        if let Some(worst) = worst_rel_error {
+            signals.push(HealthSignal::grade(
+                "audit_rel_error_bounds",
+                worst / error_bound,
+                thresholds.rel_error_degraded_bounds,
+                thresholds.rel_error_unhealthy_bounds,
+            ));
+        }
+
+        let verdict = HealthVerdict::from_signals(&signals);
+        self.export_health_gauges(&verdict, ratio, &accuracy);
+        HealthReport {
+            verdict,
+            signals,
+            accuracy,
+        }
+    }
+
+    /// Mirrors a health scrape into gauges, so a plain Prometheus
+    /// scrape sees the verdict and accuracy without speaking the wire
+    /// `Health` frame. Gauges are integers; ratio-valued series carry
+    /// the value × 1000 (`_milli`, and `service_shard_imbalance_ratio`).
+    fn export_health_gauges(
+        &self,
+        verdict: &HealthVerdict,
+        imbalance: f64,
+        accuracy: &[AccuracyReport],
+    ) {
+        let registry = self.telemetry.registry();
+        registry
+            .gauge("service_health_status", &[])
+            .set(verdict.code());
+        registry
+            .gauge("service_shard_imbalance_ratio", &[])
+            .set((imbalance * 1000.0) as i64);
+        registry
+            .gauge("service_events_dropped", &[])
+            .set(self.event_hub.dropped_events() as i64);
+        for report in accuracy {
+            let labels = [("attribute", report.attribute.as_str())];
+            registry
+                .gauge("service_estimate", &labels)
+                .set(report.estimate as i64);
+            registry
+                .gauge("service_estimate_ci_lower", &labels)
+                .set(report.ci_lower as i64);
+            registry
+                .gauge("service_estimate_ci_upper", &labels)
+                .set(report.ci_upper as i64);
+            if let Some(rel) = report.observed_rel_error {
+                registry
+                    .gauge("service_audit_rel_error_milli", &labels)
+                    .set((rel * 1000.0) as i64);
+            }
+            registry
+                .gauge("service_skew_score_milli", &labels)
+                .set((report.skew_score * 1000.0) as i64);
+        }
     }
 
     /// The heavy-key observer's current top entries for one attribute,

@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use ams_core::{SelfJoinEstimator, SketchParams, TugOfWarSketch};
 use ams_durable::{RecoveredShard, ShardDurable};
-use ams_telemetry::{trace_clock_ns, Gauge, MemoryTracker, TraceRecorder, TraceStage};
+use ams_telemetry::{
+    trace_clock_ns, EventCode, EventRecorder, Gauge, MemoryTracker, TraceRecorder, TraceStage,
+};
 
 use crate::queue::BlockQueue;
 use crate::snapshot::{ShardCell, ShardSnapshot};
@@ -49,6 +51,8 @@ pub(crate) struct ShardWorker {
     pub cell: Arc<ShardCell>,
     pub params: SketchParams,
     pub seed: u64,
+    /// This shard's index — the `key` of every event it emits.
+    pub shard: u64,
     pub attrs: usize,
     pub publish_every: u64,
     /// This shard's counters and histograms (shared atomics).
@@ -62,6 +66,11 @@ pub(crate) struct ShardWorker {
     /// This worker's span recorder (one per thread: single-writer by
     /// construction). Untraced tasks cost one relaxed load + branch.
     pub recorder: TraceRecorder,
+    /// This worker's structured-event recorder (one per thread,
+    /// single-writer like the span ring). Lifecycle-only emission:
+    /// nothing fires on the per-block hot path except dedup skips and
+    /// WAL failures, which are already off the fast path.
+    pub events: EventRecorder,
 }
 
 impl ShardWorker {
@@ -76,8 +85,13 @@ impl ShardWorker {
         // inside each sketch makes steady-state application
         // allocation-free. Each sketch's footprint is accounted to its
         // attribute's memory gauge for as long as the worker lives.
+        self.events.emit(EventCode::ShardStart, self.shard, 0);
         let mut durable = self.durable;
         let recovered = durable.as_mut().and_then(|d| d.recovered.take());
+        // Baseline for rotation/truncation events: segment-count moves
+        // observed across appends and checkpoints are emitted as
+        // `WalRotate` / `WalTruncate`.
+        let mut wal_segments = durable.as_ref().map_or(0, |d| d.wal.segment_count());
         let (mut sketches, mut blocks, mut ops, mut epoch, mut producers): (
             Vec<TugOfWarSketch>,
             u64,
@@ -125,10 +139,12 @@ impl ShardWorker {
                     counters: sketches.iter().map(|s| s.counters().to_vec()).collect(),
                 });
                 self.instruments.publishes.inc();
+                self.events.emit(EventCode::Publish, self.shard, blocks);
             };
         // A recovered shard publishes immediately, so queries reflect
         // the recovered counters before any new traffic arrives.
         if blocks > 0 {
+            self.events.emit(EventCode::Recovery, self.shard, blocks);
             epoch += 1;
             published_blocks = blocks;
             publish(&sketches, epoch, blocks, ops, popped);
@@ -165,6 +181,7 @@ impl ShardWorker {
                         // skip, but still advance the watermark below —
                         // its effects are durable by definition.
                         skip = true;
+                        self.events.emit(EventCode::DedupSkip, self.shard, seq);
                     } else {
                         let t0 = if traced { trace_clock_ns() } else { 0 };
                         let appended = d.wal.append(task.attr as u32, producer, seq, &task.block);
@@ -175,8 +192,16 @@ impl ShardWorker {
                         if appended.is_err() {
                             d.failed = true;
                             skip = true;
-                        } else if producer != 0 {
-                            producers.insert(producer, seq);
+                            self.events.emit(EventCode::WalAppendFailed, self.shard, 0);
+                        } else {
+                            if producer != 0 {
+                                producers.insert(producer, seq);
+                            }
+                            let segments = d.wal.segment_count();
+                            if segments > wal_segments {
+                                self.events.emit(EventCode::WalRotate, self.shard, segments);
+                            }
+                            wal_segments = segments;
                         }
                     }
                 }
@@ -249,6 +274,13 @@ impl ShardWorker {
                         d.failed = true;
                     } else {
                         d.checkpointed_blocks = blocks;
+                        self.events.emit(EventCode::Checkpoint, self.shard, blocks);
+                        let segments = d.wal.segment_count();
+                        if segments < wal_segments {
+                            self.events
+                                .emit(EventCode::WalTruncate, self.shard, segments);
+                        }
+                        wal_segments = segments;
                     }
                 }
             }
@@ -271,10 +303,13 @@ impl ShardWorker {
         // zero replay, and segments every retained checkpoint covers
         // are pruned.
         if let Some(d) = durable.as_mut() {
-            if !d.failed && blocks > d.checkpointed_blocks {
-                let _ = d
-                    .wal
-                    .write_checkpoint(epoch, blocks, ops, &sketches, &producers);
+            if !d.failed
+                && blocks > d.checkpointed_blocks
+                && d.wal
+                    .write_checkpoint(epoch, blocks, ops, &sketches, &producers)
+                    .is_ok()
+            {
+                self.events.emit(EventCode::Checkpoint, self.shard, blocks);
             }
         }
         // The sketches die with the worker: hand their words back so
@@ -283,5 +318,6 @@ impl ShardWorker {
         for tracker in &mut trackers {
             tracker.release_all();
         }
+        self.events.emit(EventCode::ShardStop, self.shard, blocks);
     }
 }

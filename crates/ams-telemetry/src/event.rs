@@ -1,0 +1,583 @@
+//! Structured service events: bounded per-thread event rings and
+//! scrape-time collection.
+//!
+//! Metrics answer "how much"; traces answer "where did this request
+//! go"; the event log answers "**what happened**" — shard lifecycle,
+//! publishes, checkpoints, recovery, WAL rotation, shedding — as a
+//! bounded stream of structured records (level, code, timestamp, and a
+//! two-word key/value payload). The storage discipline is identical to
+//! the span rings of [`crate::trace`]: each emitting thread owns one
+//! single-writer [`EventRing`] — lock-free on the hot path, fixed
+//! [`EventHub::memory_words`], overwrite-oldest on overflow with an
+//! exact drop counter — and a disabled hub turns every emission into
+//! one relaxed load + branch (the noop twin used to price the
+//! instrumentation).
+//!
+//! Timestamps ride the same process-wide monotonic clock as traces
+//! ([`crate::trace_clock_ns`]), so events emitted by different threads
+//! interleave in true order at collection time.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::trace_clock_ns;
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventLevel {
+    /// Expected lifecycle progress.
+    Info,
+    /// Load-shedding or degraded operation worth attention.
+    Warn,
+    /// A failure the service observed and survived.
+    Error,
+}
+
+impl EventLevel {
+    /// The level's wire/exposition name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventLevel::Info => "info",
+            EventLevel::Warn => "warn",
+            EventLevel::Error => "error",
+        }
+    }
+}
+
+/// What happened, as a closed vocabulary (the wire carries the name,
+/// the ring stores the code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventCode {
+    /// A shard worker thread entered its run loop (`key` = shard).
+    ShardStart,
+    /// A shard worker thread exited cleanly (`key` = shard).
+    ShardStop,
+    /// A shard replayed WAL state at startup (`key` = shard,
+    /// `value` = blocks replayed).
+    Recovery,
+    /// A shard published its sketch cell (`key` = shard,
+    /// `value` = blocks ingested so far).
+    Publish,
+    /// A shard wrote a durable checkpoint (`key` = shard,
+    /// `value` = blocks covered).
+    Checkpoint,
+    /// The shard's WAL rolled to a new segment (`key` = shard,
+    /// `value` = live segment count).
+    WalRotate,
+    /// Checkpointing truncated WAL segments (`key` = shard,
+    /// `value` = live segment count after truncation).
+    WalTruncate,
+    /// A WAL append failed; the shard entered its failed state
+    /// (`key` = shard).
+    WalAppendFailed,
+    /// An exactly-once duplicate block was skipped (`key` = shard,
+    /// `value` = block sequence number).
+    DedupSkip,
+    /// A reactor shed an ingest with `Busy` (`key` = reactor,
+    /// `value` = shard).
+    BusyShed,
+    /// A reactor stopped reading a connection over backpressure
+    /// (`key` = reactor).
+    ReadGate,
+    /// A reactor thread entered its event loop (`key` = reactor).
+    ReactorStart,
+    /// A reactor thread quiesced and exited (`key` = reactor).
+    ReactorStop,
+    /// A client re-established its connection (`key` = attempt count).
+    Reconnect,
+}
+
+/// Every event code, in declaration order (the code ↔ u64 mapping).
+pub const EVENT_CODES: [EventCode; 14] = [
+    EventCode::ShardStart,
+    EventCode::ShardStop,
+    EventCode::Recovery,
+    EventCode::Publish,
+    EventCode::Checkpoint,
+    EventCode::WalRotate,
+    EventCode::WalTruncate,
+    EventCode::WalAppendFailed,
+    EventCode::DedupSkip,
+    EventCode::BusyShed,
+    EventCode::ReadGate,
+    EventCode::ReactorStart,
+    EventCode::ReactorStop,
+    EventCode::Reconnect,
+];
+
+impl EventCode {
+    /// The code's wire/exposition name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventCode::ShardStart => "shard_start",
+            EventCode::ShardStop => "shard_stop",
+            EventCode::Recovery => "recovery",
+            EventCode::Publish => "publish",
+            EventCode::Checkpoint => "checkpoint",
+            EventCode::WalRotate => "wal_rotate",
+            EventCode::WalTruncate => "wal_truncate",
+            EventCode::WalAppendFailed => "wal_append_failed",
+            EventCode::DedupSkip => "dedup_skip",
+            EventCode::BusyShed => "busy_shed",
+            EventCode::ReadGate => "read_gate",
+            EventCode::ReactorStart => "reactor_start",
+            EventCode::ReactorStop => "reactor_stop",
+            EventCode::Reconnect => "reconnect",
+        }
+    }
+
+    /// The code's canonical severity.
+    pub fn level(self) -> EventLevel {
+        match self {
+            EventCode::WalAppendFailed => EventLevel::Error,
+            EventCode::BusyShed | EventCode::ReadGate | EventCode::Reconnect => EventLevel::Warn,
+            _ => EventLevel::Info,
+        }
+    }
+
+    fn code(self) -> u64 {
+        EVENT_CODES.iter().position(|&c| c == self).unwrap() as u64
+    }
+
+    fn from_code(code: u64) -> Option<EventCode> {
+        EVENT_CODES.get(code as usize).copied()
+    }
+}
+
+/// One event as stored in a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// What happened.
+    pub code: EventCode,
+    /// When, on the process trace clock ([`trace_clock_ns`]), ns.
+    pub at_ns: u64,
+    /// Code-specific subject (shard index, reactor index, attempt).
+    pub key: u64,
+    /// Code-specific magnitude (blocks, segments, sequence number).
+    pub value: u64,
+}
+
+/// Words per ring slot: the per-slot seqlock word, a presence flag,
+/// and the four event fields.
+const SLOT_WORDS: usize = 6;
+
+/// A bounded single-writer event ring: fixed memory, relaxed-atomic
+/// writes, overwrite-oldest on overflow with an exact drop counter.
+///
+/// Each slot is guarded by a per-slot sequence word (odd while a write
+/// is in flight), so a scrape-time reader skips slots it raced with
+/// instead of observing a torn event — every field is an atomic, so a
+/// race is a dropped observation, never undefined behavior.
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[SlotCells]>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SlotCells {
+    seq: AtomicU64,
+    /// `code + 1` so 0 means "never written" (events are timestamped
+    /// from process start, so `at_ns == 0` is a legal value and can't
+    /// play the presence-flag role trace ids play in span rings).
+    code_plus_one: AtomicU64,
+    at_ns: AtomicU64,
+    key: AtomicU64,
+    value: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity)
+                .map(|_| SlotCells {
+                    seq: AtomicU64::new(0),
+                    code_plus_one: AtomicU64::new(0),
+                    at_ns: AtomicU64::new(0),
+                    key: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one event, overwriting the oldest when full.
+    pub fn push(&self, event: EventRecord) {
+        let n = self.slots.len() as u64;
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = &self.slots[(i % n) as usize];
+        slot.seq.fetch_add(1, Ordering::Release); // odd: write in flight
+        slot.code_plus_one
+            .store(event.code.code() + 1, Ordering::Relaxed);
+        slot.at_ns.store(event.at_ns, Ordering::Relaxed);
+        slot.key.store(event.key, Ordering::Relaxed);
+        slot.value.store(event.value, Ordering::Relaxed);
+        slot.seq.fetch_add(1, Ordering::Release); // even: settled
+    }
+
+    /// Events recorded in total (including any later overwritten).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to overwrite-oldest — exactly
+    /// `pushed().saturating_sub(capacity)` for a single writer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently resident.
+    pub fn len(&self) -> usize {
+        (self.pushed() as usize).min(self.slots.len())
+    }
+
+    /// Whether no event was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pushed() == 0
+    }
+
+    /// Fixed footprint in 64-bit words, independent of traffic.
+    pub fn memory_words(&self) -> usize {
+        self.slots.len() * SLOT_WORDS + 2
+    }
+
+    /// A point-in-time copy of every resident event, skipping slots a
+    /// concurrent writer had in flight.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        let mut out = Vec::with_capacity(self.len());
+        for slot in self.slots.iter().take(self.len()) {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            let tag = slot.code_plus_one.load(Ordering::Relaxed);
+            let record = EventRecord {
+                code: match EventCode::from_code(tag.wrapping_sub(1)) {
+                    Some(code) => code,
+                    None => continue,
+                },
+                at_ns: slot.at_ns.load(Ordering::Relaxed),
+                key: slot.key.load(Ordering::Relaxed),
+                value: slot.value.load(Ordering::Relaxed),
+            };
+            let s2 = slot.seq.load(Ordering::Acquire);
+            if s1 == s2 && s1 % 2 == 0 && tag != 0 {
+                out.push(record);
+            }
+        }
+        out
+    }
+}
+
+/// A cloneable handle emitting events into one [`EventRing`]; each
+/// emitting thread holds its own (the ring is single-writer by
+/// construction when each thread takes its own recorder from
+/// [`EventHub::recorder`]).
+#[derive(Debug, Clone)]
+pub struct EventRecorder {
+    ring: Arc<EventRing>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl EventRecorder {
+    /// Emits one event stamped now (no-op when the hub is disabled —
+    /// the disabled hot path is one relaxed load + branch, before the
+    /// clock read).
+    #[inline]
+    pub fn emit(&self, code: EventCode, key: u64, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.ring.push(EventRecord {
+            code,
+            at_ns: trace_clock_ns(),
+            key,
+            value,
+        });
+    }
+
+    /// Whether the hub is armed.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The recorder's ring (for direct inspection in tests).
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+}
+
+/// One event in wire/JSON form (the `Response::Events` payload).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceEvent {
+    /// Severity name ([`EventLevel::name`]).
+    pub level: String,
+    /// Code name ([`EventCode::name`]).
+    pub code: String,
+    /// Emission time on the emitting process's trace clock, ns.
+    pub at_ns: u64,
+    /// Code-specific subject (shard index, reactor index, attempt).
+    pub key: u64,
+    /// Code-specific magnitude (blocks, segments, sequence number).
+    pub value: u64,
+}
+
+impl From<EventRecord> for ServiceEvent {
+    fn from(r: EventRecord) -> Self {
+        ServiceEvent {
+            level: r.code.level().name().to_string(),
+            code: r.code.name().to_string(),
+            at_ns: r.at_ns,
+            key: r.key,
+            value: r.value,
+        }
+    }
+}
+
+/// The per-process event directory: hands out per-thread event rings
+/// and collects every resident event at scrape time. Registration and
+/// collection take a mutex; emission never does (the hub's hot-path
+/// surface is exactly [`EventRecorder::emit`]).
+#[derive(Debug)]
+pub struct EventHub {
+    rings: Mutex<Vec<Arc<EventRing>>>,
+    ring_capacity: usize,
+    enabled: Arc<AtomicBool>,
+}
+
+/// Default events per ring.
+pub const DEFAULT_EVENT_RING_CAPACITY: usize = 256;
+
+impl Default for EventHub {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_RING_CAPACITY)
+    }
+}
+
+impl EventHub {
+    /// A hub with the default ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A hub whose recorders hold `ring_capacity` events each.
+    pub fn with_capacity(ring_capacity: usize) -> Self {
+        Self {
+            rings: Mutex::new(Vec::new()),
+            ring_capacity: ring_capacity.max(1),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// Creates and registers a new single-writer recorder; each
+    /// emitting thread should take exactly one.
+    pub fn recorder(&self) -> EventRecorder {
+        let ring = Arc::new(EventRing::new(self.ring_capacity));
+        self.rings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&ring));
+        EventRecorder {
+            ring,
+            enabled: Arc::clone(&self.enabled),
+        }
+    }
+
+    /// Globally arms or disarms emission (the noop twin for overhead
+    /// pricing: a disabled hub turns every emit into one relaxed
+    /// load + branch).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether emission is armed.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring overwrite, summed over recorders.
+    pub fn dropped_events(&self) -> u64 {
+        self.rings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|r| r.dropped())
+            .sum()
+    }
+
+    /// Total footprint in 64-bit words: every ring — fixed once every
+    /// emitting thread has registered, independent of traffic.
+    pub fn memory_words(&self) -> usize {
+        let rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        rings.iter().map(|r| r.memory_words()).sum::<usize>() + 1
+    }
+
+    /// Every resident event across every ring, in timestamp order
+    /// (ties broken by code for determinism).
+    pub fn collect(&self) -> Vec<EventRecord> {
+        let rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        let mut events = Vec::new();
+        for ring in rings.iter() {
+            events.extend(ring.snapshot());
+        }
+        events.sort_by_key(|e| (e.at_ns, e.code.code(), e.key));
+        events
+    }
+
+    /// [`Self::collect`] in wire form.
+    pub fn collect_wire(&self) -> Vec<ServiceEvent> {
+        self.collect().into_iter().map(ServiceEvent::from).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn event(code: EventCode, at: u64, key: u64, value: u64) -> EventRecord {
+        EventRecord {
+            code,
+            at_ns: at,
+            key,
+            value,
+        }
+    }
+
+    #[test]
+    fn event_codes_roundtrip() {
+        for code in EVENT_CODES {
+            assert_eq!(EventCode::from_code(code.code()), Some(code));
+        }
+        assert_eq!(EventCode::from_code(EVENT_CODES.len() as u64), None);
+    }
+
+    #[test]
+    fn levels_follow_severity() {
+        assert_eq!(EventCode::WalAppendFailed.level(), EventLevel::Error);
+        assert_eq!(EventCode::BusyShed.level(), EventLevel::Warn);
+        assert_eq!(EventCode::ReadGate.level(), EventLevel::Warn);
+        assert_eq!(EventCode::Reconnect.level(), EventLevel::Warn);
+        assert_eq!(EventCode::Publish.level(), EventLevel::Info);
+        assert_eq!(EventLevel::Error.name(), "error");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let ring = EventRing::new(4);
+        for i in 0..10u64 {
+            ring.push(event(EventCode::Publish, i * 10, 0, i));
+        }
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.len(), 4);
+        let mut resident: Vec<u64> = ring.snapshot().iter().map(|e| e.value).collect();
+        resident.sort_unstable();
+        assert_eq!(resident, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_timestamp_events_survive_snapshot() {
+        // `at_ns == 0` is legal (process-start instant); presence is
+        // tracked by the code tag, not the timestamp.
+        let ring = EventRing::new(4);
+        ring.push(event(EventCode::ShardStart, 0, 3, 0));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].code, EventCode::ShardStart);
+        assert_eq!(snap[0].key, 3);
+    }
+
+    #[test]
+    fn recorder_respects_disable() {
+        let hub = EventHub::with_capacity(8);
+        let rec = hub.recorder();
+        hub.set_enabled(false);
+        assert!(!rec.armed());
+        rec.emit(EventCode::Publish, 0, 1); // disabled: noop twin
+        assert!(rec.ring().is_empty());
+        hub.set_enabled(true);
+        rec.emit(EventCode::Publish, 0, 1);
+        assert_eq!(rec.ring().len(), 1);
+    }
+
+    #[test]
+    fn collect_orders_across_rings_by_timestamp() {
+        let hub = EventHub::with_capacity(8);
+        let a = hub.recorder();
+        let b = hub.recorder();
+        a.ring().push(event(EventCode::Checkpoint, 30, 0, 2));
+        b.ring().push(event(EventCode::ShardStart, 10, 0, 0));
+        a.ring().push(event(EventCode::Publish, 20, 0, 1));
+        let codes: Vec<EventCode> = hub.collect().iter().map(|e| e.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                EventCode::ShardStart,
+                EventCode::Publish,
+                EventCode::Checkpoint
+            ]
+        );
+    }
+
+    #[test]
+    fn wire_form_carries_names() {
+        let hub = EventHub::with_capacity(4);
+        let rec = hub.recorder();
+        rec.ring().push(event(EventCode::BusyShed, 5, 1, 2));
+        let wire = hub.collect_wire();
+        assert_eq!(wire.len(), 1);
+        assert_eq!(wire[0].level, "warn");
+        assert_eq!(wire[0].code, "busy_shed");
+        assert_eq!(wire[0].key, 1);
+        assert_eq!(wire[0].value, 2);
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: Vec<ServiceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn hub_memory_is_fixed_once_recorders_exist() {
+        let hub = EventHub::with_capacity(16);
+        let rec = hub.recorder();
+        let _rec2 = hub.recorder();
+        let before = hub.memory_words();
+        for i in 0..10_000u64 {
+            rec.emit(EventCode::Publish, 0, i);
+        }
+        assert_eq!(hub.memory_words(), before);
+        assert_eq!(hub.dropped_events(), 10_000 - 16);
+    }
+
+    proptest! {
+        /// Overflow never panics, the drop counter is exact, residency
+        /// is capped at capacity, and the footprint never moves.
+        #[test]
+        fn event_ring_overflow_is_exact(
+            capacity in 1usize..32,
+            pushes in 0u64..2000,
+        ) {
+            let ring = EventRing::new(capacity);
+            let words = ring.memory_words();
+            for i in 0..pushes {
+                ring.push(event(EventCode::Publish, i, 0, i + 1));
+            }
+            prop_assert_eq!(ring.pushed(), pushes);
+            prop_assert_eq!(ring.dropped(), pushes.saturating_sub(capacity as u64));
+            prop_assert_eq!(ring.len() as u64, pushes.min(capacity as u64));
+            prop_assert_eq!(ring.memory_words(), words);
+            // Everything resident is readable and well-formed.
+            for e in ring.snapshot() {
+                prop_assert!(e.value >= 1 && e.value <= pushes);
+            }
+        }
+    }
+}

@@ -32,6 +32,16 @@
 //!   footprint), a completion-time tail sampler keeping the slowest-N
 //!   requests per window, and scrape-time assembly of complete
 //!   stage-by-stage traces ([`TraceHub::assemble`]).
+//! * [`event`] — the structured event log: bounded per-thread event
+//!   rings ([`EventRing`]: level, code, timestamp, key/value payload;
+//!   same overwrite-oldest + exact-drop-counter discipline as the span
+//!   rings) collected into timestamp order at scrape time
+//!   ([`EventHub::collect`]).
+//! * [`health`] — windowed health grading: derived signals compared
+//!   against degraded/unhealthy thresholds, folded into a
+//!   [`HealthVerdict`] with reasons, alongside per-attribute
+//!   [`AccuracyReport`]s (confidence interval, shadow-audit error,
+//!   skew score) — the statistical half of "is the service healthy?".
 //!
 //! The registry lock is touched only at registration and snapshot
 //! time; handles returned by registration are plain `Arc`s over the
@@ -42,6 +52,8 @@
 #![deny(missing_docs)]
 
 pub mod counter;
+pub mod event;
+pub mod health;
 pub mod histogram;
 pub mod memory;
 pub mod noop;
@@ -50,6 +62,11 @@ pub mod timer;
 pub mod trace;
 
 pub use counter::{Counter, Gauge};
+pub use event::{
+    EventCode, EventHub, EventLevel, EventRecord, EventRecorder, EventRing, ServiceEvent,
+    EVENT_CODES,
+};
+pub use health::{AccuracyReport, HealthReport, HealthSignal, HealthVerdict, SignalStatus};
 pub use histogram::{HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use memory::MemoryTracker;
 pub use registry::{MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot};

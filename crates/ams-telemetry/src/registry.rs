@@ -173,6 +173,22 @@ pub struct MetricsSnapshot {
     pub samples: Vec<MetricSample>,
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed must be written as `\\`,
+/// `\"`, and `\n` inside the quoted value.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 fn labels_match(labels: &[(String, String)], want: &[(&str, &str)]) -> bool {
     labels.len() == want.len()
         && labels
@@ -268,7 +284,7 @@ impl MetricsSnapshot {
                 let inner: Vec<String> = s
                     .labels
                     .iter()
-                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
                     .collect();
                 format!("{{{}}}", inner.join(","))
             };
@@ -451,6 +467,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The exposition-format escaping contract, pinned: backslash,
+    /// double quote, and newline in a label value must come out as
+    /// `\\`, `\"`, and `\n` — raw interpolation would produce an
+    /// unparseable (or silently wrong) scrape.
+    #[test]
+    fn text_exposition_escapes_label_values() {
+        let registry = MetricsRegistry::new();
+        registry.counter("reqs", &[("path", "a\\b\"c\nd")]).add(1);
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("reqs{path=\"a\\\\b\\\"c\\nd\"} 1"), "{text}");
+        // The rendered sample must stay on a single physical line.
+        let sample_lines = text.lines().filter(|l| l.starts_with("reqs{")).count();
+        assert_eq!(sample_lines, 1, "{text}");
     }
 
     #[test]

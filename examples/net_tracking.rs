@@ -44,6 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .sketch_params(SketchParams::new(64, 4)?)
         .seed(0xC0_FFEE)
         .router(RouterPolicy::RoundRobin)
+        .heavy_keys(8)
+        .audit_every(8)
         .build()?;
     let service = AmsService::start(config, &["v"])?;
     let server = NetServer::bind("127.0.0.1:0")?;
@@ -126,6 +128,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {line}");
     }
 
+    // One wire `Health` frame folds windowed service signals and
+    // per-attribute estimator accuracy (median-of-means confidence
+    // interval, shadow audit, heavy-key skew) into a single verdict.
+    let health = client.health()?;
+    println!("\nhealth verdict: {}", health.verdict.name());
+    for signal in &health.signals {
+        println!(
+            "  signal {}: {:.3} (degraded ≥ {}, unhealthy ≥ {}) — {:?}",
+            signal.name, signal.value, signal.degraded_above, signal.unhealthy_above, signal.status
+        );
+    }
+    let accuracy = health.accuracy_for("v").expect("tracked attribute");
+    assert!(
+        accuracy.covers(exact_sj),
+        "confidence interval [{:.4e}, {:.4e}] must cover exact {exact_sj:.4e}",
+        accuracy.ci_lower,
+        accuracy.ci_upper
+    );
+    println!(
+        "  accuracy v: estimate {:.4e} in [{:.4e}, {:.4e}] (bound ±{:.0}%), \
+         audited rel error {}, skew score {:.3}",
+        accuracy.estimate,
+        accuracy.ci_lower,
+        accuracy.ci_upper,
+        100.0 * accuracy.error_bound,
+        accuracy
+            .observed_rel_error
+            .map_or("n/a".into(), |e| format!("{:.4}", e)),
+        accuracy.skew_score,
+    );
+
+    // One wire `Events` frame drains the merged per-thread event rings:
+    // shard lifecycle, publishes, and the reactor's own events.
+    let events = client.events()?;
+    let publishes = events.iter().filter(|e| e.code == "publish").count();
+    assert!(publishes > 0, "publish cadence fired during ingest");
+    println!(
+        "\nstructured events scraped over the wire ({} total):",
+        events.len()
+    );
+    for event in events.iter().take(6) {
+        println!(
+            "  [{}] {} key={} value={}",
+            event.level, event.code, event.key, event.value
+        );
+    }
+    println!("  publish events: {publishes} (nonzero: the cadence ran)");
+
     // Request tracing, end to end: a second, durable service traced at
     // every submission. Each ingest carries a trace id on the wire;
     // the reactor, shard worker, and WAL stamp their stages into
@@ -182,6 +232,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     drop(traced);
     durable_handle.stop();
+
+    // Restart over the same WAL directory: each shard replays its tail
+    // on start and emits a structured `recovery` event, visible to a
+    // wire `Events` scrape before any new traffic arrives.
+    let recovered_config = ServiceConfig::builder()
+        .shards(SHARDS)
+        .queue_capacity(64)
+        .sketch_params(SketchParams::new(64, 4)?)
+        .seed(0xC0_FFEE)
+        .router(RouterPolicy::HashPartition)
+        .durability(ams::service::DurabilityConfig::new(&trace_dir))
+        .build()?;
+    let recovered_service = AmsService::start(recovered_config, &["v"])?;
+    let recovered_server = NetServer::bind("127.0.0.1:0")?;
+    let recovered_addr = recovered_server.local_addr();
+    let recovered_handle = recovered_server.spawn(recovered_service);
+    let mut observer = AmsClient::connect(recovered_addr)?;
+    let restart_events = observer.events()?;
+    let replayed: u64 = restart_events
+        .iter()
+        .filter(|e| e.code == "recovery")
+        .map(|e| e.value)
+        .sum();
+    assert!(replayed > 0, "restart over a populated WAL replays blocks");
+    println!("\nrecovery event after restart: replayed {replayed} blocks across shards");
+    let restart_health = observer.health()?;
+    println!(
+        "restarted service health verdict: {}",
+        restart_health.verdict.name()
+    );
+    let _ = observer.shutdown()?;
+    recovered_handle.join();
     let _ = std::fs::remove_dir_all(&trace_dir);
 
     // Graceful shutdown over the wire: the Goodbye frame carries the

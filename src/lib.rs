@@ -47,8 +47,9 @@ pub use ams_datagen::DatasetId;
 pub use ams_net::{AckMode, AmsClient, NetError, NetServer, NetServerConfig, ReconnectPolicy};
 pub use ams_relation::{Catalog, RelationTracker, TrackerConfig};
 pub use ams_service::{
-    AmsService, DurabilityConfig, FaultPlan, FsyncPolicy, RouterPolicy, ServiceConfig,
-    ServiceError, ServiceSnapshot, ServiceStats, ShardRecovery,
+    AccuracyReport, AmsService, DurabilityConfig, FaultPlan, FsyncPolicy, HealthReport,
+    HealthSignal, HealthThresholds, HealthVerdict, RouterPolicy, ServiceConfig, ServiceError,
+    ServiceEvent, ServiceSnapshot, ServiceStats, ShardRecovery, SignalStatus,
 };
 pub use ams_stream::{DeletePattern, ExactTracker, Multiset, Op, StreamBuilder, Value};
 pub use ams_telemetry::{MetricsRegistry, MetricsSnapshot};
